@@ -1,0 +1,74 @@
+// Extension experiment (ours): minimum spanning forest (Boruvka) under the
+// framework — speedups over serial Kruskal, per dataset. MST is one of the
+// algorithm families the paper's related work groups with shortest paths
+// and connected components.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "cpu/cpu_cost_model.h"
+#include "cpu/mst_serial.h"
+#include "gpu_graph/mst_engine.h"
+#include "graph/transform.h"
+#include "runtime/adaptive_engine.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.maybe_help("Minimum spanning forest: GPU Boruvka vs serial Kruskal."))
+    return 0;
+  const auto opts = bench::parse_common(cli);
+  bench::print_banner(
+      "Extension - minimum spanning forest (Boruvka)",
+      "Symmetric weighted instances of each dataset; speedups over serial "
+      "Kruskal (modeled CPU: sort + union-find).",
+      opts);
+
+  std::vector<std::string> header{"Network"};
+  for (const auto v : gg::unordered_variants()) header.push_back(gg::variant_name(v));
+  header.push_back("adaptive");
+  agg::Table table(header);
+
+  for (const auto id : opts.datasets) {
+    auto d = bench::load_dataset(id, opts.scale, opts.cache_dir);
+    graph::Csr sym = graph::symmetrize(d.csr);
+    graph::assign_symmetric_uniform_weights(sym, 1, 1000, 77);
+    const auto expected = cpu::minimum_spanning_forest(sym);
+    // Kruskal cost: sort m log m + near-linear union-find.
+    const auto& cm = cpu::CpuModel::core_i7();
+    const double log_m = std::log2(std::max<double>(expected.counts.edges_sorted, 2));
+    const double cycles =
+        static_cast<double>(expected.counts.edges_sorted) * (6.0 * log_m + 10.0) +
+        static_cast<double>(expected.counts.union_ops) * 40.0;
+    const double cpu_us = cycles / (cm.clock_ghz * 1e3);
+
+    std::vector<std::string> row{d.name};
+    int best = 0, col = 0;
+    double best_speedup = 0;
+    auto run_one = [&](auto&& runner) {
+      simt::Device dev;
+      const auto r = runner(dev);
+      AGG_CHECK_MSG(r.total_weight == expected.total_weight &&
+                        r.num_trees == expected.num_trees,
+                    "MST mismatch");
+      const double s = cpu_us / r.metrics.total_us;
+      row.push_back(agg::Table::fmt(s, 2));
+      ++col;
+      if (s > best_speedup) {
+        best_speedup = s;
+        best = col;
+      }
+    };
+    for (const auto v : gg::unordered_variants()) {
+      run_one([&](simt::Device& dev) { return gg::run_mst(dev, sym, v); });
+    }
+    run_one([&](simt::Device& dev) { return rt::adaptive_mst(dev, sym); });
+    std::printf("  %-9s cpu(model) %8.2f ms | forest weight %llu, %s trees\n",
+                d.name.c_str(), cpu_us / 1000.0,
+                static_cast<unsigned long long>(expected.total_weight),
+                agg::Table::fmt_int(expected.num_trees).c_str());
+    table.add_row(std::move(row), best);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension experiment (ours): PageRank by residual push under the
+// framework — speedups of the unordered + warp variants and the adaptive
+// runtime over serial power iteration, per dataset (the paper's web-search
+// motivation: "rank the results of queries").
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "cpu/cpu_cost_model.h"
+#include "cpu/pagerank_serial.h"
+#include "gpu_graph/pagerank_engine.h"
+#include "runtime/adaptive_engine.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.maybe_help("PageRank: GPU variants + adaptive vs serial power "
+                     "iteration."))
+    return 0;
+  const auto opts = bench::parse_common(cli);
+  bench::print_banner(
+      "Extension - PageRank (residual push)",
+      "The working set starts at n and decays with the residuals; speedups "
+      "over serial power iteration (modeled CPU).",
+      opts);
+
+  std::vector<std::string> header{"Network"};
+  for (const auto v : gg::unordered_variants()) header.push_back(gg::variant_name(v));
+  header.push_back("U_W_QU");
+  header.push_back("adaptive");
+  agg::Table table(header);
+
+  for (const auto id : opts.datasets) {
+    const auto d = bench::load_dataset(id, opts.scale, opts.cache_dir);
+    const auto expected = cpu::pagerank(d.csr);
+    // Price power iteration with the BFS edge-scan constants (sequential
+    // sweeps over the CSR with random writes to the next-rank array).
+    cpu::BfsCounts counts;
+    counts.nodes_popped =
+        static_cast<std::uint64_t>(expected.counts.iterations) * d.csr.num_nodes;
+    counts.edges_scanned = expected.counts.edge_updates;
+    const double cpu_us =
+        cpu::CpuModel::core_i7().bfs_time_us(counts, d.csr.num_nodes);
+
+    auto check = [&](const std::vector<float>& rank) {
+      double diff = 0, norm = 0;
+      for (std::size_t i = 0; i < rank.size(); ++i) {
+        diff += std::abs(static_cast<double>(rank[i]) - expected.rank[i]);
+        norm += expected.rank[i];
+      }
+      AGG_CHECK_MSG(diff / norm < 5e-3, "PageRank drifted from power iteration");
+    };
+
+    std::vector<std::string> row{d.name};
+    int best = 0, col = 0;
+    double best_speedup = 0;
+    auto record = [&](double gpu_us) {
+      const double s = cpu_us / gpu_us;
+      row.push_back(agg::Table::fmt(s, 2));
+      ++col;
+      if (s > best_speedup) {
+        best_speedup = s;
+        best = col;
+      }
+    };
+    for (const auto v : gg::unordered_variants()) {
+      simt::Device dev;
+      const auto r = gg::run_pagerank(dev, d.csr, v);
+      check(r.rank);
+      record(r.metrics.total_us);
+    }
+    {
+      simt::Device dev;
+      const auto r =
+          gg::run_pagerank(dev, d.csr, gg::parse_variant("U_W_QU"));
+      check(r.rank);
+      record(r.metrics.total_us);
+    }
+    {
+      simt::Device dev;
+      const auto r = rt::adaptive_pagerank(dev, d.csr);
+      check(r.rank);
+      record(r.metrics.total_us);
+    }
+    std::printf("  %-9s cpu(model) %8.2f ms (%u power iterations)\n",
+                d.name.c_str(), cpu_us / 1000.0, expected.counts.iterations);
+    table.add_row(std::move(row), best);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Figure 13: adaptive SSSP execution time as a function of the T3
+// threshold, swept from 1% to 13% of the node count, per dataset.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/tuner.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.maybe_help("Reproduces paper Figure 13: performance under different "
+                     "T3 settings (adaptive SSSP)."))
+    return 0;
+  const auto opts = bench::parse_common(cli);
+  bench::print_banner(
+      "Figure 13 - execution time vs T3 (percentage of node count)",
+      "Paper shape: each dataset has its own best T3; extremes (too eager or "
+      "too reluctant to switch to the bitmap) lose time.",
+      opts);
+
+  std::vector<double> fractions;
+  for (int pct = 1; pct <= 13; ++pct) fractions.push_back(pct / 100.0);
+
+  for (const auto id : opts.datasets) {
+    const auto d = bench::load_dataset(id, opts.scale, opts.cache_dir);
+    simt::Device dev;
+    const auto sweep = rt::sweep_t3(dev, d.csr, d.source, fractions,
+                                    rt::TunedAlgorithm::sssp);
+    double worst = 0;
+    for (const auto& p : sweep.curve) worst = std::max(worst, p.time_us);
+    std::printf("--- %s (best T3 = %.0f%% at %.2f ms) ---\n", d.name.c_str(),
+                sweep.best_value * 100, sweep.best_time_us / 1000.0);
+    for (const auto& p : sweep.curve) {
+      const auto len = static_cast<int>(50.0 * p.time_us / worst);
+      std::printf("  T3=%3.0f%% %8.2f ms |%s\n", p.value * 100, p.time_us / 1000.0,
+                  std::string(static_cast<std::size_t>(len), '#').c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 2: working-set size per iteration of unordered SSSP on
+// the CO-road, Amazon and SNS networks.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu_graph/sssp_engine.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.maybe_help("Reproduces paper Figure 2: working-set evolution of "
+                     "unordered SSSP."))
+    return 0;
+  auto opts = bench::parse_common(cli);
+  if (!cli.has("datasets")) {
+    opts.datasets = {graph::gen::DatasetId::co_road, graph::gen::DatasetId::amazon,
+                     graph::gen::DatasetId::sns};
+  }
+  bench::print_banner(
+      "Figure 2 - working set size during unordered SSSP",
+      "Paper shape: limited work at the start, growth to a peak once enough "
+      "nodes are discovered, then collapse; the road network stays flat and "
+      "long, the scale-free networks spike.",
+      opts);
+
+  for (const auto id : opts.datasets) {
+    const auto d = bench::load_dataset(id, opts.scale, opts.cache_dir);
+    simt::Device dev;
+    const auto r = gg::run_sssp(dev, d.csr, d.source, gg::parse_variant("U_T_BM"));
+    const auto& its = r.metrics.iterations;
+
+    std::uint64_t peak = 0, total = 0;
+    std::size_t peak_at = 0;
+    for (std::size_t i = 0; i < its.size(); ++i) {
+      total += its[i].ws_size;
+      if (its[i].ws_size > peak) {
+        peak = its[i].ws_size;
+        peak_at = i + 1;
+      }
+    }
+    std::printf("--- %s: %zu iterations, peak |WS| = %llu (at iteration %zu), "
+                "sum |WS| = %llu (%.2fx nodes) ---\n",
+                d.name.c_str(), its.size(), static_cast<unsigned long long>(peak),
+                peak_at, static_cast<unsigned long long>(total),
+                static_cast<double>(total) / d.csr.num_nodes);
+
+    // Bar-chart series, decimated to at most 48 rows.
+    const std::size_t step = std::max<std::size_t>(1, its.size() / 48);
+    for (std::size_t i = 0; i < its.size(); i += step) {
+      const auto len = static_cast<int>(
+          60.0 * static_cast<double>(its[i].ws_size) / static_cast<double>(peak));
+      std::printf("  iter %5u |%-60s| %llu\n", its[i].iteration,
+                  std::string(static_cast<std::size_t>(len), '#').c_str(),
+                  static_cast<unsigned long long>(its[i].ws_size));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces the Section VI.E monitoring-overhead study: adaptive SSSP
+// execution time as a function of the working-set sampling interval R (the
+// inspector measures |WS| and re-decides every R iterations).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/tuner.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.maybe_help("Sec. VI.E experiment: adaptive SSSP time vs sampling "
+                     "interval R."))
+    return 0;
+  const auto opts = bench::parse_common(cli);
+  bench::print_banner(
+      "Sampling-rate study - adaptive SSSP time vs monitoring interval R",
+      "Trade-off (Sec. VI.E): R=1 pays the monitoring kernel every iteration; "
+      "large R makes decisions stale. The best R is in between.",
+      opts);
+
+  const std::vector<std::uint32_t> intervals{1, 2, 4, 8, 16, 32};
+  for (const auto id : opts.datasets) {
+    const auto d = bench::load_dataset(id, opts.scale, opts.cache_dir);
+    simt::Device dev;
+    const auto sweep = rt::sweep_monitor_interval(dev, d.csr, d.source, intervals,
+                                                  rt::TunedAlgorithm::sssp);
+    std::printf("--- %s (best R = %.0f at %.2f ms) ---\n", d.name.c_str(),
+                sweep.best_value, sweep.best_time_us / 1000.0);
+    double worst = 0;
+    for (const auto& p : sweep.curve) worst = std::max(worst, p.time_us);
+    for (const auto& p : sweep.curve) {
+      const auto len = static_cast<int>(50.0 * p.time_us / worst);
+      std::printf("  R=%2.0f %8.2f ms |%s\n", p.value, p.time_us / 1000.0,
+                  std::string(static_cast<std::size_t>(len), '#').c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks of the SIMT simulator substrate itself (google-benchmark):
+// tracing throughput, coalescing analysis, sparse-launch accounting, and the
+// reduction primitive. These bound the simulation cost per modeled event and
+// guard against regressions that would make the experiment benches unusable.
+#include <benchmark/benchmark.h>
+
+#include "simt/launch.h"
+#include "simt/primitives.h"
+
+namespace {
+
+constexpr simt::Site kLoad{0, "load"};
+constexpr simt::Site kOps{1, "ops"};
+constexpr simt::Site kAtomic{2, "atomic"};
+
+void BM_DenseLaunchCompute(benchmark::State& state) {
+  simt::Device dev;
+  const auto threads = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    simt::launch(dev, "compute", simt::GridSpec::dense(threads, 256),
+                 [](simt::ThreadCtx& ctx) { ctx.compute(4, kOps); });
+  }
+  state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_DenseLaunchCompute)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CoalescedLoads(benchmark::State& state) {
+  simt::Device dev;
+  const auto threads = static_cast<std::uint64_t>(state.range(0));
+  auto buf = dev.alloc<std::uint32_t>(threads, "buf");
+  for (auto _ : state) {
+    simt::launch(dev, "loads", simt::GridSpec::dense(threads, 256),
+                 [&](simt::ThreadCtx& ctx) {
+                   benchmark::DoNotOptimize(ctx.load(buf, ctx.global_id(), kLoad));
+                 });
+  }
+  state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_CoalescedLoads)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ScatteredLoads(benchmark::State& state) {
+  simt::Device dev;
+  const auto threads = static_cast<std::uint64_t>(state.range(0));
+  auto buf = dev.alloc<std::uint32_t>(threads * 64, "buf");
+  for (auto _ : state) {
+    simt::launch(dev, "scatter", simt::GridSpec::dense(threads, 256),
+                 [&](simt::ThreadCtx& ctx) {
+                   const std::size_t i = ctx.global_id() * 2654435761u % (threads * 64);
+                   benchmark::DoNotOptimize(ctx.load(buf, i, kLoad));
+                 });
+  }
+  state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_ScatteredLoads)->Arg(1 << 14);
+
+void BM_AtomicTally(benchmark::State& state) {
+  simt::Device dev;
+  auto counter = dev.alloc<std::uint32_t>(1, "counter");
+  const auto threads = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    simt::launch(dev, "atomics", simt::GridSpec::dense(threads, 256),
+                 [&](simt::ThreadCtx& ctx) {
+                   ctx.atomic_add(counter, 0, 1u, kAtomic);
+                 });
+  }
+  state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_AtomicTally)->Arg(1 << 14);
+
+void BM_SparseLaunchAccounting(benchmark::State& state) {
+  // One active thread in a grid of `range` threads: measures the analytic
+  // accounting cost of predicate-only blocks.
+  simt::Device dev;
+  const auto total = static_cast<std::uint64_t>(state.range(0));
+  auto flags = dev.alloc<std::uint8_t>(total, "flags");
+  const std::vector<std::uint32_t> active{static_cast<std::uint32_t>(total / 2)};
+  simt::Predicate pred;
+  pred.base_addr = flags.base_addr();
+  pred.stride = 1;
+  for (auto _ : state) {
+    simt::launch(dev, "sparse",
+                 simt::GridSpec::over_threads(total, 256, active, pred),
+                 [](simt::ThreadCtx& ctx) { ctx.compute(1, kOps); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseLaunchAccounting)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_ReduceMinExecuted(benchmark::State& state) {
+  simt::Device dev;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = dev.alloc<std::uint32_t>(n, "vals");
+  dev.fill(buf, 123u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simt::prim::reduce_min(dev, buf, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceMinExecuted)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ReduceMinAnalytic(benchmark::State& state) {
+  simt::Device dev;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    simt::prim::charge_reduce_min(dev, n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReduceMinAnalytic)->Arg(1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Reproduces Table 2: speedup of each of the eight GPU BFS implementations
+// over the serial CPU baseline, per dataset. The best implementation per
+// dataset is bracketed (the paper greys it).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.maybe_help("Reproduces paper Table 2: BFS speedups (GPU over serial "
+                     "CPU) for O/U x T/B x BM/QU."))
+    return 0;
+  const auto opts = bench::parse_common(cli);
+  bench::print_banner(
+      "Table 2 - BFS speedup over serial CPU",
+      "Paper shape: best variant differs per dataset (CO-road & CiteSeer favor "
+      "U_B_QU; Amazon & p2p favor U_T_BM); ordered ~ unordered for BFS; the "
+      "large-diameter CO-road stays below 1x.",
+      opts);
+
+  std::vector<std::string> header{"Network"};
+  for (const auto v : gg::all_variants()) header.push_back(gg::variant_name(v));
+  agg::Table table(header);
+
+  for (const auto id : opts.datasets) {
+    const auto d = bench::load_dataset(id, opts.scale, opts.cache_dir);
+    const auto base = bench::cpu_baseline_bfs(d);
+    const auto runs =
+        bench::run_all_static(bench::Algo::bfs, d, base.bfs_us, base.bfs_level);
+
+    std::vector<std::string> row{d.name};
+    int best = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      row.push_back(agg::Table::fmt(runs[i].speedup, 2));
+      if (runs[i].speedup > runs[best].speedup) best = static_cast<int>(i);
+    }
+    table.add_row(std::move(row), best + 1);
+    std::printf("  %-9s cpu(model) %8.2f ms | best %s at %.2f ms GPU\n",
+                d.name.c_str(), base.bfs_us / 1000.0,
+                gg::variant_name(runs[best].variant).c_str(),
+                runs[best].gpu_us / 1000.0);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Custom algorithm on the generic frontier engine: hop-limited reachability
+// ("which accounts can a takedown notice reach within k forwarding hops?").
+// Demonstrates the reusable algorithm pattern the paper's Graph API promises
+// — the user writes only the per-element operator; worksets, mappings, and
+// the adaptive selection come from the library.
+//
+//   $ ./custom_operator [--nodes=100000] [--hops=3]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "gpu_graph/generic_engine.h"
+#include "graph/gen/datasets.h"
+#include "runtime/adaptive_engine.h"
+#include "simt/profiler.h"
+
+namespace {
+
+constexpr simt::Site kHopLoad{0, "hops.load"};
+constexpr simt::Site kRowLoad{1, "hops.rows"};
+constexpr simt::Site kEdgeLoad{2, "hops.edges"};
+constexpr simt::Site kHopMin{3, "hops.relax"};
+constexpr simt::Site kOps{4, "hops.ops"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  cli.describe("nodes", "network size (default 100000)");
+  cli.describe("hops", "forwarding-hop budget (default 3)");
+  if (cli.maybe_help("Hop-limited reachability via the generic frontier engine."))
+    return 0;
+  const auto max_hops = static_cast<std::uint32_t>(cli.get_int("hops", 3));
+
+  auto d = graph::gen::make_dataset_scaled_to(
+      graph::gen::DatasetId::sns,
+      static_cast<std::uint32_t>(cli.get_int("nodes", 100000)));
+  const graph::Csr& g = d.csr;
+  std::printf("network: %s, source %u, hop budget %u\n\n",
+              graph::GraphStats::compute(g).summary().c_str(), d.source, max_hops);
+
+  simt::Device dev;
+  simt::Profiler prof(dev);
+  gg::DeviceGraph dg = gg::DeviceGraph::upload(dev, g, /*with_weights=*/false);
+
+  // Algorithm state: hop count per node (the only state this operator needs).
+  auto hops = dev.alloc<std::uint32_t>(g.num_nodes, "hops");
+  dev.fill(hops, graph::kInfinity);
+  dev.write_scalar(hops, d.source, 0u);
+
+  // The operator: propagate hop counts, but never past the budget.
+  auto op = [&](simt::ThreadCtx& ctx, std::uint32_t id, std::uint32_t offset,
+                std::uint32_t step, gg::Push& push) {
+    const std::uint32_t h = ctx.load(hops, id, kHopLoad);
+    if (h >= max_hops) return;  // budget exhausted: do not forward
+    const std::uint32_t begin = ctx.load(dg.row_offsets, id, kRowLoad);
+    const std::uint32_t end = ctx.load(dg.row_offsets, id + 1, kRowLoad);
+    ctx.compute(4, kOps);
+    for (std::uint32_t e = begin + offset; e < end; e += step) {
+      const std::uint32_t t = ctx.load(dg.col_indices, e, kEdgeLoad);
+      ctx.compute(2, kOps);
+      const std::uint32_t old = ctx.atomic_min(hops, t, h + 1, kHopMin);
+      if (h + 1 < old) push.mark(t);
+    }
+  };
+
+  const auto thresholds = rt::Thresholds::for_device(dev.props());
+  gg::EngineOptions opts;
+  opts.monitor_interval = 1;
+  const auto result = gg::run_frontier(dev, g, dg, {d.source}, op,
+                                       rt::make_adaptive_selector(thresholds), opts);
+
+  std::vector<std::uint64_t> per_hop(max_hops + 1, 0);
+  for (const auto h : hops.host_view()) {
+    if (h <= max_hops) ++per_hop[h];
+  }
+  std::printf("hop   accounts reached\n");
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t h = 0; h <= max_hops; ++h) {
+    cumulative += per_hop[h];
+    std::printf("%3u   %-10llu (cumulative %llu)\n", h,
+                static_cast<unsigned long long>(per_hop[h]),
+                static_cast<unsigned long long>(cumulative));
+  }
+  std::printf("\n%s\n", result.metrics.summary().c_str());
+  std::printf("%s", prof.report().c_str());
+
+  dev.free(hops);
+  dg.release(dev);
+  return 0;
+}

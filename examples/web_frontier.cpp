@@ -1,0 +1,68 @@
+// Web-graph frontier analysis: the paper's web-link scenario ("the web link
+// network contains links between web pages, and its connectivity is typically
+// used by search algorithms to rank the results of queries").
+//
+// Loads a web-Google-like graph (or a real SNAP edge list via --snap=PATH),
+// computes crawl frontiers with BFS from a seed page, and contrasts the
+// static implementations' SIMD efficiency — demonstrating why the skewed
+// outdegree distribution punishes thread mapping.
+//
+//   $ ./web_frontier [--nodes=150000] [--snap=web-Google.txt]
+#include <cstdio>
+
+#include "api/algorithms.h"
+#include "api/graph_api.h"
+#include "common/cli.h"
+#include "graph/gen/datasets.h"
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  cli.describe("nodes", "synthetic web graph size (default 150000)");
+  cli.describe("snap", "load a real SNAP edge list instead of generating");
+  if (cli.maybe_help("BFS crawl-frontier analysis on a web-link graph."))
+    return 0;
+
+  adaptive::Graph g = [&] {
+    const std::string snap = cli.get("snap", "");
+    if (!snap.empty()) return adaptive::Graph::load_snap(snap);
+    auto d = graph::gen::make_dataset_scaled_to(
+        graph::gen::DatasetId::google,
+        static_cast<std::uint32_t>(cli.get_int("nodes", 150000)));
+    return adaptive::Graph::from_csr(std::move(d.csr));
+  }();
+  const auto seed = g.default_source();
+  std::printf("web graph: %s, seed page %u\n\n", g.stats().summary().c_str(), seed);
+
+  simt::Device dev;
+  std::printf("%-8s %12s %10s %10s %8s\n", "variant", "time (ms)", "SIMD eff",
+              "kernels", "iters");
+  double thread_eff = 0, block_eff = 0;
+  for (const char* name : {"U_T_BM", "U_T_QU", "U_B_BM", "U_B_QU"}) {
+    const auto run = adaptive::bfs(dev, g, seed, adaptive::Policy::fixed(name));
+    std::printf("%-8s %12.2f %10.3f %10llu %8zu\n", name,
+                run.metrics.total_us / 1000.0, run.metrics.simd_efficiency,
+                static_cast<unsigned long long>(run.metrics.kernels),
+                run.metrics.iterations.size());
+    if (name[2] == 'T') {
+      thread_eff = std::max(thread_eff, run.metrics.simd_efficiency);
+    } else {
+      block_eff = std::max(block_eff, run.metrics.simd_efficiency);
+    }
+  }
+  std::printf("\nskewed outdegrees make thread mapping diverge: best thread-"
+              "mapped SIMD efficiency %.3f vs block-mapped %.3f\n\n",
+              thread_eff, block_eff);
+
+  const auto adaptive_run = adaptive::bfs(dev, g, seed);
+  std::printf("adaptive: %s\n", adaptive_run.metrics.summary().c_str());
+
+  // Rank the crawled pages (the paper's search-engine motivation).
+  const auto pr = adaptive::pagerank(dev, g, 0.85);
+  std::uint32_t top = 0;
+  for (std::uint32_t v = 1; v < g.num_nodes(); ++v) {
+    if (pr.rank[v] > pr.rank[top]) top = v;
+  }
+  std::printf("\npagerank: top page is node %u (rank %.3e); %s\n", top,
+              pr.rank[top], pr.metrics.summary().c_str());
+  return 0;
+}

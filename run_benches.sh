@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates bench_output.txt: every experiment binary at full dataset scale.
+cd "$(dirname "$0")"
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "###### $(basename "$b")"
+      "$b"
+      echo
+    fi
+  done
+} 2>&1

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Splits bench_output.txt into per-experiment files under results/."""
+import os, re, sys
+
+src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+os.makedirs("results", exist_ok=True)
+current, buf = None, []
+
+def flush():
+    if current:
+        with open(os.path.join("results", current + ".txt"), "w") as f:
+            f.write("".join(buf))
+
+for line in open(src):
+    m = re.match(r"^###### (.+)$", line)
+    if m:
+        flush()
+        current, buf = os.path.basename(m.group(1)), []
+    else:
+        buf.append(line)
+flush()
+print("split into results/")

@@ -1,0 +1,213 @@
+#include "api/algorithms.h"
+
+#include "cpu/bfs_serial.h"
+#include "cpu/cc_serial.h"
+#include "cpu/mst_serial.h"
+#include "cpu/pagerank_serial.h"
+#include "cpu/sssp_serial.h"
+#include "gpu_graph/bfs_engine.h"
+#include "gpu_graph/cc_engine.h"
+#include "gpu_graph/mst_engine.h"
+#include "gpu_graph/pagerank_engine.h"
+#include "gpu_graph/sssp_engine.h"
+
+namespace adaptive {
+
+BfsOutput bfs(simt::Device& dev, const Graph& g, NodeId source,
+              const Policy& policy) {
+  AGG_CHECK(source < g.num_nodes());
+  BfsOutput out;
+  switch (policy.mode) {
+    case Policy::Mode::cpu_serial: {
+      cpu::BfsResult r = cpu::bfs(g.csr(), source);
+      out.level = std::move(r.level);
+      out.cpu_wall_ms = r.wall_ms;
+      return out;
+    }
+    case Policy::Mode::fixed_variant: {
+      gg::GpuBfsResult r = gg::run_bfs(dev, g.csr(), source, policy.variant,
+                                       policy.options.engine);
+      out.level = std::move(r.level);
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+    case Policy::Mode::adaptive: {
+      gg::GpuBfsResult r = rt::adaptive_bfs(dev, g.csr(), source, policy.options);
+      out.level = std::move(r.level);
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  AGG_CHECK(false);
+  return out;
+}
+
+SsspOutput sssp(simt::Device& dev, const Graph& g, NodeId source,
+                const Policy& policy) {
+  AGG_CHECK(source < g.num_nodes());
+  AGG_CHECK_MSG(g.is_weighted(), "call set_uniform_weights() or load weights first");
+  SsspOutput out;
+  switch (policy.mode) {
+    case Policy::Mode::cpu_serial: {
+      cpu::SsspResult r = cpu::dijkstra(g.csr(), source);
+      out.dist = std::move(r.dist);
+      out.cpu_wall_ms = r.wall_ms;
+      return out;
+    }
+    case Policy::Mode::fixed_variant: {
+      gg::GpuSsspResult r = gg::run_sssp(dev, g.csr(), source, policy.variant,
+                                         policy.options.engine);
+      out.dist = std::move(r.dist);
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+    case Policy::Mode::adaptive: {
+      gg::GpuSsspResult r = rt::adaptive_sssp(dev, g.csr(), source, policy.options);
+      out.dist = std::move(r.dist);
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  AGG_CHECK(false);
+  return out;
+}
+
+CcOutput cc(simt::Device& dev, const Graph& g, const Policy& policy,
+            bool symmetrize) {
+  CcOutput out;
+  const graph::Csr* csr = &g.csr();
+  graph::Csr symmetric;
+  if (symmetrize) {
+    symmetric = graph::symmetrize(g.csr());
+    csr = &symmetric;
+  }
+  switch (policy.mode) {
+    case Policy::Mode::cpu_serial: {
+      cpu::CcResult r = cpu::connected_components(*csr);
+      out.component = std::move(r.component);
+      out.num_components = r.num_components;
+      out.cpu_wall_ms = r.wall_ms;
+      return out;
+    }
+    case Policy::Mode::fixed_variant: {
+      gg::GpuCcResult r = gg::run_cc(dev, *csr, policy.variant,
+                                     policy.options.engine);
+      out.component = std::move(r.component);
+      out.num_components = r.num_components;
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+    case Policy::Mode::adaptive: {
+      gg::GpuCcResult r = rt::adaptive_cc(dev, *csr, policy.options);
+      out.component = std::move(r.component);
+      out.num_components = r.num_components;
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  AGG_CHECK(false);
+  return out;
+}
+
+MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy,
+              bool symmetrize) {
+  AGG_CHECK_MSG(g.is_weighted(), "MST requires edge weights");
+  MstOutput out;
+  const graph::Csr* csr = &g.csr();
+  graph::Csr symmetric;
+  if (symmetrize) {
+    symmetric = graph::symmetrize(g.csr());
+    csr = &symmetric;
+  }
+  switch (policy.mode) {
+    case Policy::Mode::cpu_serial: {
+      cpu::MstResult r = cpu::minimum_spanning_forest(*csr);
+      out.total_weight = r.total_weight;
+      out.num_trees = r.num_trees;
+      out.edges_in_forest = r.edges_in_forest;
+      out.cpu_wall_ms = r.wall_ms;
+      return out;
+    }
+    case Policy::Mode::fixed_variant: {
+      gg::GpuMstResult r = gg::run_mst(dev, *csr, policy.variant,
+                                       policy.options.engine);
+      out.total_weight = r.total_weight;
+      out.num_trees = r.num_trees;
+      out.edges_in_forest = r.edges_in_forest;
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+    case Policy::Mode::adaptive: {
+      gg::GpuMstResult r = rt::adaptive_mst(dev, *csr, policy.options);
+      out.total_weight = r.total_weight;
+      out.num_trees = r.num_trees;
+      out.edges_in_forest = r.edges_in_forest;
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  AGG_CHECK(false);
+  return out;
+}
+
+MstOutput mst(const Graph& g, const Policy& policy, bool symmetrize) {
+  simt::Device dev;
+  return mst(dev, g, policy, symmetrize);
+}
+
+PageRankOutput pagerank(simt::Device& dev, const Graph& g, double damping,
+                        const Policy& policy) {
+  PageRankOutput out;
+  switch (policy.mode) {
+    case Policy::Mode::cpu_serial: {
+      cpu::PageRankOptions po;
+      po.damping = damping;
+      cpu::PageRankResult r = cpu::pagerank(g.csr(), po);
+      out.rank = std::move(r.rank);
+      out.cpu_wall_ms = r.wall_ms;
+      return out;
+    }
+    case Policy::Mode::fixed_variant: {
+      gg::PageRankOptions po;
+      po.damping = damping;
+      po.engine = policy.options.engine;
+      gg::GpuPageRankResult r = gg::run_pagerank(dev, g.csr(), policy.variant, po);
+      out.rank.assign(r.rank.begin(), r.rank.end());
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+    case Policy::Mode::adaptive: {
+      gg::PageRankOptions po;
+      po.damping = damping;
+      gg::GpuPageRankResult r =
+          rt::adaptive_pagerank(dev, g.csr(), po, policy.options);
+      out.rank.assign(r.rank.begin(), r.rank.end());
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  AGG_CHECK(false);
+  return out;
+}
+
+BfsOutput bfs(const Graph& g, NodeId source, const Policy& policy) {
+  simt::Device dev;
+  return bfs(dev, g, source, policy);
+}
+
+PageRankOutput pagerank(const Graph& g, double damping, const Policy& policy) {
+  simt::Device dev;
+  return pagerank(dev, g, damping, policy);
+}
+
+CcOutput cc(const Graph& g, const Policy& policy, bool symmetrize) {
+  simt::Device dev;
+  return cc(dev, g, policy, symmetrize);
+}
+
+SsspOutput sssp(const Graph& g, NodeId source, const Policy& policy) {
+  simt::Device dev;
+  return sssp(dev, g, source, policy);
+}
+
+}  // namespace adaptive

@@ -1,0 +1,105 @@
+// Algorithm entry points of the public API. Each call runs on a simulated
+// GPU device: either one you pass in (sharing a device across calls keeps a
+// cumulative clock and statistics) or a fresh default Tesla C2070.
+#pragma once
+
+#include <vector>
+
+#include "api/graph_api.h"
+#include "gpu_graph/metrics.h"
+#include "gpu_graph/variant.h"
+#include "runtime/adaptive_engine.h"
+#include "simt/device.h"
+
+namespace adaptive {
+
+struct Policy {
+  enum class Mode { adaptive, fixed_variant, cpu_serial };
+  Mode mode = Mode::adaptive;
+  gg::Variant variant{};          // used by fixed_variant
+  rt::AdaptiveOptions options{};  // used by adaptive
+
+  static Policy adapt(rt::AdaptiveOptions opts = {}) {
+    Policy p;
+    p.mode = Mode::adaptive;
+    p.options = std::move(opts);
+    return p;
+  }
+  static Policy fixed(gg::Variant v) {
+    Policy p;
+    p.mode = Mode::fixed_variant;
+    p.variant = v;
+    return p;
+  }
+  // Accepts the paper's names, e.g. "U_B_QU".
+  static Policy fixed(const std::string& variant_name) {
+    return fixed(gg::parse_variant(variant_name));
+  }
+  static Policy cpu() {
+    Policy p;
+    p.mode = Mode::cpu_serial;
+    return p;
+  }
+};
+
+struct BfsOutput {
+  std::vector<std::uint32_t> level;  // kUnreachable where not reached
+  gg::TraversalMetrics metrics;      // empty for cpu_serial runs
+  double cpu_wall_ms = 0;            // only for cpu_serial runs
+};
+
+struct SsspOutput {
+  std::vector<std::uint32_t> dist;
+  gg::TraversalMetrics metrics;
+  double cpu_wall_ms = 0;
+};
+
+struct CcOutput {
+  std::vector<std::uint32_t> component;  // smallest node id per component
+  std::uint32_t num_components = 0;
+  gg::TraversalMetrics metrics;
+  double cpu_wall_ms = 0;
+};
+
+BfsOutput bfs(simt::Device& dev, const Graph& g, NodeId source,
+              const Policy& policy = {});
+SsspOutput sssp(simt::Device& dev, const Graph& g, NodeId source,
+                const Policy& policy = {});
+// Weakly-connected components. `symmetrize` adds reverse arcs first (needed
+// for directed graphs); pass false when the graph already stores both arcs.
+CcOutput cc(simt::Device& dev, const Graph& g, const Policy& policy = {},
+            bool symmetrize = true);
+
+struct MstOutput {
+  std::uint64_t total_weight = 0;
+  std::uint32_t num_trees = 0;
+  std::uint32_t edges_in_forest = 0;
+  gg::TraversalMetrics metrics;
+  double cpu_wall_ms = 0;
+};
+
+// Minimum spanning forest (Boruvka on the device, Kruskal on the CPU
+// policy). `symmetrize` as in cc().
+MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy = {},
+              bool symmetrize = true);
+
+struct PageRankOutput {
+  std::vector<double> rank;
+  gg::TraversalMetrics metrics;
+  double cpu_wall_ms = 0;
+};
+
+// PageRank with damping/tolerance knobs; dangling mass absorbed (see
+// cpu/pagerank_serial.h for the exact fixpoint).
+PageRankOutput pagerank(simt::Device& dev, const Graph& g,
+                        double damping = 0.85, const Policy& policy = {});
+
+// Convenience overloads running on a fresh default device.
+BfsOutput bfs(const Graph& g, NodeId source, const Policy& policy = {});
+SsspOutput sssp(const Graph& g, NodeId source, const Policy& policy = {});
+CcOutput cc(const Graph& g, const Policy& policy = {}, bool symmetrize = true);
+PageRankOutput pagerank(const Graph& g, double damping = 0.85,
+                        const Policy& policy = {});
+MstOutput mst(const Graph& g, const Policy& policy = {}, bool symmetrize = true);
+
+}  // namespace adaptive

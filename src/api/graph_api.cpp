@@ -1,0 +1,51 @@
+#include "api/graph_api.h"
+
+#include <utility>
+#include <vector>
+
+#include "graph/io.h"
+
+namespace adaptive {
+
+Graph::Graph(graph::Csr csr) : csr_(std::move(csr)) { csr_.validate(); }
+
+Graph Graph::from_csr(graph::Csr csr) { return Graph(std::move(csr)); }
+
+Graph Graph::from_edges(std::uint32_t num_nodes,
+                        std::initializer_list<graph::Edge> edges) {
+  const std::vector<graph::Edge> list(edges);
+  return Graph(graph::csr_from_edges(num_nodes, list));
+}
+
+Graph Graph::from_builder(const graph::GraphBuilder& builder) {
+  return Graph(builder.build());
+}
+
+Graph Graph::load_dimacs(const std::string& path) {
+  return Graph(graph::read_dimacs(path));
+}
+
+Graph Graph::load_snap(const std::string& path) {
+  return Graph(graph::read_snap_edgelist(path));
+}
+
+Graph Graph::load_binary(const std::string& path) {
+  return Graph(graph::read_binary(path));
+}
+
+const graph::GraphStats& Graph::stats() const {
+  if (!stats_) stats_ = graph::GraphStats::compute(csr_);
+  return *stats_;
+}
+
+void Graph::set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
+                                std::uint64_t seed) {
+  graph::assign_uniform_weights(csr_, lo, hi, seed);
+  stats_.reset();
+}
+
+void Graph::save_binary(const std::string& path) const {
+  graph::write_binary(csr_, path);
+}
+
+}  // namespace adaptive

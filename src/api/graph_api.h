@@ -1,0 +1,61 @@
+// Public API (paper Fig. 10, "Graph API" layer): an abstract graph data type
+// with primitives to define/instantiate graphs plus BFS/SSSP entry points
+// (api/algorithms.h) that route through the adaptive runtime.
+//
+// Quickstart:
+//
+//   adaptive::Graph g = adaptive::Graph::from_edges(4, {{0,1},{1,2},{2,3}});
+//   auto bfs = adaptive::bfs(g, /*source=*/0);            // adaptive policy
+//   auto fixed = adaptive::bfs(g, 0, adaptive::Policy::fixed("U_T_BM"));
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/graph_stats.h"
+
+namespace adaptive {
+
+using NodeId = graph::NodeId;
+inline constexpr std::uint32_t kUnreachable = graph::kInfinity;
+
+class Graph {
+ public:
+  // ---- construction ----
+  static Graph from_csr(graph::Csr csr);
+  static Graph from_edges(std::uint32_t num_nodes,
+                          std::initializer_list<graph::Edge> edges);
+  static Graph from_builder(const graph::GraphBuilder& builder);
+  // File loaders (see graph/io.h for the formats).
+  static Graph load_dimacs(const std::string& path);
+  static Graph load_snap(const std::string& path);
+  static Graph load_binary(const std::string& path);
+
+  // ---- inspection ----
+  std::uint32_t num_nodes() const { return csr_.num_nodes; }
+  std::uint64_t num_edges() const { return csr_.num_edges(); }
+  bool is_weighted() const { return csr_.has_weights(); }
+  const graph::Csr& csr() const { return csr_; }
+  // Computed lazily on first use and cached.
+  const graph::GraphStats& stats() const;
+  // A deterministic well-connected source (max outdegree).
+  NodeId default_source() const { return graph::suggest_source(csr_); }
+
+  // ---- mutation ----
+  // Assigns pseudo-random integer edge weights (needed before sssp()).
+  void set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
+                           std::uint64_t seed = 2013);
+
+  void save_binary(const std::string& path) const;
+
+ private:
+  explicit Graph(graph::Csr csr);
+  graph::Csr csr_;
+  mutable std::optional<graph::GraphStats> stats_;
+};
+
+}  // namespace adaptive

@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// AGG_CHECK is always on (cheap, used for API preconditions); AGG_DCHECK
+// compiles out in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace agg::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " : " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace agg::detail
+
+#define AGG_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) ::agg::detail::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define AGG_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) ::agg::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AGG_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define AGG_DCHECK(cond) AGG_CHECK(cond)
+#endif

@@ -1,0 +1,69 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace agg {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      tok.remove_prefix(2);
+      const auto eq = tok.find('=');
+      if (eq != std::string_view::npos) {
+        flags_[std::string(tok.substr(0, eq))] = std::string(tok.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[std::string(tok)] = argv[++i];
+      } else {
+        flags_[std::string(tok)] = "true";
+      }
+    } else {
+      positional_.emplace_back(tok);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+Cli& Cli::describe(const std::string& name, const std::string& help) {
+  described_.emplace_back(name, help);
+  return *this;
+}
+
+bool Cli::maybe_help(const std::string& program_summary) const {
+  if (!has("help")) return false;
+  std::printf("%s\n\n%s\n", program_.c_str(), program_summary.c_str());
+  if (!described_.empty()) {
+    std::printf("\nFlags:\n");
+    for (const auto& [name, help] : described_) {
+      std::printf("  --%-24s %s\n", name.c_str(), help.c_str());
+    }
+  }
+  return true;
+}
+
+}  // namespace agg

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing shared by the bench and example binaries.
+//
+// Supports --flag=value, --flag value, and boolean --flag forms. Unknown
+// flags are an error so that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace agg {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Positional arguments (non --flag tokens) in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Registers a flag for --help output; returns *this for chaining.
+  Cli& describe(const std::string& name, const std::string& help);
+  // Prints usage and returns true if --help was passed.
+  bool maybe_help(const std::string& program_summary) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> described_;
+};
+
+}  // namespace agg

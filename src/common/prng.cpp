@@ -1,0 +1,105 @@
+#include "common/prng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace agg {
+
+std::uint64_t Prng::bounded(std::uint64_t bound) {
+  AGG_DCHECK(bound > 0);
+  // Lemire 2019: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+PowerLawSampler::PowerLawSampler(double alpha, std::uint32_t kmin, std::uint32_t kmax)
+    : kmin_(kmin) {
+  AGG_CHECK(kmin >= 1 && kmax >= kmin);
+  cdf_.resize(kmax - kmin + 1);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::uint32_t k = kmin; k <= kmax; ++k) {
+    const double w = std::pow(static_cast<double>(k), -alpha);
+    total += w;
+    weighted += w * k;
+    cdf_[k - kmin] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+  mean_ = weighted / total;
+}
+
+std::uint32_t PowerLawSampler::sample(Prng& rng) const {
+  const double u = rng.uniform01();
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return kmin_ + static_cast<std::uint32_t>(lo);
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  AGG_CHECK(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    AGG_CHECK(w >= 0.0);
+    total += w;
+  }
+  AGG_CHECK(total > 0.0);
+
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint32_t AliasSampler::sample(Prng& rng) const {
+  const auto i = static_cast<std::uint32_t>(rng.bounded(prob_.size()));
+  return rng.uniform01() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace agg

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, test fixtures,
+// workload selection) draw from these generators so that every experiment is
+// bit-reproducible across runs and platforms. We avoid std::mt19937 +
+// std::*_distribution because the distributions are implementation-defined;
+// these generators and samplers are fully specified here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace agg {
+
+// SplitMix64: used to seed and for cheap one-off hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// re-expressed): fast, high-quality 64-bit generator.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x8077'5ead'c0de'2013ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  // Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Real in [0, 1).
+  double uniform01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Real in [lo, hi).
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+// Samples integers from a discrete bounded power law:
+//   P(k) proportional to k^-alpha, for k in [kmin, kmax].
+// Used by the configuration-model generators to draw outdegree sequences with
+// the heavy tails reported for the CiteSeer / p2p / Google / SNS datasets.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(double alpha, std::uint32_t kmin, std::uint32_t kmax);
+
+  std::uint32_t sample(Prng& rng) const;
+  double mean() const { return mean_; }
+
+ private:
+  std::uint32_t kmin_;
+  std::vector<double> cdf_;  // cumulative over k = kmin..kmax
+  double mean_ = 0.0;
+};
+
+// Weighted discrete sampler over arbitrary weights (alias method).
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+  std::uint32_t sample(Prng& rng) const;
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace agg

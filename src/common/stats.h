@@ -1,0 +1,72 @@
+// Summary statistics and histograms used by the graph inspector and the
+// benchmark reporting layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace agg {
+
+// Running univariate summary (count / min / max / mean / variance) using
+// Welford's online algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact integer-valued histogram with a dense region for small values and a
+// power-of-two-binned tail. Built for outdegree distributions, where most
+// mass sits at tiny degrees but the tail reaches tens of thousands.
+class DegreeHistogram {
+ public:
+  // Values < dense_limit are counted exactly; larger values fall into
+  // [2^k, 2^(k+1)) bins.
+  explicit DegreeHistogram(std::uint32_t dense_limit = 64);
+
+  void add(std::uint64_t value);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count_exact(std::uint32_t value) const;
+  // Fraction of samples with value <= v (exact for v < dense_limit).
+  double cdf_at(std::uint32_t value) const;
+
+  struct Bin {
+    std::uint64_t lo;  // inclusive
+    std::uint64_t hi;  // inclusive
+    std::uint64_t count;
+  };
+  // Non-empty bins in increasing order of lo.
+  std::vector<Bin> bins() const;
+
+  // Multi-line human-readable rendering with bar chart, used by benches.
+  std::string render(std::size_t bar_width = 48) const;
+
+ private:
+  std::uint32_t dense_limit_;
+  std::vector<std::uint64_t> dense_;
+  std::vector<std::uint64_t> tail_;  // tail_[k] counts values in [2^k, 2^(k+1))
+  std::uint64_t total_ = 0;
+};
+
+// Percentile over a materialized sample (nearest-rank).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace agg

@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace agg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AGG_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells, int highlight_col) {
+  AGG_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back({std::move(cells), highlight_col});
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      // highlighted cells are wrapped in [ ] when rendered
+      const std::size_t extra = (static_cast<int>(c) == row.highlight) ? 2 : 0;
+      width[c] = std::max(width[c], row.cells[c].size() + extra);
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells, int highlight) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = cells[c];
+      if (static_cast<int>(c) == highlight) cell = "[" + cell + "]";
+      os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(header_, -1);
+  rule();
+  for (const auto& row : rows_) emit(row.cells, row.highlight);
+  rule();
+  return os.str();
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace agg

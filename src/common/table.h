@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harness, so every bench binary
+// prints rows in the same layout the paper's tables use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Marks the cell that should be highlighted per row (the paper greys the
+  // best static implementation per dataset).
+  void add_row(std::vector<std::string> cells, int highlight_col = -1);
+
+  std::string render() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(std::uint64_t v);  // thousands separators
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    int highlight;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace agg

@@ -1,0 +1,36 @@
+#include "cpu/bfs_serial.h"
+
+#include <chrono>
+#include <deque>
+
+namespace cpu {
+
+BfsResult bfs(const graph::Csr& g, graph::NodeId source) {
+  AGG_CHECK(source < g.num_nodes);
+  BfsResult r;
+  r.level.assign(g.num_nodes, graph::kInfinity);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::deque<graph::NodeId> queue;
+  r.level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const graph::NodeId v = queue.front();
+    queue.pop_front();
+    ++r.counts.nodes_popped;
+    const std::uint32_t next = r.level[v] + 1;
+    for (const graph::NodeId t : g.neighbors(v)) {
+      ++r.counts.edges_scanned;
+      if (r.level[t] == graph::kInfinity) {
+        r.level[t] = next;
+        r.counts.levels = std::max(r.counts.levels, next);
+        queue.push_back(t);
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace cpu

@@ -1,0 +1,26 @@
+// Serial CPU BFS — the baseline of the paper's speedup tables (Table 2) and
+// the correctness oracle for the GPU variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace cpu {
+
+struct BfsCounts {
+  std::uint64_t nodes_popped = 0;   // queue pops
+  std::uint64_t edges_scanned = 0;  // adjacency entries visited
+  std::uint32_t levels = 0;         // max finite level
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> level;  // graph::kInfinity if unreachable
+  BfsCounts counts;
+  double wall_ms = 0;  // measured wall-clock of the traversal proper
+};
+
+BfsResult bfs(const graph::Csr& g, graph::NodeId source);
+
+}  // namespace cpu

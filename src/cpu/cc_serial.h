@@ -1,0 +1,28 @@
+// Serial connected components via union-find (weighted union + path
+// compression): the CPU baseline and correctness oracle for the GPU label
+// propagation. Edges are treated as undirected regardless of direction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace cpu {
+
+struct CcCounts {
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t find_steps = 0;  // parent-chain hops (work of the finds)
+};
+
+struct CcResult {
+  // component[v] = smallest node id in v's component.
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+  CcCounts counts;
+  double wall_ms = 0;
+};
+
+CcResult connected_components(const graph::Csr& g);
+
+}  // namespace cpu

@@ -1,0 +1,44 @@
+#include "cpu/cpu_cost_model.h"
+
+#include <cmath>
+
+namespace cpu {
+
+double CpuModel::bfs_time_us(const BfsCounts& counts, std::uint32_t num_nodes) const {
+  const double state_bytes = 5.0 * num_nodes;  // level array + queue traffic
+  const double per_edge =
+      bfs_cycles_per_edge + miss_penalty_cycles * miss_fraction(state_bytes);
+  const double cycles = bfs_cycles_per_node * static_cast<double>(counts.nodes_popped) +
+                        per_edge * static_cast<double>(counts.edges_scanned);
+  return cycles / (clock_ghz * 1e3);
+}
+
+double CpuModel::dijkstra_time_us(const SsspCounts& counts,
+                                  std::uint32_t num_nodes) const {
+  const double state_bytes = 9.0 * num_nodes;  // dist array + heap entries
+  const double log_n = std::log2(std::max<double>(num_nodes, 2.0));
+  const double heap_ops =
+      static_cast<double>(counts.heap_pops + counts.heap_pushes);
+  const double per_edge =
+      sssp_cycles_per_edge + miss_penalty_cycles * miss_fraction(state_bytes);
+  const double cycles = heap_ops * heap_cycles_per_level * log_n +
+                        per_edge * static_cast<double>(counts.edges_relaxed);
+  return cycles / (clock_ghz * 1e3);
+}
+
+double CpuModel::cc_time_us(const CcCounts& counts, std::uint32_t num_nodes) const {
+  const double state_bytes = 5.0 * num_nodes;  // parent array + ranks
+  const double per_edge =
+      cc_cycles_per_edge + miss_penalty_cycles * miss_fraction(state_bytes);
+  const double cycles =
+      per_edge * static_cast<double>(counts.edges_scanned) +
+      cc_cycles_per_find_step * static_cast<double>(counts.find_steps);
+  return cycles / (clock_ghz * 1e3);
+}
+
+const CpuModel& CpuModel::core_i7() {
+  static const CpuModel model{};
+  return model;
+}
+
+}  // namespace cpu

@@ -1,0 +1,70 @@
+#include "cpu/mst_serial.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+namespace cpu {
+namespace {
+
+struct EdgeRef {
+  std::uint32_t weight;
+  graph::NodeId u;
+  graph::NodeId v;
+};
+
+}  // namespace
+
+MstResult minimum_spanning_forest(const graph::Csr& g) {
+  AGG_CHECK_MSG(g.has_weights(), "MST requires edge weights");
+  MstResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<EdgeRef> edges;
+  edges.reserve(g.num_edges());
+  for (std::uint32_t u = 0; u < g.num_nodes; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u <= nbrs[i]) {  // each undirected edge once (self loops skipped below)
+        edges.push_back({wts[i], u, nbrs[i]});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const EdgeRef& a, const EdgeRef& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  r.counts.edges_sorted = edges.size();
+
+  std::vector<std::uint32_t> parent(g.num_nodes);
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (const EdgeRef& e : edges) {
+    if (e.u == e.v) continue;
+    const std::uint32_t ru = find(e.u);
+    const std::uint32_t rv = find(e.v);
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    ++r.counts.union_ops;
+    r.total_weight += e.weight;
+    ++r.edges_in_forest;
+  }
+
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    if (find(v) == v) ++r.num_trees;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace cpu

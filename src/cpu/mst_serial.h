@@ -1,0 +1,29 @@
+// Serial minimum spanning forest via Kruskal + union-find: the CPU baseline
+// and weight oracle for the GPU Boruvka engine. Treats the graph as
+// undirected; expects a symmetric CSR (both arcs stored) with weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace cpu {
+
+struct MstCounts {
+  std::uint64_t edges_sorted = 0;
+  std::uint64_t union_ops = 0;
+};
+
+struct MstResult {
+  // Total weight of the minimum spanning forest (unique even under ties).
+  std::uint64_t total_weight = 0;
+  std::uint32_t num_trees = 0;   // connected components
+  std::uint32_t edges_in_forest = 0;
+  MstCounts counts;
+  double wall_ms = 0;
+};
+
+MstResult minimum_spanning_forest(const graph::Csr& g);
+
+}  // namespace cpu

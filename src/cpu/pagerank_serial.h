@@ -1,0 +1,36 @@
+// Serial PageRank by power iteration: the CPU baseline and convergence
+// oracle for the GPU delta-push engine. The paper motivates this workload
+// directly ("the web link network ... is typically used by search algorithms
+// to rank the results of queries").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace cpu {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-6;   // L1 change per iteration at convergence
+  std::uint32_t max_iterations = 1000;
+};
+
+struct PageRankCounts {
+  std::uint32_t iterations = 0;
+  std::uint64_t edge_updates = 0;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  PageRankCounts counts;
+  double wall_ms = 0;
+};
+
+// Power iteration with uniform teleport. Dangling mass is absorbed (not
+// redistributed) so the fixpoint matches the GPU delta-push engine exactly:
+//   p = (1-d)/n + d * A^T D^{-1} p.
+PageRankResult pagerank(const graph::Csr& g, const PageRankOptions& opts = {});
+
+}  // namespace cpu

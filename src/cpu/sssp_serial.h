@@ -1,0 +1,33 @@
+// Serial CPU SSSP baselines: Dijkstra with a binary heap (the paper's CPU
+// baseline for Table 3) and Bellman-Ford (the serial counterpart of the
+// unordered GPU algorithm, used in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace cpu {
+
+struct SsspCounts {
+  std::uint64_t heap_pops = 0;
+  std::uint64_t heap_pushes = 0;
+  std::uint64_t edges_relaxed = 0;  // adjacency entries examined
+  std::uint64_t rounds = 0;         // Bellman-Ford sweeps
+};
+
+struct SsspResult {
+  std::vector<std::uint32_t> dist;  // graph::kInfinity if unreachable
+  SsspCounts counts;
+  double wall_ms = 0;
+};
+
+// Dijkstra with lazy deletion on a binary heap. Requires weights.
+SsspResult dijkstra(const graph::Csr& g, graph::NodeId source);
+
+// Queue-driven Bellman-Ford (SPFA-style, processes a FIFO of improved
+// nodes). Requires weights.
+SsspResult bellman_ford(const graph::Csr& g, graph::NodeId source);
+
+}  // namespace cpu

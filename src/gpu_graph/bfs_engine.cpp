@@ -1,0 +1,295 @@
+#include "gpu_graph/bfs_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpu_graph/device_graph.h"
+#include "gpu_graph/workset.h"
+#include "simt/launch.h"
+
+namespace gg {
+namespace {
+
+// Static access sites of the CUDA_computation kernel (Fig. 9 top).
+constexpr simt::Site kNodeLevel{0, "bfs.node-level"};
+constexpr simt::Site kRowOffsets{1, "bfs.row-offsets"};
+constexpr simt::Site kNodeOps{2, "bfs.node-ops"};
+constexpr simt::Site kEdgeLoad{3, "bfs.edge-load"};
+constexpr simt::Site kEdgeOps{4, "bfs.edge-ops"};
+constexpr simt::Site kNbrLevel{5, "bfs.nbr-level"};
+constexpr simt::Site kLevelStore{6, "bfs.level-store"};
+constexpr simt::Site kUpdateLoad{7, "bfs.update-load"};
+constexpr simt::Site kUpdateStore{8, "bfs.update-store"};
+constexpr simt::Site kQueueLoad{9, "bfs.queue-load"};
+constexpr simt::Site kBitmapClear{10, "bfs.bitmap-clear"};
+
+struct BfsKernelState {
+  simt::DeviceBuffer<std::uint32_t>* level;
+  DeviceGraph* graph;
+  Workset* ws;
+  std::vector<std::uint32_t>* updated;  // host shadow of set update flags
+  bool ordered;
+};
+
+// Per-element body shared by all launch shapes. The caller chooses how the
+// adjacency is partitioned: thread mapping visits it whole (offset 0, step
+// 1); block mapping strides it across the block; warp-centric mapping
+// strides it across the 32 lanes of the owning virtual warp.
+void visit_element(simt::ThreadCtx& ctx, BfsKernelState& st, std::uint32_t id,
+                   std::uint32_t offset, std::uint32_t step) {
+  const std::uint32_t lvl = ctx.load(*st.level, id, kNodeLevel);
+  const std::uint32_t begin = ctx.load(st.graph->row_offsets, id, kRowOffsets);
+  const std::uint32_t end = ctx.load(st.graph->row_offsets, id + 1, kRowOffsets);
+  ctx.compute(4, kNodeOps);
+  const std::uint32_t next = lvl + 1;
+
+  for (std::uint32_t e = begin + offset; e < end; e += step) {
+    const std::uint32_t t = ctx.load(st.graph->col_indices, e, kEdgeLoad);
+    ctx.compute(3, kEdgeOps);
+    const std::uint32_t tl = ctx.load(*st.level, t, kNbrLevel);
+    // Fig. 4: ordered processes a node once (undefined level); unordered
+    // re-admits as long as the level decreases.
+    const bool improves = st.ordered ? tl == graph::kInfinity : next < tl;
+    if (improves) {
+      ctx.store(*st.level, t, next, kLevelStore);
+      if (ctx.load(st.ws->update(), t, kUpdateLoad) == 0) {
+        ctx.store(st.ws->update(), t, std::uint8_t{1}, kUpdateStore);
+        st.updated->push_back(t);
+      }
+    }
+  }
+}
+
+void launch_computation(simt::Device& dev, BfsKernelState& st, Variant v,
+                        std::span<const std::uint32_t> frontier,
+                        std::uint32_t thread_tpb, std::uint32_t block_tpb) {
+  const std::uint32_t n = st.graph->num_nodes;
+  simt::Predicate pred;
+  pred.base_addr = st.ws->bitmap().base_addr();
+  pred.stride = 1;
+  pred.ops = 2;
+
+  if (v.mapping == Mapping::thread) {
+    if (v.repr == WorksetRepr::bitmap) {
+      const auto grid = simt::GridSpec::over_threads(n, thread_tpb, frontier, pred);
+      simt::launch(dev, "bfs.compute.T_BM", grid, [&](simt::ThreadCtx& ctx) {
+        const auto id = static_cast<std::uint32_t>(ctx.global_id());
+        ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+        visit_element(ctx, st, id, 0, 1);
+      });
+    } else {
+      const auto grid = simt::GridSpec::dense(frontier.size(), thread_tpb);
+      simt::launch(dev, "bfs.compute.T_QU", grid, [&](simt::ThreadCtx& ctx) {
+        const std::uint32_t id =
+            ctx.load(st.ws->queue(), ctx.global_id(), kQueueLoad);
+        visit_element(ctx, st, id, 0, 1);
+      });
+    }
+  } else if (v.mapping == Mapping::warp) {
+    // Extension: virtual-warp-centric mapping (Hong et al. [12]). Queue
+    // form packs thread_tpb/32 virtual warps per physical block; bitmap
+    // form runs one-warp blocks over the node range.
+    if (v.repr == WorksetRepr::bitmap) {
+      const auto grid =
+          simt::GridSpec::over_blocks(n, simt::kWarpSize, frontier, pred);
+      simt::launch(dev, "bfs.compute.W_BM", grid, [&](simt::ThreadCtx& ctx) {
+        const auto id = static_cast<std::uint32_t>(ctx.block_idx());
+        if (ctx.thread_in_block() == 0) {
+          ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+        }
+        visit_element(ctx, st, id, ctx.thread_in_block(), simt::kWarpSize);
+      });
+    } else {
+      const auto grid =
+          simt::GridSpec::dense(frontier.size() * simt::kWarpSize, thread_tpb);
+      simt::launch(dev, "bfs.compute.W_QU", grid, [&](simt::ThreadCtx& ctx) {
+        const auto wid = static_cast<std::uint32_t>(ctx.global_id() / simt::kWarpSize);
+        const std::uint32_t id = ctx.load(st.ws->queue(), wid, kQueueLoad);
+        visit_element(ctx, st, id,
+                      static_cast<std::uint32_t>(ctx.global_id() % simt::kWarpSize),
+                      simt::kWarpSize);
+      });
+    }
+  } else {
+    if (v.repr == WorksetRepr::bitmap) {
+      const auto grid = simt::GridSpec::over_blocks(n, block_tpb, frontier, pred);
+      simt::launch(dev, "bfs.compute.B_BM", grid, [&](simt::ThreadCtx& ctx) {
+        const auto id = static_cast<std::uint32_t>(ctx.block_idx());
+        if (ctx.thread_in_block() == 0) {
+          ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+        }
+        visit_element(ctx, st, id, ctx.thread_in_block(), ctx.block_dim());
+      });
+    } else {
+      const auto grid =
+          simt::GridSpec::dense(frontier.size() * block_tpb, block_tpb);
+      simt::launch(dev, "bfs.compute.B_QU", grid, [&](simt::ThreadCtx& ctx) {
+        const std::uint32_t id =
+            ctx.load(st.ws->queue(), ctx.block_idx(), kQueueLoad);
+        visit_element(ctx, st, id, ctx.thread_in_block(), ctx.block_dim());
+      });
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t derive_block_tpb(double avg_outdegree) {
+  const double rounded = std::round(avg_outdegree / simt::kWarpSize) *
+                         simt::kWarpSize;
+  return static_cast<std::uint32_t>(
+      std::clamp(rounded, 32.0, 1024.0));
+}
+
+GpuBfsResult run_bfs(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
+                     const VariantSelector& selector, const EngineOptions& opts) {
+  AGG_CHECK(source < g.num_nodes);
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+
+  GpuBfsResult result;
+
+  // Fig. 8 lines 1-3: create data structures, initialize, transfer.
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
+  const std::uint32_t block_tpb =
+      opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
+  auto level = dev.alloc<std::uint32_t>(g.num_nodes, "bfs.level");
+  dev.fill(level, graph::kInfinity);
+  dev.write_scalar(level, source, 0u);
+  Workset ws(dev, g.num_nodes);
+
+  SelectorInput sel;
+  sel.iteration = 0;
+  sel.ws_size = 1;
+  sel.avg_outdegree = dg.avg_outdegree;
+  sel.outdeg_stddev = dg.outdeg_stddev;
+  sel.num_nodes = g.num_nodes;
+  Variant variant = selector(sel);
+  ws.init_source(dev, source, variant.repr);
+
+  std::vector<std::uint32_t> frontier{source};
+  std::vector<std::uint32_t> updated;
+  BfsKernelState st{&level, &dg, &ws, &updated, variant.ordering == Ordering::ordered};
+
+  const std::uint64_t max_iters =
+      opts.max_iterations ? opts.max_iterations
+                          : 4ull * g.num_nodes + 64;
+
+  const bool hybrid = opts.hybrid_cpu_threshold > 0;
+  bool on_cpu = hybrid && frontier.size() < opts.hybrid_cpu_threshold;
+  if (on_cpu) {
+    // Entering a CPU phase: download the state array (Hong et al. [13]-style
+    // hybrid execution keeps host and device copies in sync at switches).
+    dev.account_transfer(4ull * g.num_nodes, /*to_device=*/false);
+  }
+
+  std::uint32_t iteration = 0;
+  while (!frontier.empty()) {
+    ++iteration;
+    AGG_CHECK_MSG(iteration <= max_iters, "BFS failed to converge");
+    const double t_iter = dev.now_us();
+
+    st.ordered = variant.ordering == Ordering::ordered;
+    std::uint64_t frontier_edges = 0;
+    for (const std::uint32_t v : frontier) frontier_edges += g.degree(v);
+    result.metrics.edges_processed += frontier_edges;
+
+    if (on_cpu) {
+      // Serial host processing of this (small) frontier: no kernel launches,
+      // no readbacks — the hybrid's whole advantage on high-diameter graphs.
+      auto level_view = level.host_view();
+      auto update_view = ws.update().host_view();
+      for (const std::uint32_t v : frontier) {
+        const std::uint32_t next_level = level_view[v] + 1;
+        for (const graph::NodeId t : g.neighbors(v)) {
+          const bool improves = st.ordered ? level_view[t] == graph::kInfinity
+                                           : next_level < level_view[t];
+          if (improves) {
+            level_view[t] = next_level;
+            if (update_view[t] == 0) {
+              update_view[t] = 1;
+              updated.push_back(t);
+            }
+          }
+        }
+      }
+      dev.account_host_compute(
+          (static_cast<double>(frontier.size()) * opts.hybrid_cpu_cycles_per_node +
+           static_cast<double>(frontier_edges) * opts.hybrid_cpu_cycles_per_edge) /
+          (opts.hybrid_cpu_clock_ghz * 1e3));
+    } else {
+      launch_computation(dev, st, variant, frontier, opts.thread_tpb, block_tpb);
+      // Per-iteration termination signal (Fig. 8 line 4).
+      if (variant.repr == WorksetRepr::queue) {
+        ws.charge_queue_len_readback(dev);
+      } else {
+        ws.charge_changed_flag_readback(dev);
+      }
+    }
+    std::sort(updated.begin(), updated.end());
+
+    // Decision point (Sec. VI.E): sampled working-set monitoring + selector.
+    Variant next = variant;
+    if (opts.monitor_interval > 0 && iteration % opts.monitor_interval == 0) {
+      if (!on_cpu && variant.repr == WorksetRepr::bitmap) {
+        ws.charge_bitmap_count_kernel(dev);  // queue mode: size known from tail
+      }
+      sel.iteration = iteration;
+      sel.ws_size = updated.size();
+      ++result.metrics.decisions;
+      next = selector(sel);
+      next.ordering = variant.ordering;  // ordering is fixed per traversal
+      if (!on_cpu && next != variant) ++result.metrics.switches;
+    }
+
+    const bool next_on_cpu =
+        hybrid && updated.size() < opts.hybrid_cpu_threshold;
+    if (on_cpu != next_on_cpu) {
+      // Direction switch: sync the state array across PCIe.
+      if (next_on_cpu) {
+        dev.account_transfer(4ull * g.num_nodes, /*to_device=*/false);
+      } else {
+        dev.account_transfer(4ull * g.num_nodes, /*to_device=*/true);
+        // Re-materialize the device update vector before generation.
+        dev.account_transfer(g.num_nodes, /*to_device=*/true);
+      }
+    }
+
+    if (!updated.empty() && !next_on_cpu) {
+      ws.generate(dev, next.repr, updated,
+                  opts.scan_queue_gen ? Workset::GenMethod::scan
+                                      : Workset::GenMethod::atomic);
+    } else if (!updated.empty()) {
+      // CPU phase: clear the flags functionally (the host owns the state).
+      for (const std::uint32_t v : updated) ws.update().host_view()[v] = 0;
+    }
+
+    result.metrics.iterations.push_back(
+        {iteration, frontier.size(), variant, dev.now_us() - t_iter, on_cpu});
+    frontier.swap(updated);
+    updated.clear();
+    variant = next;
+    on_cpu = next_on_cpu;
+  }
+
+  // Download the result (included in the measured time, as in the paper).
+  result.level.resize(g.num_nodes);
+  if (on_cpu) {
+    // Hybrid run ended in a CPU phase: the state array is already host
+    // resident, so no download is charged.
+    const auto view = level.host_view();
+    std::copy(view.begin(), view.end(), result.level.begin());
+  } else {
+    dev.memcpy_d2h(std::span<std::uint32_t>(result.level), level);
+  }
+
+  ws.release(dev);
+  dev.free(level);
+  dg.release(dev);
+
+  fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
+                         dev.now_us());
+  return result;
+}
+
+}  // namespace gg

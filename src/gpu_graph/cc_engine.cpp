@@ -1,0 +1,232 @@
+#include "gpu_graph/cc_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpu_graph/device_graph.h"
+#include "gpu_graph/workset.h"
+#include "simt/launch.h"
+
+namespace gg {
+namespace {
+
+constexpr simt::Site kNodeLabel{0, "cc.node-label"};
+constexpr simt::Site kRowOffsets{1, "cc.row-offsets"};
+constexpr simt::Site kNodeOps{2, "cc.node-ops"};
+constexpr simt::Site kEdgeLoad{3, "cc.edge-load"};
+constexpr simt::Site kEdgeOps{4, "cc.edge-ops"};
+constexpr simt::Site kPropagate{5, "cc.propagate-atomic"};
+constexpr simt::Site kUpdateLoad{6, "cc.update-load"};
+constexpr simt::Site kUpdateStore{7, "cc.update-store"};
+constexpr simt::Site kQueueLoad{8, "cc.queue-load"};
+constexpr simt::Site kBitmapClear{9, "cc.bitmap-clear"};
+
+struct CcState {
+  simt::DeviceBuffer<std::uint32_t>* label;
+  DeviceGraph* graph;
+  Workset* ws;
+  std::vector<std::uint32_t>* updated;
+};
+
+void propagate_element(simt::ThreadCtx& ctx, CcState& st, std::uint32_t id,
+                       std::uint32_t offset, std::uint32_t step) {
+  const std::uint32_t c = ctx.load(*st.label, id, kNodeLabel);
+  const std::uint32_t begin = ctx.load(st.graph->row_offsets, id, kRowOffsets);
+  const std::uint32_t end = ctx.load(st.graph->row_offsets, id + 1, kRowOffsets);
+  ctx.compute(4, kNodeOps);
+  for (std::uint32_t e = begin + offset; e < end; e += step) {
+    const std::uint32_t t = ctx.load(st.graph->col_indices, e, kEdgeLoad);
+    ctx.compute(2, kEdgeOps);
+    const std::uint32_t old = ctx.atomic_min(*st.label, t, c, kPropagate);
+    if (c < old) {
+      if (ctx.load(st.ws->update(), t, kUpdateLoad) == 0) {
+        ctx.store(st.ws->update(), t, std::uint8_t{1}, kUpdateStore);
+        st.updated->push_back(t);
+      }
+    }
+  }
+}
+
+void launch_cc(simt::Device& dev, CcState& st, Variant v,
+               std::span<const std::uint32_t> frontier, std::uint32_t thread_tpb,
+               std::uint32_t block_tpb) {
+  const std::uint32_t n = st.graph->num_nodes;
+  simt::Predicate pred;
+  pred.base_addr = st.ws->bitmap().base_addr();
+  pred.stride = 1;
+  pred.ops = 2;
+
+  switch (v.mapping) {
+    case Mapping::thread:
+      if (v.repr == WorksetRepr::bitmap) {
+        const auto grid = simt::GridSpec::over_threads(n, thread_tpb, frontier, pred);
+        simt::launch(dev, "cc.compute.T_BM", grid, [&](simt::ThreadCtx& ctx) {
+          const auto id = static_cast<std::uint32_t>(ctx.global_id());
+          ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+          propagate_element(ctx, st, id, 0, 1);
+        });
+      } else {
+        const auto grid = simt::GridSpec::dense(frontier.size(), thread_tpb);
+        simt::launch(dev, "cc.compute.T_QU", grid, [&](simt::ThreadCtx& ctx) {
+          const std::uint32_t id =
+              ctx.load(st.ws->queue(), ctx.global_id(), kQueueLoad);
+          propagate_element(ctx, st, id, 0, 1);
+        });
+      }
+      break;
+    case Mapping::block:
+      if (v.repr == WorksetRepr::bitmap) {
+        const auto grid = simt::GridSpec::over_blocks(n, block_tpb, frontier, pred);
+        simt::launch(dev, "cc.compute.B_BM", grid, [&](simt::ThreadCtx& ctx) {
+          const auto id = static_cast<std::uint32_t>(ctx.block_idx());
+          if (ctx.thread_in_block() == 0) {
+            ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+          }
+          propagate_element(ctx, st, id, ctx.thread_in_block(), ctx.block_dim());
+        });
+      } else {
+        const auto grid =
+            simt::GridSpec::dense(frontier.size() * block_tpb, block_tpb);
+        simt::launch(dev, "cc.compute.B_QU", grid, [&](simt::ThreadCtx& ctx) {
+          const std::uint32_t id =
+              ctx.load(st.ws->queue(), ctx.block_idx(), kQueueLoad);
+          propagate_element(ctx, st, id, ctx.thread_in_block(), ctx.block_dim());
+        });
+      }
+      break;
+    case Mapping::warp:
+      if (v.repr == WorksetRepr::bitmap) {
+        const auto grid =
+            simt::GridSpec::over_blocks(n, simt::kWarpSize, frontier, pred);
+        simt::launch(dev, "cc.compute.W_BM", grid, [&](simt::ThreadCtx& ctx) {
+          const auto id = static_cast<std::uint32_t>(ctx.block_idx());
+          if (ctx.thread_in_block() == 0) {
+            ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+          }
+          propagate_element(ctx, st, id, ctx.thread_in_block(), simt::kWarpSize);
+        });
+      } else {
+        const auto grid =
+            simt::GridSpec::dense(frontier.size() * simt::kWarpSize, thread_tpb);
+        simt::launch(dev, "cc.compute.W_QU", grid, [&](simt::ThreadCtx& ctx) {
+          const auto wid =
+              static_cast<std::uint32_t>(ctx.global_id() / simt::kWarpSize);
+          const std::uint32_t id = ctx.load(st.ws->queue(), wid, kQueueLoad);
+          propagate_element(
+              ctx, st, id,
+              static_cast<std::uint32_t>(ctx.global_id() % simt::kWarpSize),
+              simt::kWarpSize);
+        });
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+GpuCcResult run_cc(simt::Device& dev, const graph::Csr& g,
+                   const VariantSelector& selector, const EngineOptions& opts) {
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+
+  GpuCcResult result;
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
+  const std::uint32_t block_tpb =
+      opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
+
+  // label[v] = v (device-side iota, charged as one uniform kernel).
+  auto label = dev.alloc<std::uint32_t>(g.num_nodes, "cc.label");
+  std::iota(label.host_view().begin(), label.host_view().end(), 0u);
+  {
+    simt::UniformThreadCost cost;
+    cost.ops = 2;
+    cost.mem_instrs = 1;
+    cost.transactions_per_warp = simt::kWarpSize * 4 / dev.timing().segment_bytes;
+    dev.account_kernel(simt::estimate_uniform_kernel(
+        dev.props(), dev.timing(), "cc.init_labels", g.num_nodes, 256, cost));
+  }
+  Workset ws(dev, g.num_nodes);
+
+  SelectorInput sel;
+  sel.ws_size = g.num_nodes;  // every node starts active
+  sel.avg_outdegree = dg.avg_outdegree;
+  sel.outdeg_stddev = dg.outdeg_stddev;
+  sel.num_nodes = g.num_nodes;
+  Variant variant = selector(sel);
+  variant.ordering = Ordering::unordered;
+
+  // Initial working set = all nodes, produced by the generation kernel from
+  // a fully-set update vector.
+  std::vector<std::uint32_t> frontier(g.num_nodes);
+  std::iota(frontier.begin(), frontier.end(), 0u);
+  std::fill(ws.update().host_view().begin(), ws.update().host_view().end(),
+            std::uint8_t{1});
+  ws.generate(dev, variant.repr, frontier,
+              opts.scan_queue_gen ? Workset::GenMethod::scan
+                                  : Workset::GenMethod::atomic);
+
+  std::vector<std::uint32_t> updated;
+  CcState st{&label, &dg, &ws, &updated};
+
+  const std::uint64_t max_iters =
+      opts.max_iterations ? opts.max_iterations : 4ull * g.num_nodes + 64;
+
+  std::uint32_t iteration = 0;
+  while (!frontier.empty()) {
+    ++iteration;
+    AGG_CHECK_MSG(iteration <= max_iters, "CC failed to converge");
+    const double t_iter = dev.now_us();
+
+    launch_cc(dev, st, variant, frontier, opts.thread_tpb, block_tpb);
+    for (const std::uint32_t v : frontier) {
+      result.metrics.edges_processed += g.degree(v);
+    }
+    std::sort(updated.begin(), updated.end());
+
+    if (variant.repr == WorksetRepr::queue) {
+      ws.charge_queue_len_readback(dev);
+    } else {
+      ws.charge_changed_flag_readback(dev);
+    }
+
+    Variant next = variant;
+    if (opts.monitor_interval > 0 && iteration % opts.monitor_interval == 0) {
+      if (variant.repr == WorksetRepr::bitmap) {
+        ws.charge_bitmap_count_kernel(dev);
+      }
+      sel.iteration = iteration;
+      sel.ws_size = updated.size();
+      ++result.metrics.decisions;
+      next = selector(sel);
+      next.ordering = Ordering::unordered;
+      if (next != variant) ++result.metrics.switches;
+    }
+
+    if (!updated.empty()) {
+      ws.generate(dev, next.repr, updated,
+                  opts.scan_queue_gen ? Workset::GenMethod::scan
+                                      : Workset::GenMethod::atomic);
+    }
+
+    result.metrics.iterations.push_back(
+        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+    frontier.swap(updated);
+    updated.clear();
+    variant = next;
+  }
+
+  result.component.resize(g.num_nodes);
+  dev.memcpy_d2h(std::span<std::uint32_t>(result.component), label);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    if (result.component[v] == v) ++result.num_components;
+  }
+
+  ws.release(dev);
+  dev.free(label);
+  dg.release(dev);
+  fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
+                         dev.now_us());
+  return result;
+}
+
+}  // namespace gg

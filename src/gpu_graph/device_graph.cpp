@@ -1,0 +1,40 @@
+#include "gpu_graph/device_graph.h"
+
+#include <cmath>
+
+namespace gg {
+
+DeviceGraph DeviceGraph::upload(simt::Device& dev, const graph::Csr& g,
+                                bool with_weights) {
+  AGG_CHECK(!with_weights || g.has_weights());
+  DeviceGraph dg;
+  dg.num_nodes = g.num_nodes;
+  dg.num_edges = g.num_edges();
+  dg.avg_outdegree = g.num_nodes > 0 ? static_cast<double>(g.num_edges()) /
+                                           static_cast<double>(g.num_nodes)
+                                     : 0.0;
+  double sq = 0.0;
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    const double d = static_cast<double>(g.degree(v)) - dg.avg_outdegree;
+    sq += d * d;
+  }
+  dg.outdeg_stddev =
+      g.num_nodes > 0 ? std::sqrt(sq / static_cast<double>(g.num_nodes)) : 0.0;
+  dg.row_offsets = dev.alloc<std::uint32_t>(g.row_offsets.size(), "csr.row_offsets");
+  dev.memcpy_h2d(dg.row_offsets, std::span<const std::uint32_t>(g.row_offsets));
+  dg.col_indices = dev.alloc<std::uint32_t>(g.col_indices.size(), "csr.col_indices");
+  dev.memcpy_h2d(dg.col_indices, std::span<const std::uint32_t>(g.col_indices));
+  if (with_weights) {
+    dg.weights = dev.alloc<std::uint32_t>(g.weights.size(), "csr.weights");
+    dev.memcpy_h2d(dg.weights, std::span<const std::uint32_t>(g.weights));
+  }
+  return dg;
+}
+
+void DeviceGraph::release(simt::Device& dev) {
+  dev.free(row_offsets);
+  dev.free(col_indices);
+  if (weights.valid()) dev.free(weights);
+}
+
+}  // namespace gg

@@ -1,0 +1,24 @@
+// Device-resident CSR (paper Sec. V.A): node vector, edge vector, optional
+// weight vector, uploaded once per traversal with transfer costs accounted.
+#pragma once
+
+#include "graph/csr.h"
+#include "simt/device.h"
+
+namespace gg {
+
+struct DeviceGraph {
+  std::uint32_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  double avg_outdegree = 0;
+  double outdeg_stddev = 0;
+  simt::DeviceBuffer<std::uint32_t> row_offsets;  // n + 1
+  simt::DeviceBuffer<std::uint32_t> col_indices;  // m
+  simt::DeviceBuffer<std::uint32_t> weights;      // m if weighted, else empty
+
+  static DeviceGraph upload(simt::Device& dev, const graph::Csr& g,
+                            bool with_weights);
+  void release(simt::Device& dev);
+};
+
+}  // namespace gg

@@ -1,0 +1,27 @@
+// Edge-parallel Bellman-Ford: the Harish & Narayanan-style baseline the
+// paper cites as reference [7] and critiques ("pretty basic and ineffective
+// on sparse graphs used in practice"). One thread per arc, every arc every
+// round, no working set — rounds repeat until no distance improves.
+//
+// Included as the historical baseline so the evaluation can quantify what
+// the paper's working-set framework buys over it.
+#pragma once
+
+#include <vector>
+
+#include "gpu_graph/metrics.h"
+#include "graph/csr.h"
+#include "simt/device.h"
+
+namespace gg {
+
+struct GpuEdgeParallelResult {
+  std::vector<std::uint32_t> dist;
+  TraversalMetrics metrics;  // one IterationRecord per round, ws_size = m
+};
+
+GpuEdgeParallelResult run_sssp_edge_parallel(simt::Device& dev,
+                                             const graph::Csr& g,
+                                             graph::NodeId source);
+
+}  // namespace gg

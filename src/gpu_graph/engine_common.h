@@ -1,0 +1,63 @@
+// Types shared by the BFS and SSSP engines: launch configuration knobs and
+// the per-iteration variant-selection hook through which both the static
+// implementations (constant selector) and the adaptive runtime (decision
+// maker) drive the same traversal loop (paper Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gpu_graph/variant.h"
+
+namespace gg {
+
+struct EngineOptions {
+  // Paper Sec. VII.A: "the best results can be achieved with 192 threads per
+  // block" for thread-based mapping.
+  std::uint32_t thread_tpb = 192;
+  // Paper Sec. VII.A: for block-based mapping "the optimal number of threads
+  // per block is the multiple of 32 closest to the average node outdegree".
+  // 0 = derive from the graph.
+  std::uint32_t block_tpb = 0;
+  // Working-set monitoring interval R (paper Sec. VI.E (ii)): the decision
+  // point (selector call + monitoring kernel when in bitmap mode) runs every
+  // R iterations. 0 = never (static runs: no monitoring overhead at all).
+  std::uint32_t monitor_interval = 0;
+  // Queue generation method (paper Sec. V.C): false = the basic atomic
+  // insertion of [33]; true = the scan-based compaction of Merrill et al.,
+  // which the paper cites as an orthogonal optimization.
+  bool scan_queue_gen = false;
+  // Safety valve; 0 = derive (a generous multiple of the node count).
+  std::uint64_t max_iterations = 0;
+
+  // Hybrid CPU/GPU execution (extension; cf. Hong et al. [13], which the
+  // paper contrasts itself against): frontiers smaller than
+  // `hybrid_cpu_threshold` are processed serially on the host, skipping the
+  // kernel-launch + readback overhead that dominates small iterations.
+  // Switching direction pays a full state-array transfer. 0 = disabled.
+  std::uint64_t hybrid_cpu_threshold = 0;
+  double hybrid_cpu_clock_ghz = 3.4;
+  double hybrid_cpu_cycles_per_edge = 14.0;
+  double hybrid_cpu_cycles_per_node = 8.0;
+};
+
+struct SelectorInput {
+  std::uint32_t iteration = 0;
+  // Working-set size as known to the runtime (exact at decision points,
+  // stale in between — the sampling trade-off of Sec. VI.E).
+  std::uint64_t ws_size = 0;
+  double avg_outdegree = 0;   // whole-graph average (Sec. VI.E (i))
+  double outdeg_stddev = 0;   // whole-graph spread (skew-aware mapping rule)
+  std::uint32_t num_nodes = 0;
+};
+
+using VariantSelector = std::function<Variant(const SelectorInput&)>;
+
+inline VariantSelector fixed_variant(Variant v) {
+  return [v](const SelectorInput&) { return v; };
+}
+
+// Paper Sec. VII.A block size rule.
+std::uint32_t derive_block_tpb(double avg_outdegree);
+
+}  // namespace gg

@@ -1,0 +1,35 @@
+#include "gpu_graph/metrics.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace gg {
+
+std::uint64_t TraversalMetrics::max_ws_size() const {
+  std::uint64_t m = 0;
+  for (const auto& it : iterations) m = std::max(m, it.ws_size);
+  return m;
+}
+
+std::string TraversalMetrics::summary() const {
+  return std::to_string(iterations.size()) + " iterations, " +
+         agg::Table::fmt(total_ms(), 3) + " ms, " +
+         agg::Table::fmt_int(edges_processed) + " edge visits, SIMD eff " +
+         agg::Table::fmt(simd_efficiency, 3) +
+         (switches ? ", " + std::to_string(switches) + " switches" : "");
+}
+
+void fill_from_device_delta(TraversalMetrics& m, const simt::DeviceStats& before,
+                            const simt::DeviceStats& after, double t_begin_us,
+                            double t_end_us) {
+  m.total_us = t_end_us - t_begin_us;
+  m.kernel_us = after.kernel_time_us - before.kernel_time_us;
+  m.transfer_us = after.transfer_time_us - before.transfer_time_us;
+  m.kernels = after.kernels_launched - before.kernels_launched;
+  const double lane = after.lane_work - before.lane_work;
+  const double lockstep = after.lockstep_work - before.lockstep_work;
+  m.simd_efficiency = lockstep > 0 ? lane / lockstep : 1.0;
+}
+
+}  // namespace gg

@@ -1,0 +1,44 @@
+// Per-traversal metrics recorded by the engines: drives the evaluation
+// benches (working-set evolution, speedups, decision traces) and the
+// adaptive runtime's own monitoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu_graph/variant.h"
+#include "simt/device.h"
+
+namespace gg {
+
+struct IterationRecord {
+  std::uint32_t iteration = 0;
+  std::uint64_t ws_size = 0;   // working-set size processed this iteration
+  Variant variant;             // implementation used this iteration
+  double time_us = 0;          // modeled device + sync time of this iteration
+  bool on_cpu = false;         // hybrid execution: processed on the host
+};
+
+struct TraversalMetrics {
+  std::vector<IterationRecord> iterations;
+  double total_us = 0;      // end to end, including initial/final transfers
+  double kernel_us = 0;
+  double transfer_us = 0;
+  std::uint64_t kernels = 0;
+  double simd_efficiency = 1.0;
+  std::uint64_t edges_processed = 0;  // adjacency entries visited on device
+  std::uint32_t switches = 0;         // adaptive: variant changes performed
+  std::uint32_t decisions = 0;        // adaptive: decision points evaluated
+
+  double total_ms() const { return total_us / 1000.0; }
+  std::uint64_t max_ws_size() const;
+  std::string summary() const;
+};
+
+// Captures the difference of two DeviceStats snapshots into metrics fields.
+void fill_from_device_delta(TraversalMetrics& m, const simt::DeviceStats& before,
+                            const simt::DeviceStats& after, double t_begin_us,
+                            double t_end_us);
+
+}  // namespace gg

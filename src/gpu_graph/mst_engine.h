@@ -1,0 +1,40 @@
+// GPU minimum spanning forest (Boruvka) — the MST pattern the paper's
+// related work groups with shortest paths and connected components. Each
+// round, every component selects its minimum-weight outgoing edge (total
+// order (weight, arc index) so ties are safe), components hook along the
+// selected edges (symmetric hooks broken by root id), and labels flatten by
+// pointer jumping. The per-round edge scan is the framework's working-set
+// kernel: nodes stay in the working set while their component still has
+// outgoing edges, so the set starts at n and shrinks as components coalesce.
+//
+// Requires a symmetric weighted CSR (both arcs stored).
+#pragma once
+
+#include <vector>
+
+#include "gpu_graph/engine_common.h"
+#include "gpu_graph/metrics.h"
+#include "graph/csr.h"
+#include "simt/device.h"
+
+namespace gg {
+
+struct GpuMstResult {
+  std::uint64_t total_weight = 0;
+  std::uint32_t num_trees = 0;
+  std::uint32_t edges_in_forest = 0;
+  // component[v] = root id of v's tree (consistent within trees).
+  std::vector<std::uint32_t> component;
+  TraversalMetrics metrics;
+};
+
+GpuMstResult run_mst(simt::Device& dev, const graph::Csr& g,
+                     const VariantSelector& selector,
+                     const EngineOptions& opts = {});
+
+inline GpuMstResult run_mst(simt::Device& dev, const graph::Csr& g,
+                            Variant variant, const EngineOptions& opts = {}) {
+  return run_mst(dev, g, fixed_variant(variant), opts);
+}
+
+}  // namespace gg

@@ -1,0 +1,492 @@
+#include "gpu_graph/sssp_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gpu_graph/device_graph.h"
+#include "gpu_graph/workset.h"
+#include "simt/launch.h"
+#include "simt/primitives.h"
+
+namespace gg {
+namespace {
+
+constexpr simt::Site kNodeDist{0, "sssp.node-dist"};
+constexpr simt::Site kRowOffsets{1, "sssp.row-offsets"};
+constexpr simt::Site kNodeOps{2, "sssp.node-ops"};
+constexpr simt::Site kEdgeLoad{3, "sssp.edge-load"};
+constexpr simt::Site kWeightLoad{4, "sssp.weight-load"};
+constexpr simt::Site kEdgeOps{5, "sssp.edge-ops"};
+constexpr simt::Site kRelax{6, "sssp.relax-atomic"};
+constexpr simt::Site kUpdateLoad{7, "sssp.update-load"};
+constexpr simt::Site kUpdateStore{8, "sssp.update-store"};
+constexpr simt::Site kQueueLoad{9, "sssp.queue-load"};
+constexpr simt::Site kBitmapClear{10, "sssp.bitmap-clear"};
+constexpr simt::Site kTentLoad{11, "sssp.tent-load"};
+constexpr simt::Site kDistStore{12, "sssp.dist-store"};
+constexpr simt::Site kCandFlag{13, "sssp.cand-flag"};
+constexpr simt::Site kCandTail{14, "sssp.cand-tail"};
+
+// ---------------------------------------------------------------------------
+// Unordered SSSP (Bellman-Ford over the two-kernel framework).
+// ---------------------------------------------------------------------------
+
+struct UnorderedState {
+  simt::DeviceBuffer<std::uint32_t>* dist;
+  DeviceGraph* graph;
+  Workset* ws;
+  std::vector<std::uint32_t>* updated;
+};
+
+void relax_element(simt::ThreadCtx& ctx, UnorderedState& st, std::uint32_t id,
+                   std::uint32_t offset, std::uint32_t step) {
+  const std::uint32_t d = ctx.load(*st.dist, id, kNodeDist);
+  const std::uint32_t begin = ctx.load(st.graph->row_offsets, id, kRowOffsets);
+  const std::uint32_t end = ctx.load(st.graph->row_offsets, id + 1, kRowOffsets);
+  ctx.compute(4, kNodeOps);
+
+  for (std::uint32_t e = begin + offset; e < end; e += step) {
+    const std::uint32_t t = ctx.load(st.graph->col_indices, e, kEdgeLoad);
+    const std::uint32_t w = ctx.load(st.graph->weights, e, kWeightLoad);
+    ctx.compute(3, kEdgeOps);
+    const std::uint32_t nd = d + w;
+    const std::uint32_t old = ctx.atomic_min(*st.dist, t, nd, kRelax);
+    if (nd < old) {
+      if (ctx.load(st.ws->update(), t, kUpdateLoad) == 0) {
+        ctx.store(st.ws->update(), t, std::uint8_t{1}, kUpdateStore);
+        st.updated->push_back(t);
+      }
+    }
+  }
+}
+
+void launch_unordered(simt::Device& dev, UnorderedState& st, Variant v,
+                      std::span<const std::uint32_t> frontier,
+                      std::uint32_t thread_tpb, std::uint32_t block_tpb) {
+  const std::uint32_t n = st.graph->num_nodes;
+  simt::Predicate pred;
+  pred.base_addr = st.ws->bitmap().base_addr();
+  pred.stride = 1;
+  pred.ops = 2;
+
+  if (v.mapping == Mapping::thread) {
+    if (v.repr == WorksetRepr::bitmap) {
+      const auto grid = simt::GridSpec::over_threads(n, thread_tpb, frontier, pred);
+      simt::launch(dev, "sssp.compute.T_BM", grid, [&](simt::ThreadCtx& ctx) {
+        const auto id = static_cast<std::uint32_t>(ctx.global_id());
+        ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+        relax_element(ctx, st, id, 0, 1);
+      });
+    } else {
+      const auto grid = simt::GridSpec::dense(frontier.size(), thread_tpb);
+      simt::launch(dev, "sssp.compute.T_QU", grid, [&](simt::ThreadCtx& ctx) {
+        const std::uint32_t id =
+            ctx.load(st.ws->queue(), ctx.global_id(), kQueueLoad);
+        relax_element(ctx, st, id, 0, 1);
+      });
+    }
+  } else if (v.mapping == Mapping::warp) {
+    if (v.repr == WorksetRepr::bitmap) {
+      const auto grid =
+          simt::GridSpec::over_blocks(n, simt::kWarpSize, frontier, pred);
+      simt::launch(dev, "sssp.compute.W_BM", grid, [&](simt::ThreadCtx& ctx) {
+        const auto id = static_cast<std::uint32_t>(ctx.block_idx());
+        if (ctx.thread_in_block() == 0) {
+          ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+        }
+        relax_element(ctx, st, id, ctx.thread_in_block(), simt::kWarpSize);
+      });
+    } else {
+      const auto grid =
+          simt::GridSpec::dense(frontier.size() * simt::kWarpSize, thread_tpb);
+      simt::launch(dev, "sssp.compute.W_QU", grid, [&](simt::ThreadCtx& ctx) {
+        const auto wid = static_cast<std::uint32_t>(ctx.global_id() / simt::kWarpSize);
+        const std::uint32_t id = ctx.load(st.ws->queue(), wid, kQueueLoad);
+        relax_element(ctx, st, id,
+                      static_cast<std::uint32_t>(ctx.global_id() % simt::kWarpSize),
+                      simt::kWarpSize);
+      });
+    }
+  } else {
+    if (v.repr == WorksetRepr::bitmap) {
+      const auto grid = simt::GridSpec::over_blocks(n, block_tpb, frontier, pred);
+      simt::launch(dev, "sssp.compute.B_BM", grid, [&](simt::ThreadCtx& ctx) {
+        const auto id = static_cast<std::uint32_t>(ctx.block_idx());
+        if (ctx.thread_in_block() == 0) {
+          ctx.store(st.ws->bitmap(), id, std::uint8_t{0}, kBitmapClear);
+        }
+        relax_element(ctx, st, id, ctx.thread_in_block(), ctx.block_dim());
+      });
+    } else {
+      const auto grid =
+          simt::GridSpec::dense(frontier.size() * block_tpb, block_tpb);
+      simt::launch(dev, "sssp.compute.B_QU", grid, [&](simt::ThreadCtx& ctx) {
+        const std::uint32_t id =
+            ctx.load(st.ws->queue(), ctx.block_idx(), kQueueLoad);
+        relax_element(ctx, st, id, ctx.thread_in_block(), ctx.block_dim());
+      });
+    }
+  }
+}
+
+GpuSsspResult run_unordered(simt::Device& dev, const graph::Csr& g,
+                            graph::NodeId source, Variant variant,
+                            const VariantSelector& selector,
+                            const EngineOptions& opts) {
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+
+  GpuSsspResult result;
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/true);
+  const std::uint32_t block_tpb =
+      opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
+  auto dist = dev.alloc<std::uint32_t>(g.num_nodes, "sssp.dist");
+  dev.fill(dist, graph::kInfinity);
+  dev.write_scalar(dist, source, 0u);
+  Workset ws(dev, g.num_nodes);
+  ws.init_source(dev, source, variant.repr);
+
+  std::vector<std::uint32_t> frontier{source};
+  std::vector<std::uint32_t> updated;
+  UnorderedState st{&dist, &dg, &ws, &updated};
+
+  SelectorInput sel;
+  sel.avg_outdegree = dg.avg_outdegree;
+  sel.outdeg_stddev = dg.outdeg_stddev;
+  sel.num_nodes = g.num_nodes;
+
+  const std::uint64_t max_iters =
+      opts.max_iterations ? opts.max_iterations : 16ull * g.num_nodes + 64;
+
+  const bool hybrid = opts.hybrid_cpu_threshold > 0;
+  bool on_cpu = hybrid && frontier.size() < opts.hybrid_cpu_threshold;
+  if (on_cpu) {
+    dev.account_transfer(4ull * g.num_nodes, /*to_device=*/false);
+  }
+
+  std::uint32_t iteration = 0;
+  while (!frontier.empty()) {
+    ++iteration;
+    AGG_CHECK_MSG(iteration <= max_iters, "SSSP failed to converge");
+    const double t_iter = dev.now_us();
+
+    std::uint64_t frontier_edges = 0;
+    for (const std::uint32_t v : frontier) frontier_edges += g.degree(v);
+    result.metrics.edges_processed += frontier_edges;
+
+    if (on_cpu) {
+      // Serial host relaxation of a small frontier (hybrid execution,
+      // cf. Hong et al. [13]).
+      auto dist_view = dist.host_view();
+      auto update_view = ws.update().host_view();
+      for (const std::uint32_t v : frontier) {
+        const std::uint32_t dv = dist_view[v];
+        const auto nbrs = g.neighbors(v);
+        const auto wts = g.edge_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const std::uint32_t nd = dv + wts[i];
+          if (nd < dist_view[nbrs[i]]) {
+            dist_view[nbrs[i]] = nd;
+            if (update_view[nbrs[i]] == 0) {
+              update_view[nbrs[i]] = 1;
+              updated.push_back(nbrs[i]);
+            }
+          }
+        }
+      }
+      dev.account_host_compute(
+          (static_cast<double>(frontier.size()) * opts.hybrid_cpu_cycles_per_node +
+           static_cast<double>(frontier_edges) * opts.hybrid_cpu_cycles_per_edge) /
+          (opts.hybrid_cpu_clock_ghz * 1e3));
+    } else {
+      launch_unordered(dev, st, variant, frontier, opts.thread_tpb, block_tpb);
+      if (variant.repr == WorksetRepr::queue) {
+        ws.charge_queue_len_readback(dev);
+      } else {
+        ws.charge_changed_flag_readback(dev);
+      }
+    }
+    std::sort(updated.begin(), updated.end());
+
+    Variant next = variant;
+    if (opts.monitor_interval > 0 && iteration % opts.monitor_interval == 0) {
+      if (!on_cpu && variant.repr == WorksetRepr::bitmap) {
+        ws.charge_bitmap_count_kernel(dev);
+      }
+      sel.iteration = iteration;
+      sel.ws_size = updated.size();
+      ++result.metrics.decisions;
+      next = selector(sel);
+      next.ordering = Ordering::unordered;
+      if (!on_cpu && next != variant) ++result.metrics.switches;
+    }
+
+    const bool next_on_cpu =
+        hybrid && updated.size() < opts.hybrid_cpu_threshold;
+    if (on_cpu != next_on_cpu) {
+      if (next_on_cpu) {
+        dev.account_transfer(4ull * g.num_nodes, /*to_device=*/false);
+      } else {
+        dev.account_transfer(4ull * g.num_nodes, /*to_device=*/true);
+        dev.account_transfer(g.num_nodes, /*to_device=*/true);
+      }
+    }
+
+    if (!updated.empty() && !next_on_cpu) {
+      ws.generate(dev, next.repr, updated,
+                  opts.scan_queue_gen ? Workset::GenMethod::scan
+                                      : Workset::GenMethod::atomic);
+    } else if (!updated.empty()) {
+      for (const std::uint32_t v : updated) ws.update().host_view()[v] = 0;
+    }
+
+    result.metrics.iterations.push_back(
+        {iteration, frontier.size(), variant, dev.now_us() - t_iter, on_cpu});
+    frontier.swap(updated);
+    updated.clear();
+    variant = next;
+    on_cpu = next_on_cpu;
+  }
+
+  result.dist.resize(g.num_nodes);
+  if (on_cpu) {
+    // Hybrid run ended in a CPU phase: the state array is already host
+    // resident, so no download is charged.
+    const auto view = dist.host_view();
+    std::copy(view.begin(), view.end(), result.dist.begin());
+  } else {
+    dev.memcpy_d2h(std::span<std::uint32_t>(result.dist), dist);
+  }
+
+  ws.release(dev);
+  dev.free(dist);
+  dg.release(dev);
+  fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
+                         dev.now_us());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Ordered SSSP (Dijkstra-like with GPU parallel-reduction findmin).
+// ---------------------------------------------------------------------------
+
+struct OrderedState {
+  simt::DeviceBuffer<std::uint32_t>* dist;  // settled distances
+  simt::DeviceBuffer<std::uint32_t>* tent;  // tentative distances (candidates)
+  simt::DeviceBuffer<std::uint8_t>* cand;   // candidate flags
+  DeviceGraph* graph;
+  // Host-functional candidate index: tentative value -> nodes (lazy entries;
+  // an entry is live iff tent[v] still equals the bucket key and cand[v]).
+  std::map<std::uint32_t, std::vector<std::uint32_t>>* buckets;
+  std::uint64_t* cand_count;
+  std::uint64_t* pairs_outstanding;  // queue repr: <node, distance> pairs queued
+};
+
+void settle_element(simt::ThreadCtx& ctx, OrderedState& st, std::uint32_t id,
+                    bool strided, bool queue_repr, simt::DeviceBuffer<std::uint32_t>& cand_tail) {
+  const std::uint32_t tv = ctx.load(*st.tent, id, kTentLoad);
+  if (!strided || ctx.thread_in_block() == 0) {
+    ctx.store(*st.dist, id, tv, kDistStore);
+    ctx.store(*st.cand, id, std::uint8_t{0}, kCandFlag);
+  }
+  const std::uint32_t begin = ctx.load(st.graph->row_offsets, id, kRowOffsets);
+  const std::uint32_t end = ctx.load(st.graph->row_offsets, id + 1, kRowOffsets);
+  ctx.compute(4, kNodeOps);
+
+  std::uint32_t e = begin + (strided ? ctx.thread_in_block() : 0);
+  const std::uint32_t step = strided ? ctx.block_dim() : 1;
+  for (; e < end; e += step) {
+    const std::uint32_t t = ctx.load(st.graph->col_indices, e, kEdgeLoad);
+    const std::uint32_t w = ctx.load(st.graph->weights, e, kWeightLoad);
+    ctx.compute(3, kEdgeOps);
+    const std::uint32_t dt = ctx.load(*st.dist, t, kNodeDist);
+    if (dt != graph::kInfinity) continue;  // already settled
+    const std::uint32_t nd = tv + w;
+    const std::uint32_t old = ctx.atomic_min(*st.tent, t, nd, kRelax);
+    if (nd < old) {
+      (*st.buckets)[nd].push_back(t);
+      ++*st.pairs_outstanding;
+      if (queue_repr) {
+        // Working-set pair append (atomic tail, as in workset generation).
+        ctx.atomic_add(cand_tail, 0, 1u, kCandTail);
+      }
+      if (ctx.load(*st.cand, t, kUpdateLoad) == 0) {
+        ctx.store(*st.cand, t, std::uint8_t{1}, kUpdateStore);
+        ++*st.cand_count;
+      }
+    }
+  }
+}
+
+GpuSsspResult run_ordered(simt::Device& dev, const graph::Csr& g,
+                          graph::NodeId source, Variant variant,
+                          const EngineOptions& opts) {
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+
+  GpuSsspResult result;
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/true);
+  const std::uint32_t block_tpb =
+      opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
+  auto dist = dev.alloc<std::uint32_t>(g.num_nodes, "osssp.dist");
+  auto tent = dev.alloc<std::uint32_t>(g.num_nodes, "osssp.tent");
+  auto cand = dev.alloc<std::uint8_t>(g.num_nodes, "osssp.cand");
+  auto cand_tail = dev.alloc<std::uint32_t>(1, "osssp.cand_tail");
+  // Frontier queue produced (device-side) by the extract/compaction kernel.
+  auto fqueue = dev.alloc<std::uint32_t>(g.num_nodes, "osssp.frontier");
+  dev.fill(dist, graph::kInfinity);
+  dev.fill(tent, graph::kInfinity);
+  dev.fill(cand, std::uint8_t{0});
+  dev.write_scalar(tent, source, 0u);
+  dev.write_scalar(cand, source, std::uint8_t{1});
+
+  std::map<std::uint32_t, std::vector<std::uint32_t>> buckets;
+  buckets[0].push_back(source);
+  std::uint64_t cand_count = 1;
+  // Queue representation: the ordered working set holds <node, distance>
+  // pairs, and "the same node can appear multiple times in the working set
+  // with different weight values" (Sec. IV.A) — findmin and extraction scan
+  // every outstanding pair, not the deduplicated candidate set.
+  std::uint64_t pairs_outstanding = 1;
+  OrderedState st{&dist, &tent, &cand, &dg, &buckets, &cand_count, &pairs_outstanding};
+  const bool queue_repr = variant.repr == WorksetRepr::queue;
+
+  std::vector<std::uint32_t> frontier;
+  simt::Predicate pred;
+  pred.base_addr = cand.base_addr();
+  pred.stride = 1;
+  pred.ops = 4;  // candidate flag + tentative-distance comparison
+
+  std::uint32_t iteration = 0;
+  while (cand_count > 0) {
+    ++iteration;
+    AGG_CHECK_MSG(iteration <= 64ull * g.num_nodes + 64, "ordered SSSP diverged");
+    const double t_iter = dev.now_us();
+
+    // (1) findmin by parallel reduction (Sec. V.B): over the dense tentative
+    // array (bitmap) or the compacted candidate queue (queue).
+    const std::uint64_t reduce_n =
+        queue_repr ? std::max<std::uint64_t>(pairs_outstanding, 1) : g.num_nodes;
+    simt::prim::charge_reduce_min(dev, reduce_n);
+
+    // Functional minimum from the bucket index (skipping stale entries).
+    frontier.clear();
+    while (!buckets.empty() && frontier.empty()) {
+      auto it = buckets.begin();
+      const std::uint32_t min_key = it->first;
+      const auto tent_view = tent.host_view();
+      const auto cand_view = cand.host_view();
+      for (const std::uint32_t v : it->second) {
+        if (cand_view[v] == 1 && tent_view[v] == min_key) frontier.push_back(v);
+      }
+      pairs_outstanding -= std::min<std::uint64_t>(pairs_outstanding, it->second.size());
+      buckets.erase(it);
+    }
+    if (frontier.empty()) break;  // only stale entries remained
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+
+    // (2) frontier extraction kernel: queue repr compacts the candidate
+    // queue (dropping settled/stale entries); bitmap repr skips this — the
+    // settle kernel scans all n with the candidate predicate inline.
+    if (queue_repr) {
+      simt::UniformThreadCost c;
+      c.ops = 5;
+      c.mem_instrs = 2;  // candidate id + tentative distance
+      c.transactions_per_warp = 2.0 * simt::kWarpSize * 4 / 128.0;
+      dev.account_kernel(simt::estimate_uniform_kernel(
+          dev.props(), dev.timing(), "osssp.extract(analytic)",
+          std::max<std::uint64_t>(pairs_outstanding + frontier.size(), 1), 256, c));
+      // Functional content of the device frontier queue the extract kernel
+      // produced (its cost is the estimate above).
+      std::copy(frontier.begin(), frontier.end(), fqueue.host_view().begin());
+    }
+
+    // (3) settle + relax kernel over the frontier (mapping-dependent).
+    if (variant.mapping == Mapping::thread) {
+      if (queue_repr) {
+        const auto grid = simt::GridSpec::dense(frontier.size(), opts.thread_tpb);
+        simt::launch(dev, "osssp.settle.T_QU", grid, [&](simt::ThreadCtx& ctx) {
+          const std::uint32_t id = ctx.load(fqueue, ctx.global_id(), kQueueLoad);
+          settle_element(ctx, st, id, false, true, cand_tail);
+        });
+      } else {
+        const auto grid = simt::GridSpec::over_threads(
+            g.num_nodes, opts.thread_tpb, frontier, pred);
+        simt::launch(dev, "osssp.settle.T_BM", grid, [&](simt::ThreadCtx& ctx) {
+          settle_element(ctx, st, static_cast<std::uint32_t>(ctx.global_id()),
+                         false, false, cand_tail);
+        });
+      }
+    } else {
+      if (queue_repr) {
+        const auto grid =
+            simt::GridSpec::dense(frontier.size() * block_tpb, block_tpb);
+        simt::launch(dev, "osssp.settle.B_QU", grid, [&](simt::ThreadCtx& ctx) {
+          const std::uint32_t id = ctx.load(fqueue, ctx.block_idx(), kQueueLoad);
+          settle_element(ctx, st, id, true, true, cand_tail);
+        });
+      } else {
+        const auto grid =
+            simt::GridSpec::over_blocks(g.num_nodes, block_tpb, frontier, pred);
+        simt::launch(dev, "osssp.settle.B_BM", grid, [&](simt::ThreadCtx& ctx) {
+          settle_element(ctx, st, static_cast<std::uint32_t>(ctx.block_idx()),
+                         true, false, cand_tail);
+        });
+      }
+    }
+    for (const std::uint32_t v : frontier) {
+      result.metrics.edges_processed += g.degree(v);
+    }
+    cand_count -= frontier.size();
+
+    result.metrics.iterations.push_back(
+        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+  }
+
+  result.dist.resize(g.num_nodes);
+  dev.memcpy_d2h(std::span<std::uint32_t>(result.dist), dist);
+
+  dev.free(dist);
+  dev.free(tent);
+  dev.free(cand);
+  dev.free(cand_tail);
+  dev.free(fqueue);
+  dg.release(dev);
+  fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
+                         dev.now_us());
+  return result;
+}
+
+}  // namespace
+
+GpuSsspResult run_sssp(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
+                       const VariantSelector& selector, const EngineOptions& opts) {
+  AGG_CHECK(source < g.num_nodes);
+  AGG_CHECK_MSG(g.has_weights(), "SSSP requires edge weights");
+  SelectorInput sel;
+  sel.ws_size = 1;
+  sel.avg_outdegree = g.num_nodes > 0 ? static_cast<double>(g.num_edges()) /
+                                            static_cast<double>(g.num_nodes)
+                                      : 0;
+  {
+    double sq = 0.0;
+    for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+      const double d = static_cast<double>(g.degree(v)) - sel.avg_outdegree;
+      sq += d * d;
+    }
+    sel.outdeg_stddev =
+        g.num_nodes > 0 ? std::sqrt(sq / static_cast<double>(g.num_nodes)) : 0.0;
+  }
+  sel.num_nodes = g.num_nodes;
+  const Variant initial = selector(sel);
+  if (initial.ordering == Ordering::ordered) {
+    AGG_CHECK_MSG(initial.mapping != Mapping::warp,
+                  "warp-centric mapping is an unordered-only extension");
+    return run_ordered(dev, g, source, initial, opts);
+  }
+  return run_unordered(dev, g, source, initial, selector, opts);
+}
+
+}  // namespace gg

@@ -1,0 +1,63 @@
+#include "gpu_graph/variant.h"
+
+#include "common/check.h"
+
+namespace gg {
+
+std::array<Variant, 8> all_variants() {
+  std::array<Variant, 8> out;
+  std::size_t i = 0;
+  for (const Ordering o : {Ordering::ordered, Ordering::unordered}) {
+    for (const Mapping m : {Mapping::thread, Mapping::block}) {
+      for (const WorksetRepr w : {WorksetRepr::bitmap, WorksetRepr::queue}) {
+        out[i++] = Variant{o, m, w};
+      }
+    }
+  }
+  return out;
+}
+
+std::array<Variant, 4> unordered_variants() {
+  std::array<Variant, 4> out;
+  std::size_t i = 0;
+  for (const Mapping m : {Mapping::thread, Mapping::block}) {
+    for (const WorksetRepr w : {WorksetRepr::bitmap, WorksetRepr::queue}) {
+      out[i++] = Variant{Ordering::unordered, m, w};
+    }
+  }
+  return out;
+}
+
+std::array<Variant, 2> warp_centric_variants() {
+  return {Variant{Ordering::unordered, Mapping::warp, WorksetRepr::bitmap},
+          Variant{Ordering::unordered, Mapping::warp, WorksetRepr::queue}};
+}
+
+std::string variant_name(const Variant& v) {
+  std::string name;
+  name += v.ordering == Ordering::ordered ? "O" : "U";
+  switch (v.mapping) {
+    case Mapping::thread: name += "_T"; break;
+    case Mapping::block: name += "_B"; break;
+    case Mapping::warp: name += "_W"; break;
+  }
+  name += v.repr == WorksetRepr::bitmap ? "_BM" : "_QU";
+  return name;
+}
+
+Variant parse_variant(const std::string& name) {
+  AGG_CHECK_MSG(name.size() == 6, "variant names look like U_T_BM");
+  Variant v;
+  AGG_CHECK(name[0] == 'O' || name[0] == 'U');
+  v.ordering = name[0] == 'O' ? Ordering::ordered : Ordering::unordered;
+  AGG_CHECK(name[2] == 'T' || name[2] == 'B' || name[2] == 'W');
+  v.mapping = name[2] == 'T'   ? Mapping::thread
+              : name[2] == 'B' ? Mapping::block
+                               : Mapping::warp;
+  const std::string repr = name.substr(4);
+  AGG_CHECK(repr == "BM" || repr == "QU");
+  v.repr = repr == "BM" ? WorksetRepr::bitmap : WorksetRepr::queue;
+  return v;
+}
+
+}  // namespace gg

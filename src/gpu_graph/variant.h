@@ -1,0 +1,41 @@
+// The implementation exploration space (paper Sec. IV, Fig. 3): ordering x
+// mapping granularity x working-set representation = 8 variants per
+// algorithm, named as in the paper's tables (e.g. U_T_BM = unordered,
+// thread-mapped, bitmap working set).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gg {
+
+enum class Ordering : std::uint8_t { ordered, unordered };
+// thread/block are the paper's two granularities (Sec. IV.B); warp is the
+// virtual-warp-centric granularity of Hong et al. [12], which the paper
+// names as integrable with its framework — provided here as an extension
+// (one element per 32-lane warp, several warps packed per physical block).
+enum class Mapping : std::uint8_t { thread, block, warp };
+enum class WorksetRepr : std::uint8_t { bitmap, queue };
+
+struct Variant {
+  Ordering ordering = Ordering::unordered;
+  Mapping mapping = Mapping::thread;
+  WorksetRepr repr = WorksetRepr::bitmap;
+
+  bool operator==(const Variant&) const = default;
+};
+
+// All eight variants in the tables' column order:
+// O_T_BM O_T_QU O_B_BM O_B_QU U_T_BM U_T_QU U_B_BM U_B_QU.
+std::array<Variant, 8> all_variants();
+// The adaptive runtime's pool: the four unordered variants (paper Sec. VI.A).
+std::array<Variant, 4> unordered_variants();
+// Extension variants: unordered warp-centric mapping (U_W_BM, U_W_QU).
+std::array<Variant, 2> warp_centric_variants();
+
+std::string variant_name(const Variant& v);
+// Parses names like "U_B_QU"; aborts on malformed input.
+Variant parse_variant(const std::string& name);
+
+}  // namespace gg

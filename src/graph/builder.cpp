@@ -1,0 +1,41 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace graph {
+
+GraphBuilder& GraphBuilder::add_edge(NodeId src, NodeId dst) {
+  AGG_CHECK_MSG(weights_.empty(), "mixing weighted and unweighted edges");
+  num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);
+  edges_.push_back({src, dst});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId src, NodeId dst, std::uint32_t weight) {
+  AGG_CHECK_MSG(weights_.size() == edges_.size(),
+                "mixing weighted and unweighted edges");
+  num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);
+  edges_.push_back({src, dst});
+  weights_.push_back(weight);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_undirected(NodeId src, NodeId dst, std::uint32_t weight) {
+  if (weights_.empty() && !edges_.empty() && weight != 0) {
+    AGG_CHECK_MSG(false, "mixing weighted and unweighted edges");
+  }
+  if (weight != 0 || !weights_.empty()) {
+    add_edge(src, dst, weight);
+    add_edge(dst, src, weight);
+  } else {
+    add_edge(src, dst);
+    add_edge(dst, src);
+  }
+  return *this;
+}
+
+Csr GraphBuilder::build() const {
+  return csr_from_edges(num_nodes_, edges_, weights_);
+}
+
+}  // namespace graph

@@ -1,0 +1,34 @@
+// Incremental graph construction for users of the public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graph {
+
+class GraphBuilder {
+ public:
+  // num_nodes may grow implicitly as edges reference higher ids.
+  explicit GraphBuilder(std::uint32_t num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  GraphBuilder& add_edge(NodeId src, NodeId dst);
+  GraphBuilder& add_edge(NodeId src, NodeId dst, std::uint32_t weight);
+  // Adds both (src,dst) and (dst,src).
+  GraphBuilder& add_undirected(NodeId src, NodeId dst, std::uint32_t weight = 0);
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  // Builds the CSR. If any edge carried a weight, all edges must have, and
+  // the CSR is weighted. The builder may be reused afterwards.
+  Csr build() const;
+
+ private:
+  std::uint32_t num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> weights_;
+};
+
+}  // namespace graph

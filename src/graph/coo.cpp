@@ -1,0 +1,36 @@
+#include "graph/coo.h"
+
+namespace graph {
+
+Coo Coo::from_csr(const Csr& g) {
+  Coo c;
+  c.num_nodes = g.num_nodes;
+  c.src.reserve(g.num_edges());
+  c.dst.reserve(g.num_edges());
+  if (g.has_weights()) c.weights.reserve(g.num_edges());
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      c.src.push_back(v);
+      c.dst.push_back(nbrs[i]);
+      if (g.has_weights()) c.weights.push_back(g.weights[g.row_offsets[v] + i]);
+    }
+  }
+  return c;
+}
+
+Csr Coo::to_csr() const {
+  std::vector<Edge> edges(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) edges[i] = {src[i], dst[i]};
+  return csr_from_edges(num_nodes, edges, weights);
+}
+
+void Coo::validate() const {
+  AGG_CHECK(src.size() == dst.size());
+  AGG_CHECK(weights.empty() || weights.size() == src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    AGG_CHECK(src[i] < num_nodes && dst[i] < num_nodes);
+  }
+}
+
+}  // namespace graph

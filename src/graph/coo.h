@@ -1,0 +1,27 @@
+// Coordinate (edge-list) representation: the layout edge-parallel kernels
+// consume (one thread per arc). Convertible to/from CSR; conversions keep
+// edge order (CSR order = arcs sorted by source).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graph {
+
+struct Coo {
+  std::uint32_t num_nodes = 0;
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  std::vector<std::uint32_t> weights;  // empty or parallel to src/dst
+
+  std::uint64_t num_edges() const { return src.size(); }
+  bool has_weights() const { return !weights.empty(); }
+
+  static Coo from_csr(const Csr& g);
+  Csr to_csr() const;
+  void validate() const;
+};
+
+}  // namespace graph

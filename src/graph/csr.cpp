@@ -1,0 +1,133 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/prng.h"
+
+namespace graph {
+
+void Csr::validate() const {
+  AGG_CHECK(row_offsets.size() == static_cast<std::size_t>(num_nodes) + 1);
+  AGG_CHECK(row_offsets.front() == 0);
+  AGG_CHECK(row_offsets.back() == col_indices.size());
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    AGG_CHECK_MSG(row_offsets[v] <= row_offsets[v + 1], "offsets must be monotone");
+  }
+  for (const NodeId t : col_indices) {
+    AGG_CHECK_MSG(t < num_nodes, "edge target out of range");
+  }
+  AGG_CHECK(weights.empty() || weights.size() == col_indices.size());
+}
+
+std::uint64_t Csr::memory_bytes() const {
+  return row_offsets.size() * sizeof(std::uint32_t) +
+         col_indices.size() * sizeof(NodeId) + weights.size() * sizeof(std::uint32_t);
+}
+
+Csr csr_from_edges(std::uint32_t num_nodes, std::span<const Edge> edges,
+                   std::span<const std::uint32_t> weights) {
+  AGG_CHECK(weights.empty() || weights.size() == edges.size());
+  Csr g;
+  g.num_nodes = num_nodes;
+  g.row_offsets.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) {
+    AGG_CHECK(e.src < num_nodes && e.dst < num_nodes);
+    ++g.row_offsets[e.src + 1];
+  }
+  std::partial_sum(g.row_offsets.begin(), g.row_offsets.end(), g.row_offsets.begin());
+  g.col_indices.resize(edges.size());
+  if (!weights.empty()) g.weights.resize(edges.size());
+
+  std::vector<std::uint32_t> cursor(g.row_offsets.begin(), g.row_offsets.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::uint32_t pos = cursor[edges[i].src]++;
+    g.col_indices[pos] = edges[i].dst;
+    if (!weights.empty()) g.weights[pos] = weights[i];
+  }
+  return g;
+}
+
+Csr transpose(const Csr& g) {
+  Csr t;
+  t.num_nodes = g.num_nodes;
+  t.row_offsets.assign(static_cast<std::size_t>(g.num_nodes) + 1, 0);
+  for (const NodeId dst : g.col_indices) ++t.row_offsets[dst + 1];
+  std::partial_sum(t.row_offsets.begin(), t.row_offsets.end(), t.row_offsets.begin());
+  t.col_indices.resize(g.col_indices.size());
+  if (g.has_weights()) t.weights.resize(g.weights.size());
+
+  std::vector<std::uint32_t> cursor(t.row_offsets.begin(), t.row_offsets.end() - 1);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint32_t pos = cursor[nbrs[i]]++;
+      t.col_indices[pos] = v;
+      if (g.has_weights()) t.weights[pos] = g.weights[g.row_offsets[v] + i];
+    }
+  }
+  return t;
+}
+
+Csr symmetrize(const Csr& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges() * 2);
+  std::vector<std::uint32_t> w;
+  if (g.has_weights()) w.reserve(g.num_edges() * 2);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      edges.push_back({v, nbrs[i]});
+      edges.push_back({nbrs[i], v});
+      if (g.has_weights()) {
+        const std::uint32_t wi = g.weights[g.row_offsets[v] + i];
+        w.push_back(wi);
+        w.push_back(wi);
+      }
+    }
+  }
+  return csr_from_edges(g.num_nodes, edges, w);
+}
+
+void assign_uniform_weights(Csr& g, std::uint32_t lo, std::uint32_t hi,
+                            std::uint64_t seed) {
+  AGG_CHECK(lo >= 1 && lo <= hi);  // zero weights would make SSSP degenerate
+  agg::Prng rng(seed);
+  g.weights.resize(g.col_indices.size());
+  for (auto& w : g.weights) {
+    w = static_cast<std::uint32_t>(rng.uniform_int(lo, hi));
+  }
+}
+
+void assign_symmetric_uniform_weights(Csr& g, std::uint32_t lo, std::uint32_t hi,
+                                      std::uint64_t seed) {
+  AGG_CHECK(lo >= 1 && lo <= hi);
+  g.weights.resize(g.col_indices.size());
+  const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
+  for (std::uint32_t u = 0; u < g.num_nodes; ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint32_t a = std::min(u, nbrs[i]);
+      const std::uint32_t b = std::max(u, nbrs[i]);
+      std::uint64_t h = seed ^ (static_cast<std::uint64_t>(a) << 32 | b);
+      h = agg::splitmix64(h);
+      g.weights[g.row_offsets[u] + i] = lo + static_cast<std::uint32_t>(h % range);
+    }
+  }
+}
+
+NodeId suggest_source(const Csr& g) {
+  AGG_CHECK(g.num_nodes > 0);
+  NodeId best = 0;
+  std::uint32_t best_deg = g.degree(0);
+  for (NodeId v = 1; v < g.num_nodes; ++v) {
+    const std::uint32_t d = g.degree(v);
+    if (d > best_deg) {
+      best = v;
+      best_deg = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace graph

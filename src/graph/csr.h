@@ -1,0 +1,85 @@
+// Compressed sparse row graph representation (paper Sec. V.A, Fig. 7).
+//
+// The node vector (`row_offsets`, n+1 entries) indexes into the edge vector
+// (`col_indices`, m entries); SSSP additionally carries a parallel `weights`
+// array. This is the exact layout the engines upload to the device.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace graph {
+
+using NodeId = std::uint32_t;
+
+inline constexpr std::uint32_t kInfinity = 0xffffffffu;
+
+struct Csr {
+  std::uint32_t num_nodes = 0;
+  std::vector<std::uint32_t> row_offsets;  // num_nodes + 1
+  std::vector<NodeId> col_indices;         // num_edges
+  std::vector<std::uint32_t> weights;      // empty, or num_edges
+
+  std::uint64_t num_edges() const { return col_indices.size(); }
+  bool has_weights() const { return !weights.empty(); }
+
+  std::uint32_t degree(NodeId v) const {
+    AGG_DCHECK(v < num_nodes);
+    return row_offsets[v + 1] - row_offsets[v];
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    AGG_DCHECK(v < num_nodes);
+    return {col_indices.data() + row_offsets[v], degree(v)};
+  }
+
+  std::span<const std::uint32_t> edge_weights(NodeId v) const {
+    AGG_DCHECK(v < num_nodes && has_weights());
+    return {weights.data() + row_offsets[v], degree(v)};
+  }
+
+  // Structural invariants: offsets monotone and bounded, targets in range,
+  // weights either absent or parallel to the edge vector. Aborts on
+  // violation; used by tests and after deserialization.
+  void validate() const;
+
+  // Estimated bytes of the in-memory representation.
+  std::uint64_t memory_bytes() const;
+};
+
+// Builds a CSR from an (unsorted) edge list via counting sort; preserves the
+// relative order of edges with equal source (stable). `weights` may be empty
+// or parallel to `edges`.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+};
+Csr csr_from_edges(std::uint32_t num_nodes, std::span<const Edge> edges,
+                   std::span<const std::uint32_t> weights = {});
+
+// Returns the reverse (transposed) graph; weights follow their edges.
+Csr transpose(const Csr& g);
+
+// Adds the reverse of every edge (symmetrizes a directed graph). Used by the
+// undirected datasets (road, co-citation), which store both arcs.
+Csr symmetrize(const Csr& g);
+
+// Assigns deterministic pseudo-random integer weights in [lo, hi] to every
+// edge (SSSP workloads).
+void assign_uniform_weights(Csr& g, std::uint32_t lo, std::uint32_t hi,
+                            std::uint64_t seed);
+
+// Like assign_uniform_weights, but the weight is a deterministic function of
+// the unordered endpoint pair, so both arcs of an undirected edge carry the
+// same weight (required by MST; parallel edges share a weight).
+void assign_symmetric_uniform_weights(Csr& g, std::uint32_t lo, std::uint32_t hi,
+                                      std::uint64_t seed);
+
+// A deterministic, well-connected traversal source: the node with the
+// largest outdegree (smallest id breaking ties).
+NodeId suggest_source(const Csr& g);
+
+}  // namespace graph

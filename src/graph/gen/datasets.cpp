@@ -1,0 +1,142 @@
+#include "graph/gen/datasets.h"
+
+#include <algorithm>
+
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 0x5e55'10b5'2013'0001ull;
+
+struct PaperSizes {
+  std::uint32_t nodes;
+  double avg_outdeg;     // target average outdegree
+  std::uint32_t max_outdeg;
+};
+
+// Published (Table 1) sizes, reconciled where the OCR is ambiguous.
+PaperSizes sizes_for(DatasetId id) {
+  switch (id) {
+    case DatasetId::co_road:  return {435'666, 2.4, 8};
+    case DatasetId::citeseer: return {434'102, 36.9, 1'188};
+    case DatasetId::p2p:      return {36'692, 5.0, 103};
+    case DatasetId::amazon:   return {396'830, 8.5, 10};
+    case DatasetId::google:   return {739'454, 6.9, 456};
+    case DatasetId::sns:      return {4'308'452, 8.0, 20'293};
+  }
+  AGG_CHECK(false);
+  return {};
+}
+
+Csr make_csr(DatasetId id, std::uint32_t nodes) {
+  const PaperSizes sizes = sizes_for(id);
+  switch (id) {
+    case DatasetId::co_road:
+      return road_network(nodes, /*seed=*/0xc0'0a'd0 + 1);
+    case DatasetId::amazon:
+      return regular_copurchase(nodes, /*seed=*/0xa3a204);
+    case DatasetId::citeseer: {
+      PowerLawParams p;
+      p.num_nodes = nodes;
+      p.head_fraction = 0.90;
+      p.head_min = 1;
+      p.head_max = 2;
+      p.tail_min = 3;
+      p.tail_max = sizes.max_outdeg;
+      p.planted_hubs = 2;
+      p.seed = 0xc17e5ee8;
+      p.tail_alpha = solve_tail_alpha(p, sizes.avg_outdeg);
+      return powerlaw_configuration(p);
+    }
+    case DatasetId::p2p: {
+      PowerLawParams p;
+      p.num_nodes = nodes;
+      p.head_fraction = 0.50;
+      p.head_min = 0;
+      p.head_max = 4;
+      p.tail_min = 5;
+      p.tail_max = sizes.max_outdeg;
+      p.planted_hubs = 2;
+      p.seed = 0x9292;
+      p.tail_alpha = solve_tail_alpha(p, sizes.avg_outdeg);
+      return powerlaw_configuration(p);
+    }
+    case DatasetId::google: {
+      PowerLawParams p;
+      p.num_nodes = nodes;
+      p.head_fraction = 0.60;
+      p.head_min = 0;
+      p.head_max = 4;
+      p.tail_min = 5;
+      p.tail_max = sizes.max_outdeg;
+      p.planted_hubs = 2;
+      p.seed = 0x60061e;
+      p.tail_alpha = solve_tail_alpha(p, sizes.avg_outdeg);
+      return powerlaw_configuration(p);
+    }
+    case DatasetId::sns: {
+      PowerLawParams p;
+      p.num_nodes = nodes;
+      p.head_fraction = 0.60;
+      p.head_min = 0;
+      p.head_max = 5;
+      p.tail_min = 6;
+      p.tail_max = sizes.max_outdeg;
+      p.planted_hubs = 3;
+      p.seed = 0x50c1a1;
+      p.tail_alpha = solve_tail_alpha(p, sizes.avg_outdeg);
+      return powerlaw_configuration(p);
+    }
+  }
+  AGG_CHECK(false);
+  return {};
+}
+
+Dataset make_with_nodes(DatasetId id, std::uint32_t nodes) {
+  Dataset d;
+  d.id = id;
+  d.name = dataset_name(id);
+  d.csr = make_csr(id, nodes);
+  // DIMACS road networks carry travel-time weights with a wide integer range;
+  // we use the same range on every dataset for comparability. The range also
+  // controls how many distinct distance values (= iterations) the ordered
+  // SSSP must process.
+  assign_uniform_weights(d.csr, 1, 1000,
+                         kWeightSeed ^ static_cast<std::uint64_t>(id));
+  d.source = suggest_source(d.csr);
+  d.stats = GraphStats::compute(d.csr);
+  return d;
+}
+
+}  // namespace
+
+const char* dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::co_road:  return "CO-road";
+    case DatasetId::citeseer: return "CiteSeer";
+    case DatasetId::p2p:      return "p2p";
+    case DatasetId::amazon:   return "Amazon";
+    case DatasetId::google:   return "Google";
+    case DatasetId::sns:      return "SNS";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> all_datasets() {
+  return {DatasetId::co_road, DatasetId::citeseer, DatasetId::p2p,
+          DatasetId::amazon,  DatasetId::google,   DatasetId::sns};
+}
+
+Dataset make_dataset(DatasetId id, double scale) {
+  AGG_CHECK(scale > 0.0 && scale <= 1.0);
+  const auto nodes = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(sizes_for(id).nodes * scale));
+  return make_with_nodes(id, nodes);
+}
+
+Dataset make_dataset_scaled_to(DatasetId id, std::uint32_t approx_nodes) {
+  return make_with_nodes(id, std::max<std::uint32_t>(64, approx_nodes));
+}
+
+}  // namespace graph::gen

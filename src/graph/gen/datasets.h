@@ -1,0 +1,37 @@
+// The six evaluation datasets of the paper (Table 1), as synthetic stand-ins
+// parameterized to match the published node/edge counts and outdegree
+// statistics. See DESIGN.md for the paper-value reconciliation.
+//
+// `scale` proportionally shrinks the node count (degree distributions are
+// preserved) so tests and smoke runs can use the same topology classes at a
+// fraction of the size; scale = 1.0 reproduces the paper's sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/graph_stats.h"
+
+namespace graph::gen {
+
+enum class DatasetId { co_road, citeseer, p2p, amazon, google, sns };
+
+struct Dataset {
+  DatasetId id;
+  std::string name;
+  Csr csr;             // weighted (uniform integer weights for SSSP)
+  NodeId source;       // deterministic traversal source
+  GraphStats stats;
+};
+
+const char* dataset_name(DatasetId id);
+std::vector<DatasetId> all_datasets();
+
+Dataset make_dataset(DatasetId id, double scale = 1.0);
+
+// Convenience for tests: a small instance (~`approx_nodes` nodes) of the
+// dataset's topology class.
+Dataset make_dataset_scaled_to(DatasetId id, std::uint32_t approx_nodes);
+
+}  // namespace graph::gen

@@ -1,0 +1,90 @@
+// Synthetic graph generators.
+//
+// These produce the topology classes the paper evaluates on (Sec. III.A,
+// Table 1, Fig. 1): a sparse large-diameter road network, a regular
+// co-purchase network, and heavy-tailed scale-free networks. R-MAT and
+// Erdos-Renyi are included for tests and as general library utilities.
+// Every generator is deterministic in its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+
+namespace graph::gen {
+
+// ---- road network (CO-road stand-in) --------------------------------------
+//
+// A grid of intersections; each grid road is subdivided into a chain of
+// degree-2 nodes (the paper: "most towns are usually directly connected to a
+// handful of other towns"); a small fraction of intersections become hubs
+// with extra links ("few bigger cities ... have as many as 7-8 intercity
+// roads"). Undirected: both arcs are stored. Large diameter by construction.
+struct RoadParams {
+  std::uint32_t grid_width = 281;
+  std::uint32_t grid_height = 282;
+  double edge_drop = 0.10;       // fraction of grid roads removed
+  std::uint32_t chain_min = 1;   // intermediate nodes per road
+  std::uint32_t chain_max = 4;
+  double hub_fraction = 0.002;   // intersections promoted to hubs
+  std::uint32_t max_degree = 8;  // paper: CO-road max outdegree is 8
+  std::uint64_t seed = 1;
+};
+Csr road_network(const RoadParams& params);
+// Chooses grid dimensions so the result has approximately `target_nodes`.
+Csr road_network(std::uint32_t target_nodes, std::uint64_t seed);
+
+// ---- regular network (Amazon stand-in) ------------------------------------
+//
+// Paper Fig. 1: "70% of the nodes have 10 outgoing edges, and the remaining
+// nodes have an outdegree uniformly distributed between 1 and 9." Directed;
+// targets uniform at random (no self loops).
+Csr regular_copurchase(std::uint32_t num_nodes, std::uint64_t seed);
+
+// ---- heavy-tailed configuration model (CiteSeer / p2p / Google / SNS) -----
+//
+// A two-population outdegree mixture: `head_fraction` of the nodes draw a
+// uniform degree in [head_min, head_max] (the "about 90% of the nodes have
+// less than 2 outgoing edges" mass), the rest draw from a bounded power law
+// k^-tail_alpha on [tail_min, tail_max]. `planted_hubs` nodes are forced to
+// tail_max so the dataset's reported maximum outdegree is hit exactly.
+struct PowerLawParams {
+  std::uint32_t num_nodes = 0;
+  double head_fraction = 0.9;
+  std::uint32_t head_min = 1;
+  std::uint32_t head_max = 2;
+  double tail_alpha = 1.0;
+  std::uint32_t tail_min = 3;
+  std::uint32_t tail_max = 1000;
+  std::uint32_t planted_hubs = 2;
+  std::uint64_t seed = 1;
+};
+Csr powerlaw_configuration(const PowerLawParams& params);
+
+// Solves tail_alpha so the *overall* mean outdegree of the mixture matches
+// `target_mean` (bisection over the tail sampler's analytic mean).
+double solve_tail_alpha(const PowerLawParams& params, double target_mean);
+
+// ---- R-MAT (Graph500-style) ------------------------------------------------
+struct RmatParams {
+  std::uint32_t scale = 16;          // 2^scale nodes
+  std::uint32_t edges_per_node = 16;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+};
+Csr rmat(const RmatParams& params);
+
+// ---- uniform random --------------------------------------------------------
+// G(n, m): m directed edges with independent uniform endpoints.
+Csr erdos_renyi(std::uint32_t num_nodes, std::uint64_t num_edges, std::uint64_t seed);
+
+// ---- small world (Watts-Strogatz) -------------------------------------------
+// Ring lattice of even degree k with each forward edge rewired with
+// probability `rewire_prob`; symmetric (both arcs stored). Interpolates
+// between the road-like regime (p = 0: large diameter) and the scale-free
+// regime's short diameters (p -> 1), useful for studying how the adaptive
+// thresholds respond to diameter alone.
+Csr watts_strogatz(std::uint32_t num_nodes, std::uint32_t k, double rewire_prob,
+                   std::uint64_t seed);
+
+}  // namespace graph::gen

@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/prng.h"
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+namespace {
+
+double mixture_mean(const PowerLawParams& p, double tail_alpha) {
+  const double head_mean = (p.head_min + p.head_max) / 2.0;
+  const agg::PowerLawSampler tail(tail_alpha, p.tail_min, p.tail_max);
+  return p.head_fraction * head_mean + (1.0 - p.head_fraction) * tail.mean();
+}
+
+}  // namespace
+
+double solve_tail_alpha(const PowerLawParams& params, double target_mean) {
+  // mixture_mean is strictly decreasing in alpha; bisect on [lo, hi].
+  double lo = -1.0;  // negative alpha biases towards tail_max
+  double hi = 4.0;
+  AGG_CHECK_MSG(mixture_mean(params, lo) >= target_mean &&
+                    mixture_mean(params, hi) <= target_mean,
+                "target mean outside achievable range");
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (mixture_mean(params, mid) > target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+Csr powerlaw_configuration(const PowerLawParams& p) {
+  AGG_CHECK(p.num_nodes >= 16);
+  AGG_CHECK(p.head_fraction >= 0.0 && p.head_fraction <= 1.0);
+  AGG_CHECK(p.head_min <= p.head_max);
+  AGG_CHECK(p.tail_min >= 1 && p.tail_min <= p.tail_max);
+
+  agg::Prng rng(p.seed);
+  const agg::PowerLawSampler tail(p.tail_alpha, p.tail_min, p.tail_max);
+
+  std::vector<std::uint32_t> degree(p.num_nodes);
+  for (auto& d : degree) {
+    d = rng.bernoulli(p.head_fraction)
+            ? static_cast<std::uint32_t>(rng.uniform_int(p.head_min, p.head_max))
+            : tail.sample(rng);
+  }
+  // Plant hubs at deterministic positions so the dataset's maximum outdegree
+  // matches the published value. Capped at n/8 so scaled-down instances keep
+  // their average outdegree (at the paper's full sizes the cap is inactive).
+  const std::uint32_t hub_degree = std::min(p.tail_max, p.num_nodes / 8);
+  for (std::uint32_t h = 0; h < p.planted_hubs && p.num_nodes > 0; ++h) {
+    const std::uint32_t at =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(h) * 2654435761u) % p.num_nodes);
+    degree[at] = hub_degree;
+  }
+
+  Csr g;
+  g.num_nodes = p.num_nodes;
+  g.row_offsets.resize(static_cast<std::size_t>(p.num_nodes) + 1);
+  g.row_offsets[0] = 0;
+  for (std::uint32_t v = 0; v < p.num_nodes; ++v) {
+    g.row_offsets[v + 1] = g.row_offsets[v] + degree[v];
+  }
+  g.col_indices.resize(g.row_offsets.back());
+  for (std::uint32_t v = 0; v < p.num_nodes; ++v) {
+    for (std::uint32_t k = 0; k < degree[v]; ++k) {
+      std::uint32_t t;
+      do {
+        t = static_cast<std::uint32_t>(rng.bounded(p.num_nodes));
+      } while (t == v);
+      g.col_indices[g.row_offsets[v] + k] = t;
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace graph::gen

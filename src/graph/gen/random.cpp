@@ -1,0 +1,26 @@
+#include <vector>
+
+#include "common/prng.h"
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+
+Csr erdos_renyi(std::uint32_t num_nodes, std::uint64_t num_edges, std::uint64_t seed) {
+  AGG_CHECK(num_nodes >= 2);
+  agg::Prng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.bounded(num_nodes));
+    std::uint32_t v;
+    do {
+      v = static_cast<std::uint32_t>(rng.bounded(num_nodes));
+    } while (v == u);
+    edges.push_back({u, v});
+  }
+  Csr g = csr_from_edges(num_nodes, edges);
+  g.validate();
+  return g;
+}
+
+}  // namespace graph::gen

@@ -1,0 +1,40 @@
+#include <numeric>
+#include <vector>
+
+#include "common/prng.h"
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+
+Csr regular_copurchase(std::uint32_t num_nodes, std::uint64_t seed) {
+  AGG_CHECK(num_nodes >= 16);
+  agg::Prng rng(seed);
+
+  std::vector<std::uint32_t> degree(num_nodes);
+  for (auto& d : degree) {
+    d = rng.bernoulli(0.70) ? 10u
+                            : static_cast<std::uint32_t>(rng.uniform_int(1, 9));
+  }
+
+  Csr g;
+  g.num_nodes = num_nodes;
+  g.row_offsets.resize(static_cast<std::size_t>(num_nodes) + 1);
+  g.row_offsets[0] = 0;
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    g.row_offsets[v + 1] = g.row_offsets[v] + degree[v];
+  }
+  g.col_indices.resize(g.row_offsets.back());
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    for (std::uint32_t k = 0; k < degree[v]; ++k) {
+      std::uint32_t t;
+      do {
+        t = static_cast<std::uint32_t>(rng.bounded(num_nodes));
+      } while (t == v);
+      g.col_indices[g.row_offsets[v] + k] = t;
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace graph::gen

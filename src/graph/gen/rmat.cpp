@@ -1,0 +1,43 @@
+#include <vector>
+
+#include "common/prng.h"
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+
+Csr rmat(const RmatParams& p) {
+  AGG_CHECK(p.scale >= 4 && p.scale <= 30);
+  AGG_CHECK(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0);
+  agg::Prng rng(p.seed);
+
+  const std::uint32_t n = 1u << p.scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(n) * p.edges_per_node;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.uniform01();
+      // Quadrant selection with light noise, as in the Graph500 reference.
+      if (r < p.a) {
+        // top-left: no bits set
+      } else if (r < p.a + p.b) {
+        v |= 1u << bit;
+      } else if (r < p.a + p.b + p.c) {
+        u |= 1u << bit;
+      } else {
+        u |= 1u << bit;
+        v |= 1u << bit;
+      }
+    }
+    if (u == v) {
+      v = (v + 1) % n;  // avoid self loops deterministically
+    }
+    edges.push_back({u, v});
+  }
+  Csr g = csr_from_edges(n, edges);
+  g.validate();
+  return g;
+}
+
+}  // namespace graph::gen

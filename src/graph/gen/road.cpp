@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/prng.h"
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+namespace {
+
+// Undirected edge accumulator with a degree cap.
+class UndirectedEdges {
+ public:
+  explicit UndirectedEdges(std::uint32_t max_degree) : max_degree_(max_degree) {}
+
+  std::uint32_t add_node() {
+    degree_.push_back(0);
+    return static_cast<std::uint32_t>(degree_.size() - 1);
+  }
+
+  bool try_connect(std::uint32_t u, std::uint32_t v) {
+    if (u == v) return false;
+    if (degree_[u] >= max_degree_ || degree_[v] >= max_degree_) return false;
+    edges_.push_back({u, v});
+    edges_.push_back({v, u});
+    ++degree_[u];
+    ++degree_[v];
+    return true;
+  }
+
+  std::uint32_t degree(std::uint32_t v) const { return degree_[v]; }
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(degree_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::uint32_t max_degree_;
+  std::vector<std::uint32_t> degree_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace
+
+Csr road_network(const RoadParams& params) {
+  AGG_CHECK(params.grid_width >= 2 && params.grid_height >= 2);
+  AGG_CHECK(params.chain_min >= 1 && params.chain_min <= params.chain_max);
+  AGG_CHECK(params.edge_drop >= 0.0 && params.edge_drop < 1.0);
+
+  agg::Prng rng(params.seed);
+  const std::uint32_t w = params.grid_width;
+  const std::uint32_t h = params.grid_height;
+  UndirectedEdges acc(params.max_degree);
+  for (std::uint32_t i = 0; i < w * h; ++i) acc.add_node();
+
+  auto intersection = [&](std::uint32_t x, std::uint32_t y) { return y * w + x; };
+
+  // Connects two intersections through a chain of degree-2 towns.
+  auto lay_road = [&](std::uint32_t u, std::uint32_t v) {
+    const auto len =
+        static_cast<std::uint32_t>(rng.uniform_int(params.chain_min, params.chain_max));
+    std::uint32_t prev = u;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const std::uint32_t town = acc.add_node();
+      acc.try_connect(prev, town);
+      prev = town;
+    }
+    acc.try_connect(prev, v);
+  };
+
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w && !rng.bernoulli(params.edge_drop)) {
+        lay_road(intersection(x, y), intersection(x + 1, y));
+      }
+      if (y + 1 < h && !rng.bernoulli(params.edge_drop)) {
+        lay_road(intersection(x, y), intersection(x, y + 1));
+      }
+    }
+  }
+
+  // Hubs: a few cities gain direct intercity roads to *nearby* intersections
+  // (towards the max degree). Keeping the extra links local preserves the
+  // large-diameter character real road networks have; uniform long-range
+  // links would turn the graph small-world.
+  const auto num_hubs =
+      static_cast<std::uint32_t>(params.hub_fraction * static_cast<double>(w) * h);
+  for (std::uint32_t i = 0; i < num_hubs; ++i) {
+    const auto hx = static_cast<std::uint32_t>(rng.bounded(w));
+    const auto hy = static_cast<std::uint32_t>(rng.bounded(h));
+    const auto extra = static_cast<std::uint32_t>(rng.uniform_int(2, 4));
+    for (std::uint32_t k = 0; k < extra; ++k) {
+      const auto tx = static_cast<std::uint32_t>(
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(hx) + rng.uniform_int(-6, 6),
+                                   0, w - 1));
+      const auto ty = static_cast<std::uint32_t>(
+          std::clamp<std::int64_t>(static_cast<std::int64_t>(hy) + rng.uniform_int(-6, 6),
+                                   0, h - 1));
+      acc.try_connect(intersection(hx, hy), intersection(tx, ty));
+    }
+  }
+
+  Csr g = csr_from_edges(acc.num_nodes(), acc.edges());
+  g.validate();
+  return g;
+}
+
+Csr road_network(std::uint32_t target_nodes, std::uint64_t seed) {
+  RoadParams p;
+  p.seed = seed;
+  // nodes ~= W*H * (1 + 2*(1-drop)*avg_chain); solve for a square-ish grid.
+  const double avg_chain = (p.chain_min + p.chain_max) / 2.0;
+  const double per_cell = 1.0 + 2.0 * (1.0 - p.edge_drop) * avg_chain;
+  const double cells = static_cast<double>(target_nodes) / per_cell;
+  p.grid_width = std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::sqrt(cells)));
+  p.grid_height = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(cells / static_cast<double>(p.grid_width)));
+  return road_network(p);
+}
+
+}  // namespace graph::gen

@@ -1,0 +1,35 @@
+#include <vector>
+
+#include "common/prng.h"
+#include "graph/gen/generators.h"
+
+namespace graph::gen {
+
+Csr watts_strogatz(std::uint32_t num_nodes, std::uint32_t k, double rewire_prob,
+                   std::uint64_t seed) {
+  AGG_CHECK(num_nodes >= 8);
+  AGG_CHECK(k >= 2 && k % 2 == 0 && k < num_nodes);
+  AGG_CHECK(rewire_prob >= 0.0 && rewire_prob <= 1.0);
+  agg::Prng rng(seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_nodes) * k);
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      std::uint32_t t = (v + j) % num_nodes;
+      if (rng.bernoulli(rewire_prob)) {
+        // Rewire to a uniform random endpoint (no self loop).
+        do {
+          t = static_cast<std::uint32_t>(rng.bounded(num_nodes));
+        } while (t == v);
+      }
+      edges.push_back({v, t});
+      edges.push_back({t, v});
+    }
+  }
+  Csr g = csr_from_edges(num_nodes, edges);
+  g.validate();
+  return g;
+}
+
+}  // namespace graph::gen

@@ -1,0 +1,59 @@
+#include "graph/graph_stats.h"
+
+#include <vector>
+
+#include "common/table.h"
+
+namespace graph {
+
+GraphStats GraphStats::compute(const Csr& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes;
+  s.num_edges = g.num_edges();
+  agg::RunningStats deg;
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    const std::uint32_t d = g.degree(v);
+    deg.add(d);
+    s.outdeg_hist.add(d);
+  }
+  s.outdeg_min = static_cast<std::uint32_t>(deg.min());
+  s.outdeg_max = static_cast<std::uint32_t>(deg.max());
+  s.outdeg_avg = deg.mean();
+  s.outdeg_stddev = deg.stddev();
+  return s;
+}
+
+std::string GraphStats::summary() const {
+  return "n=" + agg::Table::fmt_int(num_nodes) + " m=" + agg::Table::fmt_int(num_edges) +
+         " outdeg " + std::to_string(outdeg_min) + "/" + std::to_string(outdeg_max) +
+         "/" + agg::Table::fmt(outdeg_avg, 2);
+}
+
+ReachProfile compute_reach(const Csr& g, NodeId source) {
+  AGG_CHECK(source < g.num_nodes);
+  ReachProfile p;
+  std::vector<std::uint32_t> level(g.num_nodes, kInfinity);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  level[source] = 0;
+  p.reachable_nodes = 1;
+  while (!frontier.empty()) {
+    ++p.levels;
+    next.clear();
+    for (const NodeId v : frontier) {
+      p.reachable_edges += g.degree(v);
+      for (const NodeId t : g.neighbors(v)) {
+        if (level[t] == kInfinity) {
+          level[t] = level[v] + 1;
+          ++p.reachable_nodes;
+          next.push_back(t);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  --p.levels;  // the last iteration discovered nothing
+  return p;
+}
+
+}  // namespace graph

@@ -1,0 +1,38 @@
+// Static topology characterization — the "graph inspector" input of the
+// adaptive runtime (paper Sec. VI.A) and the source of Table 1 / Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "graph/csr.h"
+
+namespace graph {
+
+struct GraphStats {
+  std::uint32_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t outdeg_min = 0;
+  std::uint32_t outdeg_max = 0;
+  double outdeg_avg = 0;
+  double outdeg_stddev = 0;
+  agg::DegreeHistogram outdeg_hist{64};
+
+  static GraphStats compute(const Csr& g);
+
+  // One-line summary ("n=435,666 m=1,057,066 deg 1/8/2.43").
+  std::string summary() const;
+};
+
+// BFS-level profile from `source`: number of levels (eccentricity within the
+// reachable component) and reachable node/edge counts. Used by dataset tests
+// and by the CPU cost model.
+struct ReachProfile {
+  std::uint32_t levels = 0;
+  std::uint32_t reachable_nodes = 0;
+  std::uint64_t reachable_edges = 0;
+};
+ReachProfile compute_reach(const Csr& g, NodeId source);
+
+}  // namespace graph

@@ -1,0 +1,31 @@
+// Graph serialization.
+//
+// Three formats:
+//  * DIMACS shortest-path (.gr)  — the 9th DIMACS challenge format the paper
+//    draws its road network from ("p sp <n> <m>" header, "a <u> <v> <w>"
+//    arcs, 1-based ids);
+//  * SNAP edge list (.txt)       — "# comment" lines then "<u>\t<v>" pairs,
+//    0-based ids, as distributed by the Stanford Large Network Collection;
+//  * binary (.agg)               — fast load/store of CSR + weights.
+//
+// Users with the original paper datasets can load them directly; the bench
+// harness falls back to the synthetic stand-ins otherwise.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.h"
+
+namespace graph {
+
+Csr read_dimacs(const std::string& path);
+void write_dimacs(const Csr& g, const std::string& path);
+
+// `num_nodes` of the result is 1 + max id seen.
+Csr read_snap_edgelist(const std::string& path);
+void write_snap_edgelist(const Csr& g, const std::string& path);
+
+Csr read_binary(const std::string& path);
+void write_binary(const Csr& g, const std::string& path);
+
+}  // namespace graph

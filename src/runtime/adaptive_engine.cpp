@@ -1,0 +1,60 @@
+#include "runtime/adaptive_engine.h"
+
+namespace rt {
+namespace {
+
+gg::EngineOptions engine_opts(const AdaptiveOptions& opts) {
+  gg::EngineOptions eo = opts.engine;
+  eo.monitor_interval = opts.monitor_interval == 0 ? 1 : opts.monitor_interval;
+  return eo;
+}
+
+Thresholds effective_thresholds(simt::Device& dev, const AdaptiveOptions& opts) {
+  if (opts.thresholds_overridden) return opts.thresholds;
+  return Thresholds::for_device(dev.props(), opts.engine.thread_tpb,
+                                opts.thresholds.t3_fraction);
+}
+
+}  // namespace
+
+gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds) {
+  return [thresholds](const gg::SelectorInput& in) {
+    return decide(thresholds, in.ws_size, in.avg_outdegree, in.num_nodes,
+                  in.outdeg_stddev);
+  };
+}
+
+gg::GpuBfsResult adaptive_bfs(simt::Device& dev, const graph::Csr& g,
+                              graph::NodeId source, const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  return gg::run_bfs(dev, g, source, make_adaptive_selector(t), engine_opts(opts));
+}
+
+gg::GpuSsspResult adaptive_sssp(simt::Device& dev, const graph::Csr& g,
+                                graph::NodeId source, const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  return gg::run_sssp(dev, g, source, make_adaptive_selector(t), engine_opts(opts));
+}
+
+gg::GpuCcResult adaptive_cc(simt::Device& dev, const graph::Csr& g,
+                            const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  return gg::run_cc(dev, g, make_adaptive_selector(t), engine_opts(opts));
+}
+
+gg::GpuMstResult adaptive_mst(simt::Device& dev, const graph::Csr& g,
+                              const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  return gg::run_mst(dev, g, make_adaptive_selector(t), engine_opts(opts));
+}
+
+gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, const graph::Csr& g,
+                                        const gg::PageRankOptions& pr,
+                                        const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  gg::PageRankOptions options = pr;
+  options.engine = engine_opts(opts);
+  return gg::run_pagerank(dev, g, make_adaptive_selector(t), options);
+}
+
+}  // namespace rt

@@ -1,0 +1,50 @@
+// The adaptive runtime (paper Sec. VI): couples the graph inspector and the
+// decision maker to the traversal engines, re-selecting the implementation
+// among the four unordered variants at (sampled) decision points during the
+// traversal. Representation switches cost nothing extra because every
+// iteration regenerates the working set from the shared update vector.
+#pragma once
+
+#include "gpu_graph/bfs_engine.h"
+#include "gpu_graph/cc_engine.h"
+#include "gpu_graph/mst_engine.h"
+#include "gpu_graph/pagerank_engine.h"
+#include "gpu_graph/sssp_engine.h"
+#include "runtime/decision.h"
+#include "runtime/inspector.h"
+
+namespace rt {
+
+struct AdaptiveOptions {
+  // Default thresholds are derived from the device at run time; set
+  // `thresholds_overridden` to pin explicit values (threshold sweeps).
+  Thresholds thresholds;
+  bool thresholds_overridden = false;
+  std::uint32_t monitor_interval = 1;  // sampling rate R
+  gg::EngineOptions engine;            // tpb knobs (monitor_interval is set here)
+};
+
+gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds);
+
+gg::GpuBfsResult adaptive_bfs(simt::Device& dev, const graph::Csr& g,
+                              graph::NodeId source, const AdaptiveOptions& opts = {});
+
+gg::GpuSsspResult adaptive_sssp(simt::Device& dev, const graph::Csr& g,
+                                graph::NodeId source,
+                                const AdaptiveOptions& opts = {});
+
+// Connected components (extension algorithm); the graph must be symmetric.
+gg::GpuCcResult adaptive_cc(simt::Device& dev, const graph::Csr& g,
+                            const AdaptiveOptions& opts = {});
+
+// Minimum spanning forest by Boruvka (extension algorithm); the graph must
+// be symmetric and weighted.
+gg::GpuMstResult adaptive_mst(simt::Device& dev, const graph::Csr& g,
+                              const AdaptiveOptions& opts = {});
+
+// PageRank by residual push (extension algorithm).
+gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, const graph::Csr& g,
+                                        const gg::PageRankOptions& pr = {},
+                                        const AdaptiveOptions& opts = {});
+
+}  // namespace rt

@@ -1,0 +1,36 @@
+#include "runtime/decision.h"
+
+namespace rt {
+
+Thresholds Thresholds::for_device(const simt::DeviceProps& props,
+                                  std::uint32_t thread_tpb, double t3_fraction) {
+  Thresholds t;
+  t.t1_avg_outdegree = simt::kWarpSize;  // Sec. VII.B: "we set T1 to 32"
+  t.t2_ws_size = static_cast<double>(thread_tpb) * props.num_sms;
+  t.t3_fraction = t3_fraction;
+  return t;
+}
+
+gg::Variant decide(const Thresholds& t, std::uint64_t ws_size, double avg_outdegree,
+                   std::uint32_t num_nodes, double outdeg_stddev) {
+  gg::Variant v;
+  v.ordering = gg::Ordering::unordered;  // Sec. VI.A: adaptive pool is unordered
+
+  const auto ws = static_cast<double>(ws_size);
+  if (ws < t.t2_ws_size) {
+    // Left of T2: too little coarse-grained parallelism for thread mapping,
+    // and a bitmap over N nodes would be nearly all waste.
+    v.mapping = gg::Mapping::block;
+    v.repr = gg::WorksetRepr::queue;
+    return v;
+  }
+  const double effective_outdegree =
+      avg_outdegree + t.skew_weight * outdeg_stddev;
+  v.mapping = effective_outdegree < t.t1_avg_outdegree ? gg::Mapping::thread
+                                                       : gg::Mapping::block;
+  const double t3 = t.t3_fraction * static_cast<double>(num_nodes);
+  v.repr = ws > t3 ? gg::WorksetRepr::bitmap : gg::WorksetRepr::queue;
+  return v;
+}
+
+}  // namespace rt

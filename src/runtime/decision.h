@@ -1,0 +1,57 @@
+// The decision maker (paper Sec. VI.B-VI.D, Fig. 11).
+//
+// Given the runtime attributes — working-set size |WS| and the graph's
+// average outdegree — selects one of the four unordered implementations:
+//
+//      avg outdegree
+//        ^
+//        |   B_QU      B_QU        B_BM
+//   T1 --+           ----------+----------
+//        |   B_QU      T_QU    |   T_BM
+//        +---------+-----------+-----------> |WS|
+//                  T2          T3
+//
+//  * T1 = warp size: below it, block mapping underutilizes the cores of an
+//    SM during the cooperative neighborhood visit;
+//  * T2 = thread_tpb x num_SMs: below it, thread mapping cannot put work on
+//    every SM, so block mapping is always preferred (B_QU region);
+//  * T3 = fraction of the node count: above it, the bitmap's wasted-thread
+//    fraction (1 - |WS|/N) is low enough to beat the queue's atomic
+//    serialization.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu_graph/variant.h"
+#include "simt/device_props.h"
+
+namespace rt {
+
+struct Thresholds {
+  double t1_avg_outdegree = 32.0;
+  double t2_ws_size = 2688.0;    // 192 threads/block x 14 SMs on the C2070
+  // Fraction of the node count. Experimentally tuned on the simulated
+  // device via bench/fig13_t3_sweep (per-dataset optima fall at 10-80%; the
+  // paper's Fermi measurements put them at 1-13% — our modeled queue
+  // insertion is cheaper relative to bitmap thread waste).
+  double t3_fraction = 0.30;
+
+  // Extension over the paper's Fig. 11 (motivated by its own Sec. VI.B
+  // thread-divergence discussion): the mapping decision compares
+  // avg + skew_weight * stddev of the outdegree against T1, so heavy-tailed
+  // graphs with a low *average* outdegree (e.g. SNS) still select block
+  // mapping, whose cooperative neighborhood visit absorbs the tail. Set
+  // skew_weight = 0 for the paper's exact rule.
+  double skew_weight = 0.5;
+
+  // Derives T1/T2 from the device per the paper's rules; keeps the given
+  // T3 fraction.
+  static Thresholds for_device(const simt::DeviceProps& props,
+                               std::uint32_t thread_tpb = 192,
+                               double t3_fraction = 0.30);
+};
+
+gg::Variant decide(const Thresholds& t, std::uint64_t ws_size, double avg_outdegree,
+                   std::uint32_t num_nodes, double outdeg_stddev = 0.0);
+
+}  // namespace rt

@@ -1,0 +1,6 @@
+#include "runtime/inspector.h"
+
+// GraphInspector is header-only; this TU anchors it in the library.
+namespace rt {
+static_assert(sizeof(GraphInspector) > 0);
+}

@@ -1,0 +1,35 @@
+// The graph inspector (paper Sec. VI.A / VI.E): computes the static topology
+// attributes once per graph and carries the runtime monitoring policy. The
+// per-iteration monitored attribute (working-set size) flows through the
+// engines' SelectorInput; the inspector decides how often it is refreshed
+// (sampling) and exposes the whole-graph average outdegree used in place of
+// the per-frontier average (the paper's overhead reduction (i)).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "graph/graph_stats.h"
+
+namespace rt {
+
+class GraphInspector {
+ public:
+  explicit GraphInspector(const graph::Csr& g)
+      : stats_(graph::GraphStats::compute(g)) {}
+
+  const graph::GraphStats& stats() const { return stats_; }
+  double avg_outdegree() const { return stats_.outdeg_avg; }
+  std::uint32_t num_nodes() const { return stats_.num_nodes; }
+  std::uint64_t num_edges() const { return stats_.num_edges; }
+
+  // Sampling interval R for working-set monitoring (Sec. VI.E (ii)).
+  std::uint32_t monitor_interval() const { return monitor_interval_; }
+  void set_monitor_interval(std::uint32_t r) { monitor_interval_ = r == 0 ? 1 : r; }
+
+ private:
+  graph::GraphStats stats_;
+  std::uint32_t monitor_interval_ = 1;
+};
+
+}  // namespace rt

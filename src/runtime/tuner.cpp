@@ -1,0 +1,58 @@
+#include "runtime/tuner.h"
+
+#include <limits>
+
+namespace rt {
+namespace {
+
+double run_once(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
+                TunedAlgorithm algo, const AdaptiveOptions& opts) {
+  if (algo == TunedAlgorithm::bfs) {
+    return adaptive_bfs(dev, g, source, opts).metrics.total_us;
+  }
+  return adaptive_sssp(dev, g, source, opts).metrics.total_us;
+}
+
+}  // namespace
+
+SweepResult sweep_t3(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
+                     std::span<const double> fractions, TunedAlgorithm algo,
+                     const AdaptiveOptions& base) {
+  SweepResult result;
+  result.best_time_us = std::numeric_limits<double>::infinity();
+  for (const double f : fractions) {
+    AdaptiveOptions opts = base;
+    opts.thresholds =
+        Thresholds::for_device(dev.props(), opts.engine.thread_tpb, f);
+    opts.thresholds_overridden = true;
+    const double t = run_once(dev, g, source, algo, opts);
+    result.curve.push_back({f, t});
+    if (t < result.best_time_us) {
+      result.best_time_us = t;
+      result.best_value = f;
+    }
+  }
+  return result;
+}
+
+SweepResult sweep_monitor_interval(simt::Device& dev, const graph::Csr& g,
+                                   graph::NodeId source,
+                                   std::span<const std::uint32_t> intervals,
+                                   TunedAlgorithm algo,
+                                   const AdaptiveOptions& base) {
+  SweepResult result;
+  result.best_time_us = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t r : intervals) {
+    AdaptiveOptions opts = base;
+    opts.monitor_interval = r;
+    const double t = run_once(dev, g, source, algo, opts);
+    result.curve.push_back({static_cast<double>(r), t});
+    if (t < result.best_time_us) {
+      result.best_time_us = t;
+      result.best_value = static_cast<double>(r);
+    }
+  }
+  return result;
+}
+
+}  // namespace rt

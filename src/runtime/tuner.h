@@ -1,0 +1,41 @@
+// Empirical threshold tuning (paper Sec. VII.B): sweeps the T3 fraction (and
+// optionally the monitoring interval R) on a given graph and reports the
+// execution-time curve plus the best setting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "runtime/adaptive_engine.h"
+
+namespace rt {
+
+struct SweepPoint {
+  double value;     // the swept parameter (T3 fraction or R)
+  double time_us;   // adaptive SSSP or BFS execution time at that setting
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> curve;
+  double best_value = 0;
+  double best_time_us = 0;
+};
+
+enum class TunedAlgorithm { bfs, sssp };
+
+// Runs the adaptive engine at each T3 fraction; the rest of the options is
+// taken from `base`.
+SweepResult sweep_t3(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
+                     std::span<const double> fractions, TunedAlgorithm algo,
+                     const AdaptiveOptions& base = {});
+
+// Runs the adaptive engine at each monitoring interval R (Sec. VI.E).
+SweepResult sweep_monitor_interval(simt::Device& dev, const graph::Csr& g,
+                                   graph::NodeId source,
+                                   std::span<const std::uint32_t> intervals,
+                                   TunedAlgorithm algo,
+                                   const AdaptiveOptions& base = {});
+
+}  // namespace rt

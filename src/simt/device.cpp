@@ -1,0 +1,7 @@
+#include "simt/device.h"
+
+// Device is header-only (templates); this TU pins the vtable-free class into
+// the library and verifies the header is self-contained.
+namespace simt {
+static_assert(kWarpSize == 32);
+}

@@ -1,0 +1,166 @@
+// Device facade: allocation, host<->device transfers, device-side fills, the
+// simulated clock, and cumulative accounting. A Device owns the reusable
+// tracing scratch used by kernel launches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/check.h"
+#include "simt/device_props.h"
+#include "simt/kernel.h"
+#include "simt/memory.h"
+#include "simt/timing_model.h"
+#include "simt/warp_trace.h"
+
+namespace simt {
+
+struct DeviceStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t transfers = 0;
+  double kernel_time_us = 0;
+  double transfer_time_us = 0;
+  double host_time_us = 0;
+  double issue_cycles = 0;
+  double transactions = 0;
+  double atomics = 0;
+  double lane_work = 0;
+  double lockstep_work = 0;
+  std::uint64_t warps_executed = 0;
+  std::uint64_t warps_uniform = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+
+  double simd_efficiency() const {
+    return lockstep_work > 0 ? lane_work / lockstep_work : 1.0;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceProps& props = DeviceProps::fermi_c2070(),
+                  TimingModel tm = TimingModel::fermi_default())
+      : props_(props), tm_(tm), space_(props.global_mem_bytes), trace_(tm_) {}
+
+  const DeviceProps& props() const { return props_; }
+  const TimingModel& timing() const { return tm_; }
+
+  // ---- allocation ----
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n, std::string name) {
+    const std::uint64_t base = space_.allocate(n * sizeof(T));
+    return DeviceBufferFactory<T>::make(base, n, std::move(name));
+  }
+
+  template <typename T>
+  void free(DeviceBuffer<T>& buf) {
+    if (buf.valid()) space_.release(buf.size_bytes());
+    buf = DeviceBuffer<T>();
+  }
+
+  std::uint64_t mem_in_use() const { return space_.bytes_in_use(); }
+
+  // ---- transfers (advance the simulated clock with the PCIe model) ----
+  template <typename T>
+  void memcpy_h2d(DeviceBuffer<T>& dst, std::span<const T> src) {
+    AGG_CHECK(src.size() <= dst.size());
+    std::copy(src.begin(), src.end(), dst.host_view().begin());
+    account_transfer(src.size_bytes(), /*to_device=*/true);
+  }
+
+  template <typename T>
+  void memcpy_d2h(std::span<T> dst, const DeviceBuffer<T>& src) {
+    AGG_CHECK(dst.size() <= src.size());
+    const auto view = src.host_view();
+    std::copy(view.begin(), view.begin() + static_cast<std::ptrdiff_t>(dst.size()),
+              dst.begin());
+    account_transfer(dst.size_bytes(), /*to_device=*/false);
+  }
+
+  // Single-value download, the per-iteration termination check of the engine.
+  template <typename T>
+  T read_scalar(const DeviceBuffer<T>& src, std::size_t i = 0) {
+    AGG_CHECK(i < src.size());
+    account_transfer(sizeof(T), /*to_device=*/false);
+    return src.host_view()[i];
+  }
+
+  // Single-value upload (e.g. source-node initialization, counter reset).
+  template <typename T>
+  void write_scalar(DeviceBuffer<T>& dst, std::size_t i, T value) {
+    AGG_CHECK(i < dst.size());
+    dst.host_view()[i] = value;
+    account_transfer(sizeof(T), /*to_device=*/true);
+  }
+
+  // ---- device-side fill (charged as an analytic uniform kernel) ----
+  template <typename T>
+  void fill(DeviceBuffer<T>& buf, T value) {
+    std::fill(buf.host_view().begin(), buf.host_view().end(), value);
+    UniformThreadCost cost;
+    cost.ops = 1;
+    cost.mem_instrs = 1;
+    cost.transactions_per_warp = kWarpSize * sizeof(T) / tm_.segment_bytes;
+    account_kernel(estimate_uniform_kernel(props_, tm_, "fill", buf.size(), 256, cost));
+  }
+
+  // ---- clock & accounting ----
+  double now_us() const { return clock_us_; }
+  void reset_clock() { clock_us_ = 0; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+  const DeviceStats& stats() const { return stats_; }
+
+  // Optional per-launch observer (profiling / tests); called after every
+  // kernel completes, with the final assembled stats.
+  using KernelObserver = std::function<void(const KernelStats&)>;
+  void set_kernel_observer(KernelObserver obs) { observer_ = std::move(obs); }
+
+  void account_kernel(const KernelStats& ks) {
+    if (observer_) observer_(ks);
+    clock_us_ += ks.time_us;
+    ++stats_.kernels_launched;
+    stats_.kernel_time_us += ks.time_us;
+    stats_.issue_cycles += ks.issue_cycles;
+    stats_.transactions += ks.transactions;
+    stats_.atomics += ks.atomics;
+    stats_.lane_work += ks.lane_work;
+    stats_.lockstep_work += ks.lockstep_work;
+    stats_.warps_executed += ks.warps_executed;
+    stats_.warps_uniform += ks.warps_uniform;
+  }
+
+  // Host-side compute on the application timeline (hybrid CPU/GPU phases).
+  void account_host_compute(double us) {
+    clock_us_ += us;
+    stats_.host_time_us += us;
+  }
+
+  void account_transfer(std::uint64_t bytes, bool to_device) {
+    const double t =
+        tm_.transfer_latency_us + static_cast<double>(bytes) / (props_.pcie_gbps * 1e3);
+    clock_us_ += t;
+    ++stats_.transfers;
+    stats_.transfer_time_us += t;
+    (to_device ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
+  }
+
+  // Scratch shared by launches (single-threaded simulator).
+  WarpTrace& trace() { return trace_; }
+  AtomicTally& tally() { return tally_; }
+  BlockSharedState& block_shared() { return block_shared_; }
+
+ private:
+  DeviceProps props_;
+  TimingModel tm_;
+  AddressSpace space_;
+  WarpTrace trace_;
+  AtomicTally tally_;
+  BlockSharedState block_shared_;
+  DeviceStats stats_;
+  KernelObserver observer_;
+  double clock_us_ = 0;
+};
+
+}  // namespace simt

@@ -1,0 +1,64 @@
+#include "simt/device_props.h"
+
+#include <algorithm>
+
+namespace simt {
+
+int DeviceProps::resident_blocks(std::uint32_t threads_per_block) const {
+  if (threads_per_block == 0) return 1;
+  const int by_threads =
+      static_cast<int>(max_resident_threads_per_sm / threads_per_block);
+  return std::max(1, std::min(max_resident_blocks_per_sm, by_threads));
+}
+
+const DeviceProps& DeviceProps::fermi_c2070() {
+  static const DeviceProps props{};
+  return props;
+}
+
+const DeviceProps& DeviceProps::fermi_gtx580() {
+  static const DeviceProps props = [] {
+    DeviceProps p;
+    p.name = "GeForce GTX 580 (simulated)";
+    p.num_sms = 16;
+    p.clock_ghz = 1.544;
+    p.dram_gbps = 192.0;
+    p.global_mem_bytes = 3ull << 30;
+    return p;
+  }();
+  return props;
+}
+
+const DeviceProps& DeviceProps::kepler_k20() {
+  static const DeviceProps props = [] {
+    DeviceProps p;
+    p.name = "Tesla K20 (simulated)";
+    p.num_sms = 13;
+    p.cores_per_sm = 192;
+    p.clock_ghz = 0.706;
+    p.max_resident_threads_per_sm = 2048;
+    p.max_resident_blocks_per_sm = 16;
+    p.dram_gbps = 208.0;
+    p.global_mem_bytes = 5ull << 30;
+    return p;
+  }();
+  return props;
+}
+
+const DeviceProps& DeviceProps::test_tiny() {
+  static const DeviceProps props = [] {
+    DeviceProps p;
+    p.name = "tiny test device";
+    p.num_sms = 2;
+    p.cores_per_sm = 32;
+    p.clock_ghz = 1.0;
+    p.max_resident_threads_per_sm = 128;
+    p.max_resident_blocks_per_sm = 2;
+    p.dram_gbps = 16.0;
+    p.pcie_gbps = 4.0;
+    return p;
+  }();
+  return props;
+}
+
+}  // namespace simt

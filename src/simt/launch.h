@@ -1,0 +1,319 @@
+// Kernel launch drivers.
+//
+// Three launch shapes cover every kernel in the library:
+//
+//  * launch(dense)          — every thread of the grid runs the body; used
+//    when the grid is sized to the work (queue-based working sets).
+//  * launch (sparse threads) — the grid spans `total_threads` ids but only a
+//    sorted subset executes the body (bitmap working sets with thread
+//    mapping). Predicate-only warps are accounted analytically; partially
+//    active warps record the predicate access for all lanes, so coalescing
+//    and divergence of the bitmap check are modeled exactly.
+//  * launch (sparse blocks) — one block per element id; inactive blocks pay
+//    the broadcast predicate load (bitmap working sets with block mapping).
+//
+// launch_phased adds BSP-style phases (each boundary = __syncthreads()) and
+// per-block shared memory, used by the reduction/scan primitives and the
+// working-set population counter.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "simt/device.h"
+#include "simt/kernel.h"
+#include "simt/timing_model.h"
+
+namespace simt {
+
+struct GridSpec {
+  std::uint64_t total_threads = 0;
+  std::uint32_t tpb = 256;
+  std::span<const std::uint32_t> active_threads{};
+  std::span<const std::uint32_t> active_blocks{};
+  bool sparse_threads = false;
+  bool sparse_blocks = false;
+  Predicate pred{};
+
+  static GridSpec dense(std::uint64_t total, std::uint32_t tpb) {
+    GridSpec g;
+    g.total_threads = total;
+    g.tpb = tpb;
+    return g;
+  }
+  // Grid of `total` threads; only `active` (sorted, unique) run the body.
+  static GridSpec over_threads(std::uint64_t total, std::uint32_t tpb,
+                               std::span<const std::uint32_t> active, Predicate pred) {
+    GridSpec g;
+    g.total_threads = total;
+    g.tpb = tpb;
+    g.active_threads = active;
+    g.sparse_threads = true;
+    g.pred = pred;
+    return g;
+  }
+  // Grid of `total_blocks` blocks of `tpb` threads; only `active` blocks
+  // (sorted, unique) run the body.
+  static GridSpec over_blocks(std::uint64_t total_blocks, std::uint32_t tpb,
+                              std::span<const std::uint32_t> active, Predicate pred) {
+    GridSpec g;
+    g.total_threads = total_blocks * tpb;
+    g.tpb = tpb;
+    g.active_blocks = active;
+    g.sparse_blocks = true;
+    g.pred = pred;
+    return g;
+  }
+
+  std::uint64_t blocks() const { return (total_threads + tpb - 1) / tpb; }
+};
+
+namespace detail {
+
+// Analytic cost of one warp that only evaluates the working-set predicate.
+WarpCost predicate_warp_cost(const TimingModel& tm, const Predicate& pred,
+                             bool broadcast);
+
+struct LaunchTotals {
+  KernelStats stats;
+
+  void add_warp(const WarpCost& wc, std::uint64_t count = 1, bool executed = true) {
+    const auto k = static_cast<double>(count);
+    stats.issue_cycles += wc.issue_cycles * k;
+    stats.mem_instrs += wc.mem_instrs * k;
+    stats.transactions += wc.transactions * k;
+    stats.atomics += wc.atomics * k;
+    stats.lane_work += wc.lane_work * k;
+    stats.lockstep_work += wc.lockstep_work * k;
+    (executed ? stats.warps_executed : stats.warps_uniform) += count;
+  }
+};
+
+}  // namespace detail
+
+// Dense / sparse-threads / sparse-blocks launch of `body(ThreadCtx&)`.
+template <typename Body>
+KernelStats launch(Device& dev, const char* name, const GridSpec& grid, Body&& body) {
+  const DeviceProps& props = dev.props();
+  const TimingModel& tm = dev.timing();
+  AGG_CHECK(grid.tpb >= 1 && grid.tpb <= static_cast<std::uint32_t>(props.max_threads_per_block));
+
+  WarpTrace& trace = dev.trace();
+  AtomicTally& tally = dev.tally();
+  tally.reset();
+
+  detail::LaunchTotals totals;
+  totals.stats.name = name;
+  totals.stats.total_threads = grid.total_threads;
+  totals.stats.blocks = grid.blocks();
+
+  WaveAccumulator waves(props, tm, grid.tpb);
+  const std::uint32_t warps_per_block = (grid.tpb + kWarpSize - 1) / kWarpSize;
+  const WarpCost pred_wc =
+      detail::predicate_warp_cost(tm, grid.pred, /*broadcast=*/grid.sparse_blocks);
+  const double pred_block_issue = pred_wc.issue_cycles * warps_per_block;
+  const double pred_block_crit = pred_wc.critical_cycles(tm);
+
+  // Runs the 32 lanes [warp_begin, warp_begin+32) of block b; `is_active`
+  // decides per-lane whether the body runs. Returns the warp cost.
+  auto run_warp = [&](std::uint64_t b, std::uint64_t warp_begin, auto&& is_active,
+                      auto&& lane_addr) {
+    trace.begin_warp();
+    ThreadCtx ctx(trace, nullptr, b, grid.tpb, totals.stats.blocks);
+    const std::uint64_t warp_end =
+        std::min<std::uint64_t>(warp_begin + kWarpSize, grid.total_threads);
+    const std::uint64_t block_base = b * grid.tpb;
+    for (std::uint64_t gid = warp_begin; gid < warp_end; ++gid) {
+      ctx.bind_lane(static_cast<std::uint32_t>(gid - block_base));
+      if (grid.pred.enabled()) {
+        trace.on_global(kPredicateSite, lane_addr(gid),
+                        std::max<std::uint32_t>(grid.pred.stride, 1));
+        trace.on_compute(kPredicateOpsSite,
+                         static_cast<std::uint64_t>(grid.pred.ops));
+      }
+      if (is_active(gid)) body(ctx);
+    }
+    return trace.finish_warp(tally);
+  };
+
+  if (grid.sparse_threads) {
+    const auto& active = grid.active_threads;
+    std::size_t i = 0;
+    std::uint64_t next_block = 0;
+    while (i < active.size()) {
+      const std::uint64_t b = active[i] / grid.tpb;
+      AGG_DCHECK(b >= next_block);
+      if (b > next_block) {
+        waves.add_uniform_blocks(b - next_block, pred_block_issue, pred_block_crit);
+        totals.add_warp(pred_wc, (b - next_block) * warps_per_block, /*executed=*/false);
+      }
+      // Collect this block's active ids.
+      std::size_t j = i;
+      while (j < active.size() && active[j] / grid.tpb == b) {
+        AGG_DCHECK(j == i || active[j] > active[j - 1]);
+        ++j;
+      }
+      double block_issue = 0;
+      double block_crit = 0;
+      const std::uint64_t block_base = b * grid.tpb;
+      const std::uint64_t block_threads =
+          std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
+      const std::uint32_t warps_here =
+          static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
+      std::size_t cursor = i;
+      for (std::uint32_t w = 0; w < warps_here; ++w) {
+        const std::uint64_t warp_begin = block_base + static_cast<std::uint64_t>(w) * kWarpSize;
+        const std::uint64_t warp_end =
+            std::min<std::uint64_t>(warp_begin + kWarpSize, grid.total_threads);
+        const bool has_active = cursor < j && active[cursor] < warp_end;
+        if (!has_active) {
+          block_issue += pred_wc.issue_cycles;
+          block_crit = std::max(block_crit, pred_wc.critical_cycles(tm));
+          totals.add_warp(pred_wc, 1, /*executed=*/false);
+          continue;
+        }
+        const WarpCost wc = run_warp(
+            b, warp_begin,
+            [&](std::uint64_t gid) {
+              if (cursor < j && active[cursor] == gid) {
+                ++cursor;
+                return true;
+              }
+              return false;
+            },
+            [&](std::uint64_t gid) {
+              return grid.pred.base_addr + (gid >> grid.pred.id_shift) * grid.pred.stride;
+            });
+        block_issue += wc.issue_cycles;
+        block_crit = std::max(block_crit, wc.critical_cycles(tm));
+        totals.add_warp(wc);
+      }
+      waves.add_block(b, block_issue, block_crit);
+      next_block = b + 1;
+      i = j;
+    }
+    if (next_block < totals.stats.blocks) {
+      const std::uint64_t rest = totals.stats.blocks - next_block;
+      waves.add_uniform_blocks(rest, pred_block_issue, pred_block_crit);
+      totals.add_warp(pred_wc, rest * warps_per_block, /*executed=*/false);
+    }
+  } else if (grid.sparse_blocks) {
+    const auto& active = grid.active_blocks;
+    std::uint64_t next_block = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::uint64_t b = active[i];
+      AGG_DCHECK(i == 0 || b > active[i - 1]);
+      AGG_DCHECK(b >= next_block && b < totals.stats.blocks);
+      if (b > next_block) {
+        waves.add_uniform_blocks(b - next_block, pred_block_issue, pred_block_crit);
+        totals.add_warp(pred_wc, (b - next_block) * warps_per_block, /*executed=*/false);
+      }
+      double block_issue = 0;
+      double block_crit = 0;
+      const std::uint64_t block_base = b * grid.tpb;
+      const std::uint64_t block_threads =
+          std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
+      const auto warps_here =
+          static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
+      for (std::uint32_t w = 0; w < warps_here; ++w) {
+        const WarpCost wc = run_warp(
+            b, block_base + static_cast<std::uint64_t>(w) * kWarpSize,
+            [](std::uint64_t) { return true; },
+            [&](std::uint64_t) { return grid.pred.base_addr + b * grid.pred.stride; });
+        block_issue += wc.issue_cycles;
+        block_crit = std::max(block_crit, wc.critical_cycles(tm));
+        totals.add_warp(wc);
+      }
+      waves.add_block(b, block_issue, block_crit);
+      next_block = b + 1;
+    }
+    if (next_block < totals.stats.blocks) {
+      const std::uint64_t rest = totals.stats.blocks - next_block;
+      waves.add_uniform_blocks(rest, pred_block_issue, pred_block_crit);
+      totals.add_warp(pred_wc, rest * warps_per_block, /*executed=*/false);
+    }
+  } else {
+    // Dense.
+    for (std::uint64_t b = 0; b < totals.stats.blocks; ++b) {
+      double block_issue = 0;
+      double block_crit = 0;
+      const std::uint64_t block_base = b * grid.tpb;
+      const std::uint64_t block_threads =
+          std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
+      const auto warps_here =
+          static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
+      for (std::uint32_t w = 0; w < warps_here; ++w) {
+        const WarpCost wc = run_warp(
+            b, block_base + static_cast<std::uint64_t>(w) * kWarpSize,
+            [](std::uint64_t) { return true; }, [](std::uint64_t) { return 0ull; });
+        block_issue += wc.issue_cycles;
+        block_crit = std::max(block_crit, wc.critical_cycles(tm));
+        totals.add_warp(wc);
+      }
+      waves.add_block(b, block_issue, block_crit);
+    }
+  }
+
+  totals.stats.max_atomic_same_addr = tally.max_count();
+  assemble_kernel_time(props, tm, waves.finish_cycles(), totals.stats);
+  dev.account_kernel(totals.stats);
+  return totals.stats;
+}
+
+// Dense phased launch: body(phase, ctx) runs for every thread, phase by
+// phase; each phase boundary is a block-wide barrier. Shared memory persists
+// across phases within a block.
+template <typename Body>
+KernelStats launch_phased(Device& dev, const char* name, std::uint64_t total_threads,
+                          std::uint32_t tpb, int phases, Body&& body) {
+  const DeviceProps& props = dev.props();
+  const TimingModel& tm = dev.timing();
+  WarpTrace& trace = dev.trace();
+  AtomicTally& tally = dev.tally();
+  tally.reset();
+
+  detail::LaunchTotals totals;
+  totals.stats.name = name;
+  totals.stats.total_threads = total_threads;
+  totals.stats.blocks = (total_threads + tpb - 1) / tpb;
+
+  WaveAccumulator waves(props, tm, tpb);
+  for (std::uint64_t b = 0; b < totals.stats.blocks; ++b) {
+    BlockSharedState& shared = dev.block_shared();
+    shared.reset(props.shared_mem_per_block);
+    ThreadCtx ctx(trace, &shared, b, tpb, totals.stats.blocks);
+    const std::uint64_t block_base = b * tpb;
+    const std::uint64_t block_threads =
+        std::min<std::uint64_t>(tpb, total_threads - block_base);
+    double block_issue = 0;
+    double block_crit = 0;
+    for (int p = 0; p < phases; ++p) {
+      double phase_crit = 0;
+      for (std::uint64_t warp_begin = 0; warp_begin < block_threads;
+           warp_begin += kWarpSize) {
+        trace.begin_warp();
+        const std::uint64_t warp_end =
+            std::min<std::uint64_t>(warp_begin + kWarpSize, block_threads);
+        for (std::uint64_t t = warp_begin; t < warp_end; ++t) {
+          ctx.bind_lane(static_cast<std::uint32_t>(t));
+          body(p, ctx);
+        }
+        const WarpCost wc = trace.finish_warp(tally);
+        block_issue += wc.issue_cycles;
+        phase_crit = std::max(phase_crit, wc.critical_cycles(tm));
+        totals.add_warp(wc);
+      }
+      block_crit += phase_crit;  // barrier: phases serialize on the slowest warp
+    }
+    waves.add_block(b, block_issue, block_crit);
+  }
+
+  totals.stats.max_atomic_same_addr = tally.max_count();
+  assemble_kernel_time(props, tm, waves.finish_cycles(), totals.stats);
+  dev.account_kernel(totals.stats);
+  return totals.stats;
+}
+
+}  // namespace simt

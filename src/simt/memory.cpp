@@ -1,0 +1,20 @@
+#include "simt/memory.h"
+
+namespace simt {
+
+std::uint64_t AddressSpace::allocate(std::uint64_t bytes) {
+  const std::uint64_t aligned = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  AGG_CHECK_MSG(in_use_ + aligned <= capacity_, "simulated device out of memory");
+  const std::uint64_t base = next_;
+  next_ += aligned;
+  in_use_ += aligned;
+  return base;
+}
+
+void AddressSpace::release(std::uint64_t bytes) {
+  const std::uint64_t aligned = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  AGG_DCHECK(aligned <= in_use_);
+  in_use_ -= aligned;
+}
+
+}  // namespace simt

@@ -1,0 +1,82 @@
+// Simulated device global memory.
+//
+// Device allocations carry a simulated base address (assigned by a bump
+// allocator) so the coalescing model can reason about the addresses a warp
+// touches, and a host-side backing store that provides functional semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace simt {
+
+// Assigns simulated device addresses. 256-byte alignment mirrors cudaMalloc.
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::uint64_t allocate(std::uint64_t bytes);
+  void release(std::uint64_t bytes);  // accounting only; addresses not reused
+
+  std::uint64_t bytes_in_use() const { return in_use_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr std::uint64_t kAlignment = 256;
+  std::uint64_t capacity_;
+  std::uint64_t next_ = kAlignment;  // 0 stays an invalid address
+  std::uint64_t in_use_ = 0;
+};
+
+// A typed device allocation. Move-only; the backing store lives on the host
+// and is only legitimately touched through ThreadCtx (kernels) or Device
+// transfer/fill operations — direct host access is exposed for tests and
+// result download via host_view().
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  bool valid() const { return base_ != 0; }
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t size_bytes() const { return data_.size() * sizeof(T); }
+  std::uint64_t base_addr() const { return base_; }
+  std::uint64_t addr_of(std::size_t i) const { return base_ + i * sizeof(T); }
+  const std::string& name() const { return name_; }
+
+  // Functional backing store. Kernels must not use these directly.
+  std::span<T> host_view() { return {data_.data(), data_.size()}; }
+  std::span<const T> host_view() const { return {data_.data(), data_.size()}; }
+
+ private:
+  template <typename U>
+  friend class DeviceBufferFactory;
+
+  DeviceBuffer(std::uint64_t base, std::size_t n, std::string name)
+      : data_(n), base_(base), name_(std::move(name)) {}
+
+  std::vector<T> data_;
+  std::uint64_t base_ = 0;
+  std::string name_;
+};
+
+// Friend shim so Device (a non-template class) can construct buffers.
+template <typename T>
+class DeviceBufferFactory {
+ public:
+  static DeviceBuffer<T> make(std::uint64_t base, std::size_t n, std::string name) {
+    return DeviceBuffer<T>(base, n, std::move(name));
+  }
+};
+
+}  // namespace simt

@@ -1,0 +1,41 @@
+// Device-side primitives built on the phased launcher.
+//
+// reduce_min is the parallel-reduction findmin the paper's ordered SSSP uses
+// (Sec. V.B: "We implemented the findmin operation on GPU by parallel
+// reduction"). The executed form runs the real tree-reduction kernels; the
+// charge_* forms account the identical cost analytically and are used by the
+// engines on large arrays, where executing millions of predicate threads in
+// the simulator would add nothing but wall-clock time. A unit test pins the
+// executed and analytic costs against each other.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/device.h"
+
+namespace simt::prim {
+
+inline constexpr std::uint32_t kReduceTpb = 256;
+
+// Executes the tree reduction over values[0..n) and returns the minimum.
+// Launches ceil(log_256(n)) kernels; the final scalar is read back.
+std::uint32_t reduce_min(Device& dev, const DeviceBuffer<std::uint32_t>& values,
+                         std::size_t n);
+
+// Accounts the cost of reduce_min over n elements without executing it.
+void charge_reduce_min(Device& dev, std::uint64_t n);
+
+// Executes an exclusive prefix sum over values[0..n) into out[0..n)
+// (Blelloch up/down-sweep within blocks, recursive block-sums scan, uniform
+// add pass). Used by the scan-based queue-generation extension and as a
+// general device primitive.
+void exclusive_scan(Device& dev, const DeviceBuffer<std::uint32_t>& values,
+                    DeviceBuffer<std::uint32_t>& out, std::size_t n);
+
+// Accounts the cost of an exclusive prefix scan over n elements (Blelloch,
+// block-level + block-sums pass), used by the scan-based queue generation
+// extension (Merrill et al., cited in the paper as an orthogonal
+// optimization).
+void charge_scan(Device& dev, std::uint64_t n);
+
+}  // namespace simt::prim

@@ -1,0 +1,65 @@
+#include "simt/profiler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/table.h"
+
+namespace simt {
+
+Profiler::Profiler(Device& dev) : dev_(&dev) {
+  dev_->set_kernel_observer([this](const KernelStats& ks) {
+    Entry& e = entries_[ks.name];
+    ++e.launches;
+    e.time_us += ks.time_us;
+    e.sm_time_us += ks.sm_time_us;
+    e.bw_time_us += ks.bw_time_us;
+    e.atomic_time_us += ks.atomic_time_us;
+    e.transactions += ks.transactions;
+    e.atomics += ks.atomics;
+    e.lane_work += ks.lane_work;
+    e.lockstep_work += ks.lockstep_work;
+    e.warps_executed += ks.warps_executed;
+    total_us_ += ks.time_us;
+  });
+}
+
+Profiler::~Profiler() { dev_->set_kernel_observer({}); }
+
+void Profiler::reset() {
+  entries_.clear();
+  total_us_ = 0;
+}
+
+const char* Profiler::Entry::bottleneck() const {
+  if (bw_time_us >= sm_time_us && bw_time_us >= atomic_time_us) return "bandwidth";
+  if (atomic_time_us >= sm_time_us) return "atomics";
+  return "compute";
+}
+
+std::string Profiler::report() const {
+  std::vector<std::pair<std::string, const Entry*>> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) sorted.emplace_back(name, &e);
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second->time_us > b.second->time_us;
+  });
+
+  agg::Table table({"kernel", "launches", "time (ms)", "% total", "SIMD eff",
+                    "MB moved", "bound by"});
+  for (const auto& [name, e] : sorted) {
+    table.add_row({name, agg::Table::fmt_int(e->launches),
+                   agg::Table::fmt(e->time_us / 1000.0, 3),
+                   agg::Table::fmt(total_us_ > 0 ? 100.0 * e->time_us / total_us_ : 0, 1),
+                   agg::Table::fmt(e->simd_efficiency(), 3),
+                   agg::Table::fmt(e->transactions * 128.0 / 1e6, 1),
+                   e->bottleneck()});
+  }
+  std::ostringstream os;
+  os << table.render() << "total kernel time: " << agg::Table::fmt(total_us_ / 1000.0, 3)
+     << " ms\n";
+  return os.str();
+}
+
+}  // namespace simt

@@ -1,0 +1,59 @@
+// Per-kernel profiling: aggregates the KernelStats stream of a Device into a
+// by-kernel-name report (launch counts, time, divergence, memory traffic,
+// bottleneck classification). Attach before a run, render afterwards:
+//
+//   simt::Profiler prof(dev);
+//   ... run algorithms ...
+//   std::puts(prof.report().c_str());
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "simt/device.h"
+
+namespace simt {
+
+class Profiler {
+ public:
+  // Installs itself as the device's kernel observer. Detaches (and restores
+  // nothing) on destruction; only one profiler per device at a time.
+  explicit Profiler(Device& dev);
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  struct Entry {
+    std::uint64_t launches = 0;
+    double time_us = 0;
+    double sm_time_us = 0;
+    double bw_time_us = 0;
+    double atomic_time_us = 0;
+    double transactions = 0;
+    double atomics = 0;
+    double lane_work = 0;
+    double lockstep_work = 0;
+    std::uint64_t warps_executed = 0;
+
+    double simd_efficiency() const {
+      return lockstep_work > 0 ? lane_work / lockstep_work : 1.0;
+    }
+    // Which time component bound the kernel most often (by accumulated us).
+    const char* bottleneck() const;
+  };
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  double total_time_us() const { return total_us_; }
+  void reset();
+
+  // Table sorted by accumulated time, descending.
+  std::string report() const;
+
+ private:
+  Device* dev_;
+  std::map<std::string, Entry> entries_;
+  double total_us_ = 0;
+};
+
+}  // namespace simt

@@ -1,0 +1,137 @@
+// Warp-level execution tracing and cost aggregation.
+//
+// The simulator executes the 32 lanes of a warp one after another
+// (functionally), while each lane records its architectural events against a
+// *static access site* — an id the kernel author assigns to each load/store/
+// atomic/arithmetic location in the kernel body, playing the role of a static
+// instruction address. After all lanes ran, the trace re-groups the recorded
+// events into *dynamic warp instructions*: the k-th event each lane produced
+// at a site forms one SIMT lockstep instruction. From that grouping we derive
+// the three first-order Fermi effects the paper's evaluation rests on:
+//
+//  * divergence   — a site executes max-over-lanes(k) dynamic instructions,
+//                   so a warp whose lanes loop over different outdegrees pays
+//                   for the largest one (paper Sec. III.B / IV.B);
+//  * coalescing   — the <=32 addresses of one dynamic instruction collapse
+//                   into 128-byte segments; each segment costs one memory
+//                   transaction (paper Sec. III.C);
+//  * atomics      — atomic events are tallied per target address; the launch
+//                   charges serialized throughput on the hottest address
+//                   (paper Sec. IV.C / V.C, queue insertion).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "simt/device_props.h"
+
+namespace simt {
+
+// A static access site. Kernels declare them as constexpr values; ids must be
+// unique within one kernel launch and < kMaxSites.
+struct Site {
+  std::uint8_t id;
+  const char* name;
+};
+
+inline constexpr int kMaxSites = 20;
+
+// Aggregated cost of one executed warp.
+struct WarpCost {
+  double issue_cycles = 0;      // SM issue/execute occupancy
+  double mem_instrs = 0;        // dynamic global-memory instructions (latency chain)
+  double transactions = 0;      // 128 B segments moved
+  double atomics = 0;           // atomic operations issued (total, for contention)
+  double atomic_steps = 0;      // lockstep atomic instructions (max per lane)
+  double lane_work = 0;         // sum of per-lane compute ops (for SIMD efficiency)
+  double lockstep_work = 0;     // kWarpSize * sum of max-lane compute ops
+
+  // Critical path of this warp alone: what it costs when latency cannot be
+  // hidden behind other warps. Independent loads within a warp overlap up to
+  // the modeled memory-level parallelism; the 32 atomics of one lockstep
+  // instruction are one latency step (their serialization is charged at the
+  // launch level through the address tally).
+  double critical_cycles(const TimingModel& tm) const {
+    return issue_cycles +
+           (mem_instrs * tm.mem_latency_cycles +
+            atomic_steps * tm.atomic_latency_cycles) /
+               tm.mem_level_parallelism;
+  }
+
+  WarpCost& operator+=(const WarpCost& o);
+  WarpCost operator*(double k) const;
+};
+
+// Open-addressing counter map used to find the hottest atomic address of a
+// kernel launch. Reused across launches to avoid allocation churn.
+class AtomicTally {
+ public:
+  void reset();
+  void add(std::uint64_t addr, std::uint64_t count = 1);
+  std::uint64_t max_count() const { return max_count_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  void grow();
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Slot> slots_ = std::vector<Slot>(1024);
+  std::size_t used_ = 0;
+  std::uint64_t max_count_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class WarpTrace {
+ public:
+  explicit WarpTrace(const TimingModel& tm) : tm_(&tm) {}
+
+  void begin_warp();
+  void set_lane(int lane) { lane_ = lane; }
+  int lane() const { return lane_; }
+
+  // Recording API, called by ThreadCtx.
+  void on_global(Site site, std::uint64_t addr, std::uint32_t bytes);
+  void on_compute(Site site, std::uint64_t ops);
+  void on_atomic(Site site, std::uint64_t addr);
+  void on_shared(Site site, std::uint32_t word_index);
+
+  // Aggregates the events recorded since begin_warp(). Atomic addresses are
+  // forwarded into `tally` for launch-level contention analysis.
+  WarpCost finish_warp(AtomicTally& tally);
+
+ private:
+  struct Step {
+    // Distinct memory segments (global) or per-bank access counts (shared)
+    // touched by this dynamic instruction.
+    std::uint32_t nsegs = 0;
+    std::array<std::uint64_t, kWarpSize> segs;  // global: segment ids
+    std::uint32_t lanes = 0;
+    std::uint32_t bytes = 0;
+  };
+
+  enum class Kind : std::uint8_t { unused, global, compute, atomic, shared };
+
+  struct SiteState {
+    Kind kind = Kind::unused;
+    std::array<std::uint32_t, kWarpSize> lane_steps{};  // events per lane
+    std::array<std::uint32_t, kWarpSize> lane_miss{};   // events missing the line buffer
+    std::array<std::uint32_t, kWarpSize> lane_hits{};   // line-buffer hits per lane
+    std::array<std::uint64_t, kWarpSize> last_seg{};    // per-lane last segment + 1
+    std::array<std::uint64_t, kWarpSize> lane_ops{};    // compute ops per lane
+    std::vector<Step> steps;
+    std::vector<std::uint64_t> atomic_addrs;
+  };
+
+  SiteState& touch(Site site, Kind kind);
+
+  const TimingModel* tm_;
+  std::array<SiteState, kMaxSites> sites_;
+  std::vector<std::uint8_t> touched_;
+  int lane_ = 0;
+};
+
+}  // namespace simt

@@ -1,0 +1,142 @@
+// End-to-end tests of the `agg` command-line tool: generate / stats /
+// convert / algorithm commands, exercised through the real binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  static std::string tool() {
+    // ctest runs with CWD = build/tests; the tool lives in build/tools.
+    for (const char* candidate : {"../tools/agg", "tools/agg", "./agg"}) {
+      if (fs::exists(candidate)) return candidate;
+    }
+    return "";
+  }
+
+  void SetUp() override {
+    if (tool().empty()) GTEST_SKIP() << "agg binary not found";
+    work_ = fs::temp_directory_path() / "agg_cli_test";
+    fs::create_directories(work_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(work_, ec);
+  }
+
+  // Runs the tool, captures stdout, returns (exit_code, output).
+  std::pair<int, std::string> run(const std::string& args) {
+    const std::string out_file = (work_ / "out.txt").string();
+    const std::string cmd = tool() + " " + args + " > " + out_file + " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    std::ifstream in(out_file);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return {WEXITSTATUS(rc), ss.str()};
+  }
+
+  std::string path(const char* name) { return (work_ / name).string(); }
+
+  fs::path work_;
+};
+
+TEST_F(CliTest, HelpExitsZero) {
+  const auto [rc, out] = run("--help");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("agg"), std::string::npos);
+  EXPECT_NE(out.find("generate"), std::string::npos);
+}
+
+TEST_F(CliTest, NoArgumentsFailsWithUsage) {
+  const auto [rc, out] = run("");
+  EXPECT_EQ(rc, 2);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const auto [rc, out] = run("frobnicate x");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateStatsPipeline) {
+  const auto g = path("g.agg");
+  auto [rc, out] = run("generate er --nodes=2000 --out=" + g);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_TRUE(fs::exists(g));
+  std::tie(rc, out) = run("stats " + g);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("n=2,000"), std::string::npos);
+}
+
+TEST_F(CliTest, BfsAgreesAcrossPolicies) {
+  const auto g = path("g.agg");
+  ASSERT_EQ(run("generate p2p --nodes=5000 --out=" + g).first, 0);
+  const auto gpu = run("bfs " + g + " --policy=adaptive");
+  const auto cpu = run("bfs " + g + " --policy=cpu");
+  ASSERT_EQ(gpu.first, 0);
+  ASSERT_EQ(cpu.first, 0);
+  // Both report identical reach line ("BFS from X: reached ...").
+  const auto first_line = [](const std::string& s) {
+    return s.substr(0, s.find('\n'));
+  };
+  EXPECT_EQ(first_line(gpu.second), first_line(cpu.second));
+}
+
+TEST_F(CliTest, SsspAssignsWeightsWhenMissing) {
+  const auto g = path("g.agg");
+  ASSERT_EQ(run("generate er --nodes=1000 --out=" + g).first, 0);
+  const auto [rc, out] = run("sssp " + g + " --policy=U_T_QU");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("assigning uniform weights"), std::string::npos);
+  EXPECT_NE(out.find("SSSP from"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertRoundTrip) {
+  const auto a = path("a.agg");
+  const auto b = path("b.gr");
+  const auto c = path("c.agg");
+  ASSERT_EQ(run("generate er --nodes=500 --weights --out=" + a).first, 0);
+  ASSERT_EQ(run("convert " + a + " " + b).first, 0);
+  ASSERT_EQ(run("convert " + b + " " + c).first, 0);
+  const auto s1 = run("stats " + a).second;
+  const auto s2 = run("stats " + c).second;
+  EXPECT_EQ(s1.substr(0, s1.find('\n')), s2.substr(0, s2.find('\n')));
+}
+
+TEST_F(CliTest, CcAndMstAndPagerankRun) {
+  const auto g = path("g.agg");
+  ASSERT_EQ(run("generate p2p --nodes=3000 --weights --out=" + g).first, 0);
+  auto [rc, out] = run("cc " + g);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("components"), std::string::npos);
+  std::tie(rc, out) = run("mst " + g);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("spanning forest"), std::string::npos);
+  std::tie(rc, out) = run("pagerank " + g + " --top=3");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("top 3 pages"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileFlagPrintsKernelTable) {
+  const auto g = path("g.agg");
+  ASSERT_EQ(run("generate er --nodes=3000 --out=" + g).first, 0);
+  const auto [rc, out] = run("bfs " + g + " --profile");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("bound by"), std::string::npos);
+  EXPECT_NE(out.find("workset_gen"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileFails) {
+  const auto [rc, out] = run("bfs /nonexistent/graph.agg");
+  EXPECT_NE(rc, 0);
+}
+
+}  // namespace

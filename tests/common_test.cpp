@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cli.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace {
+
+TEST(Prng, Deterministic) {
+  agg::Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  agg::Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, BoundedRange) {
+  agg::Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Prng, BoundedOneAlwaysZero) {
+  agg::Prng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Prng, UniformIntCoversRange) {
+  agg::Prng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, Uniform01InRange) {
+  agg::Prng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(PowerLawSampler, BoundsRespected) {
+  agg::Prng rng(5);
+  const agg::PowerLawSampler s(1.5, 2, 100);
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = s.sample(rng);
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(PowerLawSampler, EmpiricalMeanMatchesAnalytic) {
+  agg::Prng rng(5);
+  const agg::PowerLawSampler s(2.0, 1, 1000);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += s.sample(rng);
+  EXPECT_NEAR(sum / kSamples, s.mean(), 0.1 * s.mean());
+}
+
+TEST(PowerLawSampler, HigherAlphaLowerMean) {
+  const agg::PowerLawSampler flat(0.5, 1, 500);
+  const agg::PowerLawSampler steep(2.5, 1, 500);
+  EXPECT_GT(flat.mean(), steep.mean());
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  agg::Prng rng(9);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  const agg::AliasSampler s(w);
+  std::array<int, 3> counts{};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[s.sample(rng)];
+  EXPECT_NEAR(counts[0] / double(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kSamples), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(kSamples), 0.6, 0.015);
+}
+
+TEST(RunningStats, Basics) {
+  agg::RunningStats s;
+  for (const double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_NEAR(s.variance(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  agg::RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(DegreeHistogram, DenseAndTailBins) {
+  agg::DegreeHistogram h(8);
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  h.add(100);  // 2^6..2^7-1 bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_exact(3), 2u);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[2].lo, 64u);
+  EXPECT_EQ(bins[2].hi, 127u);
+  EXPECT_EQ(bins[2].count, 1u);
+}
+
+TEST(DegreeHistogram, CdfMonotone) {
+  agg::DegreeHistogram h(16);
+  for (std::uint64_t v = 0; v < 100; ++v) h.add(v % 20);
+  double prev = 0;
+  for (std::uint32_t v = 0; v < 32; ++v) {
+    const double c = h.cdf_at(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(1000), 1.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(agg::percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(agg::percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(agg::percentile(v, 10), 1.0);
+}
+
+TEST(Table, RendersAllCellsAndHighlights) {
+  agg::Table t({"name", "value"});
+  t.add_row({"alpha", "1"}, 1);
+  t.add_row({"beta", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("[1]"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Table, FormatsThousands) {
+  EXPECT_EQ(agg::Table::fmt_int(0), "0");
+  EXPECT_EQ(agg::Table::fmt_int(999), "999");
+  EXPECT_EQ(agg::Table::fmt_int(1000), "1,000");
+  EXPECT_EQ(agg::Table::fmt_int(4308452), "4,308,452");
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--name", "foo", "pos1", "--flag"};
+  agg::Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("name", ""), "foo");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+}  // namespace

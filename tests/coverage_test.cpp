@@ -1,0 +1,111 @@
+// Miscellaneous coverage: small utilities and edge cases not naturally hit
+// by the larger suites.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "graph/gen/generators.h"
+#include "graph/graph_stats.h"
+#include "simt/device_props.h"
+#include "simt/launch.h"
+
+namespace {
+
+TEST(DeviceProps, ResidentBlocksClamps) {
+  const auto& p = simt::DeviceProps::fermi_c2070();
+  EXPECT_EQ(p.resident_blocks(1024), 1);   // 1536/1024 = 1
+  EXPECT_EQ(p.resident_blocks(192), 8);    // capped by max blocks
+  EXPECT_EQ(p.resident_blocks(32), 8);
+  EXPECT_EQ(p.resident_blocks(0), 1);      // degenerate input
+}
+
+TEST(DeviceProps, ProfilesAreDistinct) {
+  EXPECT_NE(simt::DeviceProps::fermi_c2070().num_sms,
+            simt::DeviceProps::fermi_gtx580().num_sms);
+  EXPECT_GT(simt::DeviceProps::kepler_k20().max_resident_blocks_per_sm,
+            simt::DeviceProps::fermi_c2070().max_resident_blocks_per_sm);
+}
+
+TEST(GridSpec, BlockCountRoundsUp) {
+  EXPECT_EQ(simt::GridSpec::dense(1, 256).blocks(), 1u);
+  EXPECT_EQ(simt::GridSpec::dense(256, 256).blocks(), 1u);
+  EXPECT_EQ(simt::GridSpec::dense(257, 256).blocks(), 2u);
+}
+
+TEST(RunningStats, EmptyMergeIsIdentity) {
+  agg::RunningStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(RunningStats, EmptyAccessorsAreZero) {
+  agg::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(DegreeHistogram, RenderHandlesEmpty) {
+  agg::DegreeHistogram h(8);
+  EXPECT_TRUE(h.render().empty());
+  h.add(3);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Table, SingleColumn) {
+  agg::Table t({"only"});
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(agg::Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(agg::Table::fmt(3.14159, 0), "3");
+}
+
+TEST(RmatParams, ValidationAborts) {
+  graph::gen::RmatParams p;
+  p.scale = 2;  // below the supported range
+  EXPECT_DEATH(graph::gen::rmat(p), "");
+}
+
+TEST(WattsStrogatz, ValidationAborts) {
+  EXPECT_DEATH(graph::gen::watts_strogatz(100, 3, 0.1, 1), "");   // odd k
+  EXPECT_DEATH(graph::gen::watts_strogatz(100, 4, 1.5, 1), "");   // bad p
+}
+
+TEST(PowerLaw, SolveAlphaRejectsImpossibleTargets) {
+  graph::gen::PowerLawParams p;
+  p.num_nodes = 1000;
+  p.head_fraction = 0.9;
+  p.head_min = 1;
+  p.head_max = 2;
+  p.tail_min = 3;
+  p.tail_max = 10;
+  // Mean 500 is unreachable with tails capped at 10.
+  EXPECT_DEATH(graph::gen::solve_tail_alpha(p, 500.0), "achievable");
+}
+
+TEST(GraphStats, SummaryOfEmptyGraph) {
+  graph::Csr g;
+  g.num_nodes = 0;
+  g.row_offsets = {0};
+  const auto s = graph::GraphStats::compute(g);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_FALSE(s.summary().empty());
+}
+
+TEST(ComputeReach, SelfLoopDoesNotInflateLevels) {
+  const auto g = graph::csr_from_edges(
+      2, std::vector<graph::Edge>{{0, 0}, {0, 1}});
+  const auto r = graph::compute_reach(g, 0);
+  EXPECT_EQ(r.levels, 1u);
+  EXPECT_EQ(r.reachable_nodes, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cpu/bfs_serial.h"
+#include "cpu/cpu_cost_model.h"
+#include "cpu/sssp_serial.h"
+#include "graph/gen/generators.h"
+
+namespace {
+
+graph::Csr weighted_path() {
+  // 0 -5-> 1 -3-> 2 -1-> 3, plus shortcut 0 -10-> 2
+  const std::vector<graph::Edge> edges{{0, 1}, {1, 2}, {2, 3}, {0, 2}};
+  const std::vector<std::uint32_t> w{5, 3, 1, 10};
+  return graph::csr_from_edges(4, edges, w);
+}
+
+TEST(CpuBfs, LevelsOnKnownGraph) {
+  const std::vector<graph::Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}};
+  const auto g = graph::csr_from_edges(6, edges);
+  const auto r = cpu::bfs(g, 0);
+  EXPECT_EQ(r.level[0], 0u);
+  EXPECT_EQ(r.level[1], 1u);
+  EXPECT_EQ(r.level[2], 1u);
+  EXPECT_EQ(r.level[3], 2u);
+  EXPECT_EQ(r.level[4], 3u);
+  EXPECT_EQ(r.level[5], graph::kInfinity);
+  EXPECT_EQ(r.counts.levels, 3u);
+  EXPECT_EQ(r.counts.nodes_popped, 5u);
+  EXPECT_EQ(r.counts.edges_scanned, 5u);
+}
+
+TEST(CpuBfs, SourceOnlyGraph) {
+  const auto g = graph::csr_from_edges(3, std::vector<graph::Edge>{});
+  const auto r = cpu::bfs(g, 1);
+  EXPECT_EQ(r.level[1], 0u);
+  EXPECT_EQ(r.level[0], graph::kInfinity);
+  EXPECT_EQ(r.counts.levels, 0u);
+}
+
+TEST(CpuDijkstra, TakesShortestNotFewestHops) {
+  const auto g = weighted_path();
+  const auto r = cpu::dijkstra(g, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[1], 5u);
+  EXPECT_EQ(r.dist[2], 8u);  // 0->1->2 beats 0->2 (10)
+  EXPECT_EQ(r.dist[3], 9u);
+}
+
+TEST(CpuDijkstra, UnreachableIsInfinity) {
+  const auto g = weighted_path();
+  const auto r = cpu::dijkstra(g, 3);
+  EXPECT_EQ(r.dist[3], 0u);
+  EXPECT_EQ(r.dist[0], graph::kInfinity);
+}
+
+TEST(CpuSssp, BellmanFordAgreesWithDijkstra) {
+  auto g = graph::gen::erdos_renyi(2000, 12000, 99);
+  graph::assign_uniform_weights(g, 1, 100, 5);
+  const auto a = cpu::dijkstra(g, 0);
+  const auto b = cpu::bellman_ford(g, 0);
+  EXPECT_EQ(a.dist, b.dist);
+}
+
+TEST(CpuSssp, AgreeOnRoadTopology) {
+  auto g = graph::gen::road_network(4000, 17);
+  graph::assign_uniform_weights(g, 1, 100, 6);
+  const auto src = graph::suggest_source(g);
+  EXPECT_EQ(cpu::dijkstra(g, src).dist, cpu::bellman_ford(g, src).dist);
+}
+
+TEST(CpuBfsVsSssp, UnitWeightsDistEqualsLevel) {
+  auto g = graph::gen::erdos_renyi(1500, 6000, 123);
+  graph::assign_uniform_weights(g, 1, 1, 1);
+  const auto bfs = cpu::bfs(g, 3);
+  const auto sssp = cpu::dijkstra(g, 3);
+  EXPECT_EQ(bfs.level, sssp.dist);
+}
+
+TEST(CpuModel, MoreWorkCostsMore) {
+  const auto& m = cpu::CpuModel::core_i7();
+  cpu::BfsCounts small{1000, 5000, 10};
+  cpu::BfsCounts large{10000, 50000, 10};
+  EXPECT_LT(m.bfs_time_us(small, 100000), m.bfs_time_us(large, 100000));
+}
+
+TEST(CpuModel, CacheSpillIncreasesPerEdgeCost) {
+  const auto& m = cpu::CpuModel::core_i7();
+  cpu::BfsCounts counts{100000, 1000000, 10};
+  const double fits = m.bfs_time_us(counts, 100000);        // 0.5 MB state
+  const double spills = m.bfs_time_us(counts, 10'000'000);  // 50 MB state
+  EXPECT_GT(spills, fits * 2.0);
+}
+
+TEST(CpuModel, DijkstraScalesWithHeapDepth) {
+  const auto& m = cpu::CpuModel::core_i7();
+  cpu::SsspCounts counts;
+  counts.heap_pops = 100000;
+  counts.heap_pushes = 100000;
+  counts.edges_relaxed = 500000;
+  EXPECT_LT(m.dijkstra_time_us(counts, 1 << 10),
+            m.dijkstra_time_us(counts, 1 << 20));
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Correctness must be independent of the device profile: the timing model
+// changes, the results must not. Parameterized over all shipped profiles.
+#include <gtest/gtest.h>
+
+#include "cpu/bfs_serial.h"
+#include "cpu/sssp_serial.h"
+#include "gpu_graph/bfs_engine.h"
+#include "gpu_graph/sssp_engine.h"
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+
+namespace {
+
+struct Profile {
+  const char* name;
+  const simt::DeviceProps* props;
+  simt::TimingModel tm;
+};
+
+std::vector<Profile> profiles() {
+  return {
+      {"c2070", &simt::DeviceProps::fermi_c2070(), simt::TimingModel::fermi_default()},
+      {"gtx580", &simt::DeviceProps::fermi_gtx580(), simt::TimingModel::fermi_default()},
+      {"k20", &simt::DeviceProps::kepler_k20(), simt::TimingModel::kepler_default()},
+      {"tiny", &simt::DeviceProps::test_tiny(), simt::TimingModel::fermi_default()},
+  };
+}
+
+class ProfileSweep : public ::testing::TestWithParam<Profile> {};
+
+TEST_P(ProfileSweep, BfsResultsProfileIndependent) {
+  const auto g = graph::gen::erdos_renyi(4000, 20000, 55);
+  const auto expected = cpu::bfs(g, 0);
+  simt::Device dev(*GetParam().props, GetParam().tm);
+  const auto got = gg::run_bfs(dev, g, 0, gg::parse_variant("U_B_QU"));
+  EXPECT_EQ(got.level, expected.level);
+  EXPECT_GT(got.metrics.total_us, 0.0);
+}
+
+TEST_P(ProfileSweep, AdaptiveSsspProfileIndependent) {
+  auto g = graph::gen::erdos_renyi(3000, 15000, 56);
+  graph::assign_uniform_weights(g, 1, 100, 5);
+  const auto expected = cpu::dijkstra(g, 0);
+  simt::Device dev(*GetParam().props, GetParam().tm);
+  const auto got = rt::adaptive_sssp(dev, g, 0);
+  EXPECT_EQ(got.dist, expected.dist);
+}
+
+TEST_P(ProfileSweep, ThresholdsDeriveFromProfile) {
+  const auto t = rt::Thresholds::for_device(*GetParam().props);
+  EXPECT_DOUBLE_EQ(t.t1_avg_outdegree, 32.0);
+  EXPECT_DOUBLE_EQ(t.t2_ws_size, 192.0 * GetParam().props->num_sms);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileSweep,
+                         ::testing::ValuesIn(profiles()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(ProfileTiming, FasterCardFinishesSooner) {
+  // GTX 580 has more SMs, higher clock, more bandwidth than C2070: the same
+  // traversal must be modeled faster.
+  const auto g = graph::gen::erdos_renyi(50000, 400000, 57);
+  simt::Device slow(simt::DeviceProps::fermi_c2070());
+  simt::Device fast(simt::DeviceProps::fermi_gtx580());
+  const auto a = gg::run_bfs(slow, g, 0, gg::parse_variant("U_T_BM"));
+  const auto b = gg::run_bfs(fast, g, 0, gg::parse_variant("U_T_BM"));
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_GT(a.metrics.total_us, b.metrics.total_us);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "graph/gen/datasets.h"
+#include "graph/gen/generators.h"
+#include "graph/graph_stats.h"
+
+namespace {
+
+using graph::GraphStats;
+namespace gen = graph::gen;
+
+TEST(Road, HitsTargetSizeApproximately) {
+  const auto g = gen::road_network(50000, 1);
+  EXPECT_NEAR(static_cast<double>(g.num_nodes), 50000.0, 50000.0 * 0.15);
+}
+
+TEST(Road, SparseLowDegreeLargeDiameter) {
+  const auto g = gen::road_network(20000, 2);
+  const auto s = GraphStats::compute(g);
+  EXPECT_LE(s.outdeg_max, 8u);
+  EXPECT_GT(s.outdeg_avg, 1.5);
+  EXPECT_LT(s.outdeg_avg, 3.5);
+  const auto reach = graph::compute_reach(g, graph::suggest_source(g));
+  // Grid-like topology: diameter scales with sqrt(n) times chain length.
+  EXPECT_GT(reach.levels, 50u);
+  EXPECT_GT(reach.reachable_nodes, g.num_nodes * 9 / 10);
+}
+
+TEST(Road, Deterministic) {
+  const auto a = gen::road_network(5000, 42);
+  const auto b = gen::road_network(5000, 42);
+  EXPECT_EQ(a.col_indices, b.col_indices);
+  const auto c = gen::road_network(5000, 43);
+  EXPECT_NE(a.col_indices, c.col_indices);
+}
+
+TEST(Road, IsSymmetric) {
+  const auto g = gen::road_network(3000, 7);
+  const auto t = graph::transpose(g);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    std::vector<std::uint32_t> a(g.neighbors(v).begin(), g.neighbors(v).end());
+    std::vector<std::uint32_t> b(t.neighbors(v).begin(), t.neighbors(v).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "asymmetry at node " << v;
+  }
+}
+
+TEST(Regular, MatchesPaperDistribution) {
+  const auto g = gen::regular_copurchase(50000, 3);
+  const auto s = GraphStats::compute(g);
+  EXPECT_EQ(s.outdeg_min, 1u);
+  EXPECT_EQ(s.outdeg_max, 10u);
+  // 70% at 10, rest uniform 1..9: mean = 0.7*10 + 0.3*5 = 8.5.
+  EXPECT_NEAR(s.outdeg_avg, 8.5, 0.2);
+  const double frac10 =
+      static_cast<double>(s.outdeg_hist.count_exact(10)) / g.num_nodes;
+  EXPECT_NEAR(frac10, 0.70, 0.02);
+}
+
+TEST(Regular, NoSelfLoops) {
+  const auto g = gen::regular_copurchase(2000, 5);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    for (const auto t : g.neighbors(v)) ASSERT_NE(t, v);
+  }
+}
+
+TEST(PowerLaw, SolveAlphaHitsTargetMean) {
+  gen::PowerLawParams p;
+  p.num_nodes = 100000;
+  p.head_fraction = 0.9;
+  p.head_min = 1;
+  p.head_max = 2;
+  p.tail_min = 3;
+  p.tail_max = 1188;
+  p.planted_hubs = 0;
+  p.seed = 11;
+  p.tail_alpha = gen::solve_tail_alpha(p, 36.9);
+  const auto g = gen::powerlaw_configuration(p);
+  const auto s = GraphStats::compute(g);
+  EXPECT_NEAR(s.outdeg_avg, 36.9, 36.9 * 0.08);
+  // 90% of nodes in the head range.
+  const double head_frac = s.outdeg_hist.cdf_at(2);
+  EXPECT_NEAR(head_frac, 0.90, 0.02);
+}
+
+TEST(PowerLaw, PlantedHubsReachMaxDegree) {
+  gen::PowerLawParams p;
+  p.num_nodes = 20000;
+  p.tail_max = 500;
+  p.planted_hubs = 2;
+  p.tail_alpha = 2.0;
+  p.seed = 4;
+  const auto g = gen::powerlaw_configuration(p);
+  EXPECT_EQ(GraphStats::compute(g).outdeg_max, 500u);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  gen::RmatParams p;
+  p.scale = 12;
+  p.edges_per_node = 8;
+  const auto g = gen::rmat(p);
+  EXPECT_EQ(g.num_nodes, 4096u);
+  EXPECT_EQ(g.num_edges(), 4096u * 8u);
+  const auto s = GraphStats::compute(g);
+  EXPECT_GT(s.outdeg_max, 4 * static_cast<std::uint32_t>(s.outdeg_avg));
+}
+
+TEST(ErdosRenyi, ExactEdgeCountNoSelfLoops) {
+  const auto g = gen::erdos_renyi(1000, 5000, 6);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    for (const auto t : g.neighbors(v)) ASSERT_NE(t, v);
+  }
+}
+
+// ---- dataset stand-ins (scaled instances; full-size checked in benches) ----
+
+struct DatasetCase {
+  gen::DatasetId id;
+  double min_avg, max_avg;
+};
+
+class DatasetTest : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(DatasetTest, ScaledInstanceMatchesTopologyClass) {
+  const auto [id, min_avg, max_avg] = GetParam();
+  const auto d = gen::make_dataset_scaled_to(id, 30000);
+  EXPECT_EQ(d.name, gen::dataset_name(id));
+  EXPECT_TRUE(d.csr.has_weights());
+  EXPECT_GE(d.stats.outdeg_avg, min_avg);
+  EXPECT_LE(d.stats.outdeg_avg, max_avg);
+  EXPECT_LT(d.source, d.csr.num_nodes);
+  EXPECT_GT(d.csr.degree(d.source), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetTest,
+    ::testing::Values(DatasetCase{gen::DatasetId::co_road, 1.5, 3.5},
+                      DatasetCase{gen::DatasetId::citeseer, 25.0, 50.0},
+                      DatasetCase{gen::DatasetId::p2p, 3.5, 6.5},
+                      DatasetCase{gen::DatasetId::amazon, 7.5, 9.5},
+                      DatasetCase{gen::DatasetId::google, 5.0, 9.0},
+                      DatasetCase{gen::DatasetId::sns, 6.0, 10.0}),
+    [](const auto& info) {
+      std::string n = gen::dataset_name(info.param.id);
+      for (auto& c : n) c = c == '-' ? '_' : c;
+      return n;
+    });
+
+TEST(Datasets, WeightsInDocumentedRange) {
+  const auto d = gen::make_dataset_scaled_to(gen::DatasetId::amazon, 5000);
+  std::uint32_t lo = 0xffffffffu, hi = 0;
+  for (const auto w : d.csr.weights) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GE(lo, 1u);
+  EXPECT_LE(hi, 1000u);
+  EXPECT_GT(hi, 500u);  // the range is actually used
+}
+
+TEST(Datasets, AllSixEnumerated) {
+  EXPECT_EQ(gen::all_datasets().size(), 6u);
+}
+
+TEST(Datasets, ScaleShrinksNodeCount) {
+  const auto small = gen::make_dataset(gen::DatasetId::p2p, 0.1);
+  const auto larger = gen::make_dataset(gen::DatasetId::p2p, 0.5);
+  EXPECT_LT(small.csr.num_nodes, larger.csr.num_nodes);
+  EXPECT_NEAR(static_cast<double>(small.csr.num_nodes), 3669.0, 10.0);
+}
+
+}  // namespace

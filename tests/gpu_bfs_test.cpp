@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "cpu/bfs_serial.h"
+#include "gpu_graph/bfs_engine.h"
+#include "graph/gen/generators.h"
+#include "graph/graph_stats.h"
+
+namespace {
+
+using gg::Variant;
+
+struct GraphCase {
+  const char* name;
+  graph::Csr csr;
+  graph::NodeId source;
+};
+
+std::vector<GraphCase>& test_graphs() {
+  static std::vector<GraphCase> cases = [] {
+    std::vector<GraphCase> out;
+    {
+      const std::vector<graph::Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}};
+      out.push_back({"tiny", graph::csr_from_edges(6, edges), 0});
+    }
+    out.push_back({"er", graph::gen::erdos_renyi(3000, 15000, 7), 0});
+    out.push_back({"road", graph::gen::road_network(2500, 3),
+                   0});  // high diameter
+    {
+      graph::gen::PowerLawParams p;
+      p.num_nodes = 4000;
+      p.tail_max = 300;
+      p.tail_alpha = 1.2;
+      p.seed = 9;
+      auto g = graph::gen::powerlaw_configuration(p);
+      const auto src = graph::suggest_source(g);
+      out.push_back({"powerlaw", std::move(g), src});
+    }
+    for (auto& c : out) {
+      if (graph::suggest_source(c.csr) != c.source && c.csr.degree(c.source) == 0) {
+        c.source = graph::suggest_source(c.csr);
+      }
+    }
+    return out;
+  }();
+  return cases;
+}
+
+struct BfsCase {
+  std::size_t graph_index;
+  Variant variant;
+};
+
+class GpuBfsVariants : public ::testing::TestWithParam<BfsCase> {};
+
+TEST_P(GpuBfsVariants, MatchesSerialCpu) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::bfs(gc.csr, gc.source);
+
+  simt::Device dev;
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source, variant);
+  ASSERT_EQ(got.level.size(), expected.level.size());
+  EXPECT_EQ(got.level, expected.level) << gc.name;
+  EXPECT_GT(got.metrics.total_us, 0.0);
+  EXPECT_GT(got.metrics.kernels, 0u);
+  EXPECT_FALSE(got.metrics.iterations.empty());
+}
+
+std::vector<BfsCase> all_bfs_cases() {
+  std::vector<BfsCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::all_variants()) {
+      cases.push_back({g, v});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAllGraphs, GpuBfsVariants,
+                         ::testing::ValuesIn(all_bfs_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(GpuBfs, IterationCountEqualsLevels) {
+  const auto& gc = test_graphs()[1];
+  const auto expected = cpu::bfs(gc.csr, gc.source);
+  simt::Device dev;
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source,
+                               gg::parse_variant("U_T_BM"));
+  // Level-synchronous: one iteration per BFS level (plus none for the empty
+  // final frontier).
+  EXPECT_EQ(got.metrics.iterations.size(), expected.counts.levels + 1u);
+}
+
+TEST(GpuBfs, FirstIterationProcessesSourceOnly) {
+  const auto& gc = test_graphs()[1];
+  simt::Device dev;
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source,
+                               gg::parse_variant("U_B_QU"));
+  EXPECT_EQ(got.metrics.iterations.front().ws_size, 1u);
+}
+
+TEST(GpuBfs, WorkingSetGrowsThenShrinks) {
+  // Paper Fig. 2 shape on a random graph: ramp up, peak, collapse.
+  const auto& gc = test_graphs()[1];
+  simt::Device dev;
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source,
+                               gg::parse_variant("U_T_QU"));
+  const auto& its = got.metrics.iterations;
+  ASSERT_GE(its.size(), 3u);
+  std::uint64_t peak = 0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < its.size(); ++i) {
+    if (its[i].ws_size > peak) {
+      peak = its[i].ws_size;
+      peak_at = i;
+    }
+  }
+  EXPECT_GT(peak_at, 0u);
+  EXPECT_LT(peak_at, its.size() - 1);
+  EXPECT_GT(peak, its.front().ws_size);
+  EXPECT_GT(peak, its.back().ws_size);
+}
+
+TEST(GpuBfs, EdgesProcessedMatchesReachableEdges) {
+  const auto& gc = test_graphs()[1];
+  const auto reach = graph::compute_reach(gc.csr, gc.source);
+  simt::Device dev;
+  // Ordered BFS processes each reached node exactly once.
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source,
+                               gg::parse_variant("O_T_QU"));
+  EXPECT_EQ(got.metrics.edges_processed, reach.reachable_edges);
+}
+
+TEST(GpuBfs, ThreadMappingDivergesOnSkewedGraph) {
+  // Thread mapping on a power-law graph must show SIMD inefficiency;
+  // block mapping distributes the neighbor visit and stays higher.
+  const auto& gc = test_graphs()[3];
+  simt::Device dev_t;
+  const auto t = gg::run_bfs(dev_t, gc.csr, gc.source, gg::parse_variant("U_T_QU"));
+  simt::Device dev_b;
+  const auto b = gg::run_bfs(dev_b, gc.csr, gc.source, gg::parse_variant("U_B_QU"));
+  EXPECT_LT(t.metrics.simd_efficiency, 0.9);
+  EXPECT_GT(b.metrics.simd_efficiency, t.metrics.simd_efficiency);
+}
+
+TEST(GpuBfs, SourceWithNoEdgesTerminatesImmediately) {
+  const std::vector<graph::Edge> edges{{1, 2}};
+  const auto g = graph::csr_from_edges(3, edges);
+  simt::Device dev;
+  const auto got = gg::run_bfs(dev, g, 0, gg::parse_variant("U_T_BM"));
+  EXPECT_EQ(got.level[0], 0u);
+  EXPECT_EQ(got.level[1], graph::kInfinity);
+  EXPECT_EQ(got.metrics.iterations.size(), 1u);
+}
+
+TEST(GpuBfs, DeterministicAcrossRuns) {
+  const auto& gc = test_graphs()[3];
+  simt::Device d1, d2;
+  const auto a = gg::run_bfs(d1, gc.csr, gc.source, gg::parse_variant("U_B_BM"));
+  const auto b = gg::run_bfs(d2, gc.csr, gc.source, gg::parse_variant("U_B_BM"));
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_DOUBLE_EQ(a.metrics.total_us, b.metrics.total_us);
+}
+
+TEST(GpuBfs, SelectorCanSwitchRepresentationMidRun) {
+  const auto& gc = test_graphs()[1];
+  const auto expected = cpu::bfs(gc.csr, gc.source);
+  simt::Device dev;
+  gg::EngineOptions opts;
+  opts.monitor_interval = 1;
+  // Alternate all four unordered variants by iteration parity.
+  const auto selector = [](const gg::SelectorInput& in) {
+    const auto pool = gg::unordered_variants();
+    return pool[in.iteration % pool.size()];
+  };
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source, selector, opts);
+  EXPECT_EQ(got.level, expected.level);
+  EXPECT_GT(got.metrics.switches, 0u);
+  EXPECT_GT(got.metrics.decisions, 0u);
+}
+
+// ---- extension: virtual-warp-centric mapping (Hong et al. [12]) ------------
+
+class GpuBfsWarpCentric : public ::testing::TestWithParam<BfsCase> {};
+
+TEST_P(GpuBfsWarpCentric, MatchesSerialCpu) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::bfs(gc.csr, gc.source).level;
+  simt::Device dev;
+  const auto got = gg::run_bfs(dev, gc.csr, gc.source, variant);
+  EXPECT_EQ(got.level, expected) << gc.name;
+}
+
+std::vector<BfsCase> warp_bfs_cases() {
+  std::vector<BfsCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::warp_centric_variants()) {
+      cases.push_back({g, v});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(WarpVariants, GpuBfsWarpCentric,
+                         ::testing::ValuesIn(warp_bfs_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(WarpCentric, ScanQueueGenMatchesAtomic) {
+  const auto& gc = test_graphs()[1];
+  simt::Device d1, d2;
+  gg::EngineOptions scan_opts;
+  scan_opts.scan_queue_gen = true;
+  const auto a = gg::run_bfs(d1, gc.csr, gc.source, gg::parse_variant("U_B_QU"));
+  const auto b = gg::run_bfs(d2, gc.csr, gc.source, gg::parse_variant("U_B_QU"), scan_opts);
+  EXPECT_EQ(a.level, b.level);
+  // Scan generation removes the tail-counter serialization but pays extra
+  // passes: times must differ, results must not.
+  EXPECT_NE(a.metrics.total_us, b.metrics.total_us);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/algorithms.h"
+#include "cpu/cc_serial.h"
+#include "gpu_graph/cc_engine.h"
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+
+namespace {
+
+using gg::Variant;
+
+struct GraphCase {
+  const char* name;
+  graph::Csr csr;  // symmetric
+};
+
+std::vector<GraphCase>& test_graphs() {
+  static std::vector<GraphCase> cases = [] {
+    std::vector<GraphCase> out;
+    {
+      // Two triangles and an isolated node.
+      const std::vector<graph::Edge> e{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+      out.push_back({"triangles", graph::symmetrize(graph::csr_from_edges(7, e))});
+    }
+    out.push_back({"er", graph::symmetrize(graph::gen::erdos_renyi(2000, 3000, 3))});
+    out.push_back({"road", graph::gen::road_network(2500, 9)});  // already symmetric
+    {
+      graph::gen::PowerLawParams p;
+      p.num_nodes = 3000;
+      p.tail_max = 200;
+      p.tail_alpha = 1.5;
+      p.seed = 12;
+      out.push_back({"powerlaw",
+                     graph::symmetrize(graph::gen::powerlaw_configuration(p))});
+    }
+    return out;
+  }();
+  return cases;
+}
+
+struct CcCase {
+  std::size_t graph_index;
+  Variant variant;
+};
+
+std::vector<CcCase> all_cases() {
+  std::vector<CcCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::unordered_variants()) cases.push_back({g, v});
+    for (const Variant v : gg::warp_centric_variants()) cases.push_back({g, v});
+  }
+  return cases;
+}
+
+class GpuCcVariants : public ::testing::TestWithParam<CcCase> {};
+
+TEST_P(GpuCcVariants, MatchesUnionFind) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::connected_components(gc.csr);
+  simt::Device dev;
+  const auto got = gg::run_cc(dev, gc.csr, variant);
+  EXPECT_EQ(got.component, expected.component) << gc.name;
+  EXPECT_EQ(got.num_components, expected.num_components);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAllGraphs, GpuCcVariants,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(CpuCc, KnownPartition) {
+  const auto& gc = test_graphs()[0];
+  const auto r = cpu::connected_components(gc.csr);
+  EXPECT_EQ(r.num_components, 3u);  // two triangles + isolated node 6
+  EXPECT_EQ(r.component[0], 0u);
+  EXPECT_EQ(r.component[1], 0u);
+  EXPECT_EQ(r.component[2], 0u);
+  EXPECT_EQ(r.component[3], 3u);
+  EXPECT_EQ(r.component[5], 3u);
+  EXPECT_EQ(r.component[6], 6u);
+}
+
+TEST(GpuCc, InitialWorkingSetIsAllNodes) {
+  const auto& gc = test_graphs()[1];
+  simt::Device dev;
+  const auto got = gg::run_cc(dev, gc.csr, gg::parse_variant("U_T_BM"));
+  ASSERT_FALSE(got.metrics.iterations.empty());
+  EXPECT_EQ(got.metrics.iterations.front().ws_size, gc.csr.num_nodes);
+  // Work shrinks as labels converge.
+  EXPECT_LT(got.metrics.iterations.back().ws_size,
+            got.metrics.iterations.front().ws_size);
+}
+
+TEST(GpuCc, AdaptiveMatchesUnionFind) {
+  for (const auto& gc : test_graphs()) {
+    const auto expected = cpu::connected_components(gc.csr);
+    simt::Device dev;
+    const auto got = rt::adaptive_cc(dev, gc.csr);
+    ASSERT_EQ(got.component, expected.component) << gc.name;
+  }
+}
+
+TEST(GpuCc, AdaptiveStartsLargeSoNotInBqURegion) {
+  // Unlike BFS/SSSP, CC starts with |WS| = n, so on a graph with n above
+  // the T2/T3 thresholds the first decision lands in the bitmap region of
+  // the decision space.
+  auto big = graph::symmetrize(graph::gen::erdos_renyi(20000, 30000, 4));
+  simt::Device dev;
+  const auto got = rt::adaptive_cc(dev, big);
+  ASSERT_FALSE(got.metrics.iterations.empty());
+  EXPECT_EQ(got.metrics.iterations.front().variant.repr,
+            gg::WorksetRepr::bitmap);
+}
+
+TEST(GpuCc, DeterministicAcrossRuns) {
+  const auto& gc = test_graphs()[3];
+  simt::Device d1, d2;
+  const auto a = gg::run_cc(d1, gc.csr, gg::parse_variant("U_B_QU"));
+  const auto b = gg::run_cc(d2, gc.csr, gg::parse_variant("U_B_QU"));
+  EXPECT_EQ(a.component, b.component);
+  EXPECT_DOUBLE_EQ(a.metrics.total_us, b.metrics.total_us);
+}
+
+TEST(ApiCc, SymmetrizeHandlesDirectedInput) {
+  // A directed chain is weakly connected.
+  const auto g = adaptive::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto out = adaptive::cc(g);
+  EXPECT_EQ(out.num_components, 1u);
+  for (const auto c : out.component) EXPECT_EQ(c, 0u);
+}
+
+TEST(ApiCc, WithoutSymmetrizeLabelsFollowDirectedReachability) {
+  // Without reverse arcs, min-label propagation only flows along edges.
+  const auto g = adaptive::Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto out = adaptive::cc(g, adaptive::Policy::adapt(), /*symmetrize=*/false);
+  EXPECT_EQ(out.component[0], 0u);
+  EXPECT_EQ(out.component[2], 0u);  // label 0 reaches 2 along the chain
+}
+
+TEST(ApiCc, AllPoliciesAgree) {
+  auto csr = graph::symmetrize(graph::gen::erdos_renyi(1500, 2200, 8));
+  const auto g = adaptive::Graph::from_csr(std::move(csr));
+  const auto cpu_out = adaptive::cc(g, adaptive::Policy::cpu(), false);
+  const auto adapt_out = adaptive::cc(g, adaptive::Policy::adapt(), false);
+  const auto fixed_out =
+      adaptive::cc(g, adaptive::Policy::fixed("U_W_QU"), false);
+  EXPECT_EQ(adapt_out.component, cpu_out.component);
+  EXPECT_EQ(fixed_out.component, cpu_out.component);
+  EXPECT_EQ(adapt_out.num_components, cpu_out.num_components);
+}
+
+TEST(GpuCc, ComponentCountMatchesDistinctLabels) {
+  const auto& gc = test_graphs()[2];
+  simt::Device dev;
+  const auto got = gg::run_cc(dev, gc.csr, gg::parse_variant("U_T_QU"));
+  std::set<std::uint32_t> labels(got.component.begin(), got.component.end());
+  EXPECT_EQ(labels.size(), got.num_components);
+  // Every label is the minimum of its class: label[l] == l.
+  for (const auto l : labels) EXPECT_EQ(got.component[l], l);
+}
+
+}  // namespace

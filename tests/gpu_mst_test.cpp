@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "api/algorithms.h"
+#include <map>
+
+#include "cpu/mst_serial.h"
+#include "gpu_graph/cc_engine.h"
+#include "gpu_graph/mst_engine.h"
+#include "graph/builder.h"
+#include "graph/gen/generators.h"
+#include "graph/transform.h"
+#include "runtime/adaptive_engine.h"
+
+namespace {
+
+using gg::Variant;
+
+graph::Csr weighted_symmetric(graph::Csr g, std::uint32_t lo, std::uint32_t hi,
+                              std::uint64_t seed) {
+  graph::Csr s = graph::symmetrize(g);
+  graph::assign_symmetric_uniform_weights(s, lo, hi, seed);
+  return s;
+}
+
+struct GraphCase {
+  const char* name;
+  graph::Csr csr;
+};
+
+std::vector<GraphCase>& test_graphs() {
+  static std::vector<GraphCase> cases = [] {
+    std::vector<GraphCase> out;
+    {
+      // Classic textbook instance: unique MST of weight 37 on 9 nodes.
+      graph::GraphBuilder b;
+      b.add_undirected(0, 1, 4).add_undirected(0, 7, 8).add_undirected(1, 2, 8)
+          .add_undirected(1, 7, 11).add_undirected(2, 3, 7).add_undirected(2, 8, 2)
+          .add_undirected(2, 5, 4).add_undirected(3, 4, 9).add_undirected(3, 5, 14)
+          .add_undirected(4, 5, 10).add_undirected(5, 6, 2).add_undirected(6, 7, 1)
+          .add_undirected(6, 8, 6).add_undirected(7, 8, 7);
+      out.push_back({"clrs", b.build()});
+    }
+    out.push_back({"er", weighted_symmetric(graph::gen::erdos_renyi(1500, 6000, 61),
+                                            1, 100, 7)});
+    {
+      auto g = graph::gen::road_network(2000, 62);
+      graph::assign_symmetric_uniform_weights(g, 1, 100, 8);
+      out.push_back({"road", std::move(g)});
+    }
+    {
+      // All-equal weights: pure tie-breaking stress.
+      out.push_back({"ties", weighted_symmetric(
+                                 graph::gen::erdos_renyi(800, 4000, 63), 5, 5, 9)});
+    }
+    return out;
+  }();
+  return cases;
+}
+
+struct MstCase {
+  std::size_t graph_index;
+  Variant variant;
+};
+
+std::vector<MstCase> all_cases() {
+  std::vector<MstCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::unordered_variants()) cases.push_back({g, v});
+    for (const Variant v : gg::warp_centric_variants()) cases.push_back({g, v});
+  }
+  return cases;
+}
+
+class GpuMstVariants : public ::testing::TestWithParam<MstCase> {};
+
+TEST_P(GpuMstVariants, MatchesKruskalWeight) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::minimum_spanning_forest(gc.csr);
+  simt::Device dev;
+  const auto got = gg::run_mst(dev, gc.csr, variant);
+  EXPECT_EQ(got.total_weight, expected.total_weight) << gc.name;
+  EXPECT_EQ(got.num_trees, expected.num_trees) << gc.name;
+  EXPECT_EQ(got.edges_in_forest, expected.edges_in_forest) << gc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAllGraphs, GpuMstVariants,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(CpuMst, TextbookWeight) {
+  const auto r = cpu::minimum_spanning_forest(test_graphs()[0].csr);
+  EXPECT_EQ(r.total_weight, 37u);
+  EXPECT_EQ(r.num_trees, 1u);
+  EXPECT_EQ(r.edges_in_forest, 8u);
+}
+
+TEST(CpuMst, ForestCountsComponents) {
+  // Two disjoint triangles.
+  graph::GraphBuilder b;
+  b.add_undirected(0, 1, 3).add_undirected(1, 2, 1).add_undirected(2, 0, 2);
+  b.add_undirected(3, 4, 5).add_undirected(4, 5, 4).add_undirected(5, 3, 6);
+  const auto g = b.build();
+  const auto r = cpu::minimum_spanning_forest(g);
+  EXPECT_EQ(r.num_trees, 2u);
+  EXPECT_EQ(r.edges_in_forest, 4u);
+  EXPECT_EQ(r.total_weight, 1u + 2u + 4u + 5u);
+}
+
+TEST(GpuMst, EdgesPlusTreesEqualsNodes) {
+  for (const auto& gc : test_graphs()) {
+    simt::Device dev;
+    const auto got = gg::run_mst(dev, gc.csr, gg::parse_variant("U_T_QU"));
+    EXPECT_EQ(got.edges_in_forest + got.num_trees, gc.csr.num_nodes) << gc.name;
+  }
+}
+
+TEST(GpuMst, LogarithmicRounds) {
+  const auto& gc = test_graphs()[1];  // er, 1500 nodes, connected-ish
+  simt::Device dev;
+  const auto got = gg::run_mst(dev, gc.csr, gg::parse_variant("U_T_BM"));
+  EXPECT_LE(got.metrics.iterations.size(), 16u);  // Boruvka halves components
+  EXPECT_EQ(got.metrics.iterations.front().ws_size, gc.csr.num_nodes);
+}
+
+TEST(GpuMst, ComponentsMatchCcPartition) {
+  const auto& gc = test_graphs()[2];
+  simt::Device d1, d2;
+  const auto mst = gg::run_mst(d1, gc.csr, gg::parse_variant("U_B_QU"));
+  const auto cc = gg::run_cc(d2, gc.csr, gg::parse_variant("U_B_QU"));
+  // Same partition (labels may differ): check pairwise consistency by
+  // mapping mst labels to cc labels.
+  std::map<std::uint32_t, std::uint32_t> mapping;
+  for (std::uint32_t v = 0; v < gc.csr.num_nodes; ++v) {
+    const auto [it, inserted] =
+        mapping.emplace(mst.component[v], cc.component[v]);
+    EXPECT_EQ(it->second, cc.component[v]) << v;
+  }
+}
+
+TEST(GpuMst, DeterministicAcrossRuns) {
+  const auto& gc = test_graphs()[3];  // ties
+  simt::Device d1, d2;
+  const auto a = gg::run_mst(d1, gc.csr, gg::parse_variant("U_B_BM"));
+  const auto b = gg::run_mst(d2, gc.csr, gg::parse_variant("U_B_BM"));
+  EXPECT_EQ(a.total_weight, b.total_weight);
+  EXPECT_EQ(a.component, b.component);
+  EXPECT_DOUBLE_EQ(a.metrics.total_us, b.metrics.total_us);
+}
+
+TEST(GpuMst, RequiresWeights) {
+  const auto g = graph::symmetrize(
+      graph::csr_from_edges(3, std::vector<graph::Edge>{{0, 1}, {1, 2}}));
+  simt::Device dev;
+  EXPECT_DEATH(gg::run_mst(dev, g, gg::parse_variant("U_T_BM")), "weights");
+}
+
+TEST(ApiMst, AllPoliciesAgree) {
+  auto csr = graph::gen::erdos_renyi(1200, 4000, 66);
+  graph::assign_uniform_weights(csr, 1, 50, 5);
+  const auto g = adaptive::Graph::from_csr(std::move(csr));
+  const auto cpu_out = adaptive::mst(g, adaptive::Policy::cpu());
+  const auto adapt_out = adaptive::mst(g);
+  const auto fixed_out = adaptive::mst(g, adaptive::Policy::fixed("U_W_QU"));
+  EXPECT_EQ(adapt_out.total_weight, cpu_out.total_weight);
+  EXPECT_EQ(fixed_out.total_weight, cpu_out.total_weight);
+  EXPECT_EQ(adapt_out.num_trees, cpu_out.num_trees);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "api/algorithms.h"
+#include "cpu/pagerank_serial.h"
+#include "gpu_graph/pagerank_engine.h"
+#include "graph/gen/datasets.h"
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+
+namespace {
+
+using gg::Variant;
+
+// Relative L1 distance between GPU (float) and CPU (double) rank vectors.
+double rel_l1(const std::vector<float>& a, const std::vector<double>& b) {
+  double diff = 0, norm = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(static_cast<double>(a[i]) - b[i]);
+    norm += std::abs(b[i]);
+  }
+  return diff / norm;
+}
+
+struct GraphCase {
+  const char* name;
+  graph::Csr csr;
+};
+
+std::vector<GraphCase>& test_graphs() {
+  static std::vector<GraphCase> cases = [] {
+    std::vector<GraphCase> out;
+    out.push_back({"er", graph::gen::erdos_renyi(2000, 10000, 51)});
+    {
+      graph::gen::PowerLawParams p;
+      p.num_nodes = 2500;
+      p.tail_max = 150;
+      p.tail_alpha = 1.4;
+      p.seed = 52;
+      out.push_back({"powerlaw", graph::gen::powerlaw_configuration(p)});
+    }
+    out.push_back({"road", graph::gen::road_network(2000, 53)});
+    return out;
+  }();
+  return cases;
+}
+
+struct PrCase {
+  std::size_t graph_index;
+  Variant variant;
+};
+
+std::vector<PrCase> all_cases() {
+  std::vector<PrCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::unordered_variants()) cases.push_back({g, v});
+    for (const Variant v : gg::warp_centric_variants()) cases.push_back({g, v});
+  }
+  return cases;
+}
+
+class GpuPageRankVariants : public ::testing::TestWithParam<PrCase> {};
+
+TEST_P(GpuPageRankVariants, ConvergesToPowerIterationFixpoint) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::pagerank(gc.csr);
+  simt::Device dev;
+  const auto got = gg::run_pagerank(dev, gc.csr, variant);
+  EXPECT_LT(rel_l1(got.rank, expected.rank), 2e-3) << gc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAllGraphs, GpuPageRankVariants,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(CpuPageRank, UniformOnRegularRing) {
+  // A directed ring: perfectly symmetric, so all ranks are equal.
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t v = 0; v < 100; ++v) edges.push_back({v, (v + 1) % 100});
+  const auto g = graph::csr_from_edges(100, edges);
+  const auto r = cpu::pagerank(g);
+  for (const auto p : r.rank) EXPECT_NEAR(p, 0.01, 1e-6);
+}
+
+TEST(CpuPageRank, SinkOfAStarOutranksLeaves) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t v = 1; v < 50; ++v) edges.push_back({v, 0});
+  const auto g = graph::csr_from_edges(50, edges);
+  const auto r = cpu::pagerank(g);
+  for (std::uint32_t v = 1; v < 50; ++v) EXPECT_GT(r.rank[0], 5.0 * r.rank[v]);
+}
+
+TEST(CpuPageRank, RankMassBoundedByOne) {
+  const auto g = graph::gen::erdos_renyi(1000, 4000, 5);
+  const auto r = cpu::pagerank(g);
+  const double total = std::accumulate(r.rank.begin(), r.rank.end(), 0.0);
+  EXPECT_GT(total, 0.1);
+  EXPECT_LE(total, 1.0 + 1e-9);  // dangling mass absorbed, never created
+}
+
+TEST(GpuPageRank, DampingChangesConcentration) {
+  const auto& gc = test_graphs()[1];  // power law
+  simt::Device d1, d2;
+  gg::PageRankOptions low, high;
+  low.damping = 0.5;
+  high.damping = 0.95;
+  const auto a = gg::run_pagerank(d1, gc.csr, gg::parse_variant("U_T_QU"), low);
+  const auto b = gg::run_pagerank(d2, gc.csr, gg::parse_variant("U_T_QU"), high);
+  // Higher damping concentrates more mass on well-linked nodes.
+  const float max_a = *std::max_element(a.rank.begin(), a.rank.end());
+  const float max_b = *std::max_element(b.rank.begin(), b.rank.end());
+  const double sum_a = std::accumulate(a.rank.begin(), a.rank.end(), 0.0);
+  const double sum_b = std::accumulate(b.rank.begin(), b.rank.end(), 0.0);
+  EXPECT_GT(max_b / sum_b, max_a / sum_a);
+}
+
+TEST(GpuPageRank, WorkingSetShrinksAsResidualsDecay) {
+  const auto& gc = test_graphs()[0];
+  simt::Device dev;
+  const auto got = gg::run_pagerank(dev, gc.csr, gg::parse_variant("U_T_BM"));
+  ASSERT_GE(got.metrics.iterations.size(), 3u);
+  EXPECT_EQ(got.metrics.iterations.front().ws_size, gc.csr.num_nodes);
+  EXPECT_LT(got.metrics.iterations.back().ws_size,
+            got.metrics.iterations.front().ws_size / 4);
+}
+
+TEST(GpuPageRank, TighterToleranceMoreAccurateAndSlower) {
+  const auto& gc = test_graphs()[1];
+  const auto expected = cpu::pagerank(gc.csr);
+  simt::Device d1, d2;
+  gg::PageRankOptions loose, tight;
+  loose.push_tolerance = 1e-1;
+  tight.push_tolerance = 1e-4;
+  const auto a = gg::run_pagerank(d1, gc.csr, gg::parse_variant("U_B_QU"), loose);
+  const auto b = gg::run_pagerank(d2, gc.csr, gg::parse_variant("U_B_QU"), tight);
+  EXPECT_LT(rel_l1(b.rank, expected.rank), rel_l1(a.rank, expected.rank));
+  EXPECT_GT(b.metrics.total_us, a.metrics.total_us);
+}
+
+TEST(GpuPageRank, DeterministicAcrossRuns) {
+  const auto& gc = test_graphs()[1];
+  simt::Device d1, d2;
+  const auto a = gg::run_pagerank(d1, gc.csr, gg::parse_variant("U_B_BM"));
+  const auto b = gg::run_pagerank(d2, gc.csr, gg::parse_variant("U_B_BM"));
+  EXPECT_EQ(a.rank, b.rank);  // bitwise: same variant, same order
+  EXPECT_DOUBLE_EQ(a.metrics.total_us, b.metrics.total_us);
+}
+
+TEST(ApiPageRank, AllPoliciesAgreeWithinTolerance) {
+  const auto g = adaptive::Graph::from_csr(graph::gen::erdos_renyi(1500, 7000, 54));
+  const auto cpu_out = adaptive::pagerank(g, 0.85, adaptive::Policy::cpu());
+  const auto adapt_out = adaptive::pagerank(g);
+  const auto fixed_out = adaptive::pagerank(g, 0.85, adaptive::Policy::fixed("U_W_QU"));
+  double diff_a = 0, diff_f = 0, norm = 0;
+  for (std::size_t i = 0; i < cpu_out.rank.size(); ++i) {
+    diff_a += std::abs(adapt_out.rank[i] - cpu_out.rank[i]);
+    diff_f += std::abs(fixed_out.rank[i] - cpu_out.rank[i]);
+    norm += cpu_out.rank[i];
+  }
+  EXPECT_LT(diff_a / norm, 2e-3);
+  EXPECT_LT(diff_f / norm, 2e-3);
+}
+
+TEST(ApiPageRank, RankCorrelatesWithInDegree) {
+  // On the Google-like web graph, highly ranked pages should on average have
+  // more inbound links (the paper's "rank the results" motivation). The
+  // stand-in's in-degrees are near-Poisson, so we test the top decile's mean
+  // in-degree, not a single hub.
+  auto d = graph::gen::make_dataset_scaled_to(graph::gen::DatasetId::google, 8000);
+  const auto g = adaptive::Graph::from_csr(std::move(d.csr));
+  const auto out = adaptive::pagerank(g);
+  const auto t = graph::transpose(g.csr());
+
+  std::vector<std::uint32_t> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return out.rank[a] > out.rank[b];
+  });
+  const std::size_t decile = g.num_nodes() / 10;
+  double top_in = 0;
+  for (std::size_t i = 0; i < decile; ++i) top_in += t.degree(order[i]);
+  top_in /= static_cast<double>(decile);
+  const double avg_in =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(top_in, 1.3 * avg_in);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "cpu/sssp_serial.h"
+#include "gpu_graph/sssp_engine.h"
+#include "graph/gen/generators.h"
+#include "graph/graph_stats.h"
+
+namespace {
+
+using gg::Variant;
+
+struct GraphCase {
+  const char* name;
+  graph::Csr csr;
+  graph::NodeId source;
+};
+
+std::vector<GraphCase>& test_graphs() {
+  static std::vector<GraphCase> cases = [] {
+    std::vector<GraphCase> out;
+    {
+      const std::vector<graph::Edge> edges{{0, 1}, {1, 2}, {2, 3}, {0, 2}};
+      const std::vector<std::uint32_t> w{5, 3, 1, 10};
+      out.push_back({"tiny", graph::csr_from_edges(4, edges, w), 0});
+    }
+    {
+      auto g = graph::gen::erdos_renyi(2500, 12500, 21);
+      graph::assign_uniform_weights(g, 1, 100, 2);
+      out.push_back({"er", std::move(g), 0});
+    }
+    {
+      auto g = graph::gen::road_network(2000, 5);
+      graph::assign_uniform_weights(g, 1, 100, 3);
+      const auto src = graph::suggest_source(g);
+      out.push_back({"road", std::move(g), src});
+    }
+    {
+      graph::gen::PowerLawParams p;
+      p.num_nodes = 3000;
+      p.tail_max = 200;
+      p.tail_alpha = 1.3;
+      p.seed = 31;
+      auto g = graph::gen::powerlaw_configuration(p);
+      graph::assign_uniform_weights(g, 1, 100, 4);
+      const auto src = graph::suggest_source(g);
+      out.push_back({"powerlaw", std::move(g), src});
+    }
+    return out;
+  }();
+  return cases;
+}
+
+struct SsspCase {
+  std::size_t graph_index;
+  Variant variant;
+};
+
+class GpuSsspVariants : public ::testing::TestWithParam<SsspCase> {};
+
+TEST_P(GpuSsspVariants, MatchesSerialDijkstra) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::dijkstra(gc.csr, gc.source);
+
+  simt::Device dev;
+  const auto got = gg::run_sssp(dev, gc.csr, gc.source, variant);
+  EXPECT_EQ(got.dist, expected.dist) << gc.name;
+  EXPECT_GT(got.metrics.total_us, 0.0);
+  EXPECT_FALSE(got.metrics.iterations.empty());
+}
+
+std::vector<SsspCase> all_sssp_cases() {
+  std::vector<SsspCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::all_variants()) {
+      cases.push_back({g, v});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAllGraphs, GpuSsspVariants,
+                         ::testing::ValuesIn(all_sssp_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(GpuSssp, OrderedSettlesEachNodeOnce) {
+  // Ordered (Dijkstra-like) processes every reachable node exactly once, so
+  // edge visits equal the reachable edge count.
+  const auto& gc = test_graphs()[1];
+  const auto reach = graph::compute_reach(gc.csr, gc.source);
+  simt::Device dev;
+  const auto got = gg::run_sssp(dev, gc.csr, gc.source,
+                                gg::parse_variant("O_T_BM"));
+  EXPECT_EQ(got.metrics.edges_processed, reach.reachable_edges);
+}
+
+TEST(GpuSssp, UnorderedRevisitsNodes) {
+  // Unordered (Bellman-Ford-like) re-processes nodes whose distance
+  // improves; on a weighted random graph it must do strictly more edge work
+  // than the ordered algorithm.
+  const auto& gc = test_graphs()[1];
+  simt::Device dev_u, dev_o;
+  const auto u = gg::run_sssp(dev_u, gc.csr, gc.source, gg::parse_variant("U_T_BM"));
+  const auto o = gg::run_sssp(dev_o, gc.csr, gc.source, gg::parse_variant("O_T_BM"));
+  EXPECT_GT(u.metrics.edges_processed, o.metrics.edges_processed);
+}
+
+TEST(GpuSssp, OrderedTakesMoreIterations) {
+  // Paper Sec. IV.A: ordered algorithms take more iterations to converge
+  // (one per distinct distance value vs one per relaxation wave).
+  const auto& gc = test_graphs()[1];
+  simt::Device dev_u, dev_o;
+  const auto u = gg::run_sssp(dev_u, gc.csr, gc.source, gg::parse_variant("U_B_QU"));
+  const auto o = gg::run_sssp(dev_o, gc.csr, gc.source, gg::parse_variant("O_B_QU"));
+  EXPECT_GT(o.metrics.iterations.size(), u.metrics.iterations.size());
+}
+
+TEST(GpuSssp, UnorderedBeatsOrderedOnModeledTime) {
+  // Paper Sec. VII.A: "unordered algorithms are significantly faster than
+  // their ordered version" on SSSP.
+  const auto& gc = test_graphs()[3];  // power-law
+  simt::Device dev_u, dev_o;
+  const auto u = gg::run_sssp(dev_u, gc.csr, gc.source, gg::parse_variant("U_B_QU"));
+  const auto o = gg::run_sssp(dev_o, gc.csr, gc.source, gg::parse_variant("O_B_QU"));
+  EXPECT_LT(u.metrics.total_us, o.metrics.total_us);
+}
+
+TEST(GpuSssp, UnitWeightsMatchBfsLevels) {
+  auto g = graph::gen::erdos_renyi(2000, 9000, 77);
+  graph::assign_uniform_weights(g, 1, 1, 1);
+  const auto expected = cpu::dijkstra(g, 0);
+  simt::Device dev;
+  const auto got = gg::run_sssp(dev, g, 0, gg::parse_variant("U_T_QU"));
+  EXPECT_EQ(got.dist, expected.dist);
+}
+
+TEST(GpuSssp, WorkingSetLargerThanBfs) {
+  // Paper Sec. III.B: SSSP working sets are larger than BFS ones because
+  // nodes re-enter when their distance improves.
+  const auto& gc = test_graphs()[1];
+  simt::Device dev;
+  const auto got = gg::run_sssp(dev, gc.csr, gc.source, gg::parse_variant("U_T_QU"));
+  std::uint64_t total_ws = 0;
+  for (const auto& it : got.metrics.iterations) total_ws += it.ws_size;
+  const auto reach = graph::compute_reach(gc.csr, gc.source);
+  EXPECT_GT(total_ws, reach.reachable_nodes);
+}
+
+TEST(GpuSssp, RequiresWeights) {
+  const auto g = graph::csr_from_edges(2, std::vector<graph::Edge>{{0, 1}});
+  simt::Device dev;
+  EXPECT_DEATH(gg::run_sssp(dev, g, 0, gg::parse_variant("U_T_BM")),
+               "weights");
+}
+
+TEST(GpuSssp, DeterministicAcrossRuns) {
+  const auto& gc = test_graphs()[3];
+  simt::Device d1, d2;
+  const auto a = gg::run_sssp(d1, gc.csr, gc.source, gg::parse_variant("O_B_BM"));
+  const auto b = gg::run_sssp(d2, gc.csr, gc.source, gg::parse_variant("O_B_BM"));
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_DOUBLE_EQ(a.metrics.total_us, b.metrics.total_us);
+}
+
+// ---- extension: virtual-warp-centric mapping (Hong et al. [12]) ------------
+
+class GpuSsspWarpCentric : public ::testing::TestWithParam<SsspCase> {};
+
+TEST_P(GpuSsspWarpCentric, MatchesSerialCpu) {
+  const auto& [gi, variant] = GetParam();
+  const auto& gc = test_graphs()[gi];
+  const auto expected = cpu::dijkstra(gc.csr, gc.source).dist;
+  simt::Device dev;
+  const auto got = gg::run_sssp(dev, gc.csr, gc.source, variant);
+  EXPECT_EQ(got.dist, expected) << gc.name;
+}
+
+std::vector<SsspCase> warp_sssp_cases() {
+  std::vector<SsspCase> cases;
+  for (std::size_t g = 0; g < test_graphs().size(); ++g) {
+    for (const Variant v : gg::warp_centric_variants()) {
+      cases.push_back({g, v});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(WarpVariants, GpuSsspWarpCentric,
+                         ::testing::ValuesIn(warp_sssp_cases()),
+                         [](const auto& info) {
+                           return std::string(test_graphs()[info.param.graph_index].name) +
+                                  "_" + gg::variant_name(info.param.variant);
+                         });
+
+TEST(WarpCentric, ScanQueueGenMatchesAtomic) {
+  const auto& gc = test_graphs()[1];
+  simt::Device d1, d2;
+  gg::EngineOptions scan_opts;
+  scan_opts.scan_queue_gen = true;
+  const auto a = gg::run_sssp(d1, gc.csr, gc.source, gg::parse_variant("U_B_QU"));
+  const auto b = gg::run_sssp(d2, gc.csr, gc.source, gg::parse_variant("U_B_QU"), scan_opts);
+  EXPECT_EQ(a.dist, b.dist);
+  // Scan generation removes the tail-counter serialization but pays extra
+  // passes: times must differ, results must not.
+  EXPECT_NE(a.metrics.total_us, b.metrics.total_us);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/graph_stats.h"
+#include "graph/io.h"
+
+namespace {
+
+graph::Csr diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  const std::vector<graph::Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  return graph::csr_from_edges(4, edges);
+}
+
+TEST(Csr, FromEdgesBasics) {
+  const auto g = diamond();
+  g.validate();
+  EXPECT_EQ(g.num_nodes, 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(Csr, StableOrderPreservesWeights) {
+  const std::vector<graph::Edge> edges{{1, 0}, {0, 5}, {0, 3}, {1, 2}};
+  const std::vector<std::uint32_t> w{10, 20, 30, 40};
+  const auto g = graph::csr_from_edges(6, edges, w);
+  EXPECT_EQ(g.neighbors(0)[0], 5u);
+  EXPECT_EQ(g.edge_weights(0)[0], 20u);
+  EXPECT_EQ(g.neighbors(0)[1], 3u);
+  EXPECT_EQ(g.edge_weights(0)[1], 30u);
+  EXPECT_EQ(g.edge_weights(1)[0], 10u);
+  EXPECT_EQ(g.edge_weights(1)[1], 40u);
+}
+
+TEST(Csr, TransposeTwiceIsIdentityOnEdgeSet) {
+  const auto g = diamond();
+  const auto tt = graph::transpose(graph::transpose(g));
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    std::vector<std::uint32_t> a(g.neighbors(v).begin(), g.neighbors(v).end());
+    std::vector<std::uint32_t> b(tt.neighbors(v).begin(), tt.neighbors(v).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "node " << v;
+  }
+}
+
+TEST(Csr, TransposeReversesEdges) {
+  const auto t = graph::transpose(diamond());
+  EXPECT_EQ(t.degree(0), 0u);
+  EXPECT_EQ(t.degree(3), 2u);
+  EXPECT_EQ(t.degree(1), 1u);
+  EXPECT_EQ(t.neighbors(1)[0], 0u);
+}
+
+TEST(Csr, SymmetrizeDoublesEdges) {
+  const auto s = graph::symmetrize(diamond());
+  EXPECT_EQ(s.num_edges(), 8u);
+  EXPECT_EQ(s.degree(3), 2u);  // reverse arcs of 1->3, 2->3
+}
+
+TEST(Csr, UniformWeightsInRange) {
+  auto g = diamond();
+  graph::assign_uniform_weights(g, 5, 9, 123);
+  ASSERT_TRUE(g.has_weights());
+  for (const auto w : g.weights) {
+    EXPECT_GE(w, 5u);
+    EXPECT_LE(w, 9u);
+  }
+}
+
+TEST(Csr, SuggestSourcePicksMaxOutdegree) {
+  const std::vector<graph::Edge> edges{{2, 0}, {2, 1}, {2, 3}, {0, 1}};
+  const auto g = graph::csr_from_edges(4, edges);
+  EXPECT_EQ(graph::suggest_source(g), 2u);
+}
+
+TEST(Builder, BuildsWeightedGraph) {
+  graph::GraphBuilder b;
+  b.add_edge(0, 1, 5).add_edge(1, 2, 7).add_undirected(2, 3, 9);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_nodes, 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_EQ(g.edge_weights(2)[0], 9u);
+  EXPECT_EQ(g.edge_weights(3)[0], 9u);
+}
+
+TEST(Builder, GrowsNodeCountImplicitly) {
+  graph::GraphBuilder b;
+  b.add_edge(0, 99);
+  EXPECT_EQ(b.num_nodes(), 100u);
+}
+
+TEST(GraphStats, ComputesDegreeSummary) {
+  const auto s = graph::GraphStats::compute(diamond());
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.outdeg_min, 0u);
+  EXPECT_EQ(s.outdeg_max, 2u);
+  EXPECT_DOUBLE_EQ(s.outdeg_avg, 1.0);
+  EXPECT_NE(s.summary().find("n=4"), std::string::npos);
+}
+
+TEST(ReachProfile, CountsLevelsAndReach) {
+  const auto p = graph::compute_reach(diamond(), 0);
+  EXPECT_EQ(p.levels, 2u);
+  EXPECT_EQ(p.reachable_nodes, 4u);
+  EXPECT_EQ(p.reachable_edges, 4u);
+  const auto from3 = graph::compute_reach(diamond(), 3);
+  EXPECT_EQ(from3.levels, 0u);
+  EXPECT_EQ(from3.reachable_nodes, 1u);
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(IoTest, DimacsRoundTrip) {
+  auto g = diamond();
+  graph::assign_uniform_weights(g, 1, 50, 7);
+  const auto p = path("agg_test.gr");
+  cleanup_.push_back(p);
+  graph::write_dimacs(g, p);
+  const auto r = graph::read_dimacs(p);
+  EXPECT_EQ(r.num_nodes, g.num_nodes);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_EQ(r.col_indices, g.col_indices);
+  EXPECT_EQ(r.weights, g.weights);
+}
+
+TEST_F(IoTest, SnapRoundTrip) {
+  const auto g = diamond();
+  const auto p = path("agg_test.txt");
+  cleanup_.push_back(p);
+  graph::write_snap_edgelist(g, p);
+  const auto r = graph::read_snap_edgelist(p);
+  EXPECT_EQ(r.num_nodes, g.num_nodes);
+  EXPECT_EQ(r.col_indices, g.col_indices);
+}
+
+TEST_F(IoTest, BinaryRoundTripWithWeights) {
+  auto g = diamond();
+  graph::assign_uniform_weights(g, 1, 9, 3);
+  const auto p = path("agg_test.agg");
+  cleanup_.push_back(p);
+  graph::write_binary(g, p);
+  const auto r = graph::read_binary(p);
+  EXPECT_EQ(r.num_nodes, g.num_nodes);
+  EXPECT_EQ(r.row_offsets, g.row_offsets);
+  EXPECT_EQ(r.col_indices, g.col_indices);
+  EXPECT_EQ(r.weights, g.weights);
+}
+
+TEST_F(IoTest, BinaryRoundTripUnweighted) {
+  const auto g = diamond();
+  const auto p = path("agg_test2.agg");
+  cleanup_.push_back(p);
+  graph::write_binary(g, p);
+  const auto r = graph::read_binary(p);
+  EXPECT_FALSE(r.has_weights());
+  EXPECT_EQ(r.col_indices, g.col_indices);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Failure injection for the IO layer and API preconditions: malformed and
+// truncated inputs must fail loudly (AGG_CHECK aborts), never load garbage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "api/algorithms.h"
+#include "api/graph_api.h"
+#include "graph/io.h"
+
+namespace {
+
+class IoFailureTest : public ::testing::Test {
+ protected:
+  std::string write_file(const char* name, const std::string& content) {
+    const auto p = (std::filesystem::temp_directory_path() / name).string();
+    std::ofstream out(p, std::ios::binary);
+    out << content;
+    cleanup_.push_back(p);
+    return p;
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::vector<std::string> cleanup_;
+};
+
+using IoFailureDeathTest = IoFailureTest;
+
+TEST_F(IoFailureDeathTest, MissingFileAborts) {
+  EXPECT_DEATH(graph::read_dimacs("/nonexistent/path.gr"), "nonexistent");
+}
+
+TEST_F(IoFailureDeathTest, DimacsMalformedProblemLine) {
+  const auto p = write_file("bad1.gr", "p sp oops\n");
+  EXPECT_DEATH(graph::read_dimacs(p), "malformed DIMACS problem line");
+}
+
+TEST_F(IoFailureDeathTest, DimacsArcCountMismatch) {
+  const auto p = write_file("bad2.gr", "p sp 3 2\na 1 2 5\n");
+  EXPECT_DEATH(graph::read_dimacs(p), "arc count mismatch");
+}
+
+TEST_F(IoFailureDeathTest, DimacsNodeIdOutOfRange) {
+  const auto p = write_file("bad3.gr", "p sp 2 1\na 1 9 5\n");
+  EXPECT_DEATH(graph::read_dimacs(p), "");
+}
+
+TEST_F(IoFailureDeathTest, SnapMalformedLine) {
+  const auto p = write_file("bad4.txt", "0\t1\nnot numbers\n");
+  EXPECT_DEATH(graph::read_snap_edgelist(p), "malformed SNAP edge line");
+}
+
+TEST_F(IoFailureDeathTest, BinaryBadMagic) {
+  const auto p = write_file("bad5.agg", "XXXXXXXXsome random bytes beyond");
+  EXPECT_DEATH(graph::read_binary(p), "bad magic");
+}
+
+TEST_F(IoFailureDeathTest, BinaryTruncated) {
+  // Valid magic, then a header promising more data than the file holds.
+  std::string content = "AGGCSR01";
+  const std::uint64_t n = 1000, m = 1000, w = 0;
+  content.append(reinterpret_cast<const char*>(&n), 8);
+  content.append(reinterpret_cast<const char*>(&m), 8);
+  content.append(reinterpret_cast<const char*>(&w), 8);
+  content.append(16, '\0');  // far short of (n+1 + m) * 4 bytes
+  const auto p = write_file("bad6.agg", content);
+  EXPECT_DEATH(graph::read_binary(p), "");
+}
+
+TEST_F(IoFailureTest, DimacsCommentsAndBlankLinesIgnored) {
+  const auto p = write_file("ok.gr",
+                            "c comment line\n\np sp 2 1\nc another\na 1 2 7\n");
+  const auto g = graph::read_dimacs(p);
+  EXPECT_EQ(g.num_nodes, 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weights[0], 7u);
+}
+
+TEST_F(IoFailureTest, SnapCommentsIgnored) {
+  const auto p = write_file("ok.txt", "# Nodes: 2\n0\t1\n");
+  const auto g = graph::read_snap_edgelist(p);
+  EXPECT_EQ(g.num_nodes, 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+// ---- API precondition failures ------------------------------------------------
+
+using ApiFailureDeathTest = ::testing::Test;
+
+TEST(ApiFailureDeathTest, BfsSourceOutOfRange) {
+  const auto g = adaptive::Graph::from_edges(2, {{0, 1}});
+  EXPECT_DEATH(adaptive::bfs(g, 5), "");
+}
+
+TEST(ApiFailureDeathTest, InvalidVariantName) {
+  EXPECT_DEATH(adaptive::Policy::fixed("U_X_BM"), "");
+  EXPECT_DEATH(adaptive::Policy::fixed("bogus"), "variant names");
+}
+
+TEST(ApiFailureDeathTest, CsrValidateRejectsCorruptOffsets) {
+  graph::Csr g;
+  g.num_nodes = 2;
+  g.row_offsets = {0, 5, 1};  // non-monotone
+  g.col_indices = {0};
+  EXPECT_DEATH(g.validate(), "");
+}
+
+TEST(ApiFailureDeathTest, CsrValidateRejectsOutOfRangeTarget) {
+  graph::Csr g;
+  g.num_nodes = 2;
+  g.row_offsets = {0, 1, 1};
+  g.col_indices = {7};
+  EXPECT_DEATH(g.validate(), "edge target out of range");
+}
+
+TEST(ApiFailureDeathTest, ZeroWeightRejected) {
+  auto g = graph::csr_from_edges(2, std::vector<graph::Edge>{{0, 1}});
+  EXPECT_DEATH(graph::assign_uniform_weights(g, 0, 5, 1), "");
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Resource discipline: every engine must release all device allocations
+// (simulated-GPU memory is accounted, so leaks are observable), and the
+// metrics/summary surfaces must stay consistent across algorithms.
+#include <gtest/gtest.h>
+
+#include "gpu_graph/bfs_engine.h"
+#include "gpu_graph/cc_engine.h"
+#include "gpu_graph/edge_parallel.h"
+#include "gpu_graph/mst_engine.h"
+#include "gpu_graph/pagerank_engine.h"
+#include "gpu_graph/sssp_engine.h"
+#include "graph/gen/generators.h"
+#include "graph/transform.h"
+#include "runtime/adaptive_engine.h"
+
+namespace {
+
+graph::Csr weighted_graph() {
+  auto g = graph::gen::erdos_renyi(1000, 5000, 99);
+  graph::assign_uniform_weights(g, 1, 50, 1);
+  return g;
+}
+
+TEST(DeviceMemory, BfsReleasesEverything) {
+  const auto g = weighted_graph();
+  simt::Device dev;
+  const auto before = dev.mem_in_use();
+  for (const auto v : gg::all_variants()) {
+    gg::run_bfs(dev, g, 0, v);
+    EXPECT_EQ(dev.mem_in_use(), before) << gg::variant_name(v);
+  }
+}
+
+TEST(DeviceMemory, SsspReleasesEverything) {
+  const auto g = weighted_graph();
+  simt::Device dev;
+  const auto before = dev.mem_in_use();
+  for (const auto v : gg::all_variants()) {
+    gg::run_sssp(dev, g, 0, v);
+    EXPECT_EQ(dev.mem_in_use(), before) << gg::variant_name(v);
+  }
+}
+
+TEST(DeviceMemory, ExtensionEnginesReleaseEverything) {
+  auto g = graph::symmetrize(weighted_graph());
+  graph::assign_symmetric_uniform_weights(g, 1, 50, 2);
+  simt::Device dev;
+  const auto before = dev.mem_in_use();
+  gg::run_cc(dev, g, gg::parse_variant("U_T_QU"));
+  EXPECT_EQ(dev.mem_in_use(), before);
+  gg::run_pagerank(dev, g, gg::parse_variant("U_T_QU"));
+  EXPECT_EQ(dev.mem_in_use(), before);
+  gg::run_mst(dev, g, gg::parse_variant("U_T_QU"));
+  EXPECT_EQ(dev.mem_in_use(), before);
+  gg::run_sssp_edge_parallel(dev, g, 0);
+  EXPECT_EQ(dev.mem_in_use(), before);
+}
+
+TEST(DeviceMemory, AllocationsAreBoundedDuringRun) {
+  // The working set + per-node state of BFS is a handful of n-sized arrays;
+  // peak device memory must stay well under 20 bytes per node + CSR.
+  const auto g = weighted_graph();
+  simt::Device dev;
+  std::uint64_t peak = 0;
+  dev.set_kernel_observer(
+      [&](const simt::KernelStats&) { peak = std::max(peak, dev.mem_in_use()); });
+  gg::run_bfs(dev, g, 0, gg::parse_variant("U_B_QU"));
+  const std::uint64_t csr_bytes = (g.num_nodes + 1 + g.num_edges()) * 4;
+  EXPECT_LT(peak, csr_bytes + 32ull * g.num_nodes + (1u << 16));
+}
+
+TEST(DeviceMemory, OutOfMemoryAborts) {
+  simt::DeviceProps tiny = simt::DeviceProps::test_tiny();
+  tiny.global_mem_bytes = 1 << 16;
+  simt::Device dev(tiny);
+  EXPECT_DEATH((void)dev.alloc<std::uint32_t>(1 << 20, "too-big"),
+               "out of memory");
+}
+
+TEST(Metrics, SummaryMentionsKeyQuantities) {
+  const auto g = weighted_graph();
+  simt::Device dev;
+  const auto r = rt::adaptive_bfs(dev, g, 0);
+  const auto s = r.metrics.summary();
+  EXPECT_NE(s.find("iterations"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+  EXPECT_NE(s.find("edge visits"), std::string::npos);
+}
+
+TEST(Metrics, MaxWsSizeMatchesIterations) {
+  const auto g = weighted_graph();
+  simt::Device dev;
+  const auto r = gg::run_bfs(dev, g, 0, gg::parse_variant("U_T_QU"));
+  std::uint64_t expected = 0;
+  for (const auto& it : r.metrics.iterations) {
+    expected = std::max(expected, it.ws_size);
+  }
+  EXPECT_EQ(r.metrics.max_ws_size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(Device, SequentialAlgorithmsShareOneTimeline) {
+  auto g = graph::symmetrize(weighted_graph());
+  graph::assign_symmetric_uniform_weights(g, 1, 50, 3);
+  simt::Device dev;
+  const double t0 = dev.now_us();
+  gg::run_bfs(dev, g, 0, gg::parse_variant("U_T_QU"));
+  const double t1 = dev.now_us();
+  gg::run_cc(dev, g, gg::parse_variant("U_B_QU"));
+  const double t2 = dev.now_us();
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(dev.stats().kernels_launched, 10u);
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cpu/bfs_serial.h"
+#include "cpu/sssp_serial.h"
+#include "graph/gen/datasets.h"
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+#include "runtime/decision.h"
+#include "runtime/inspector.h"
+#include "runtime/tuner.h"
+
+namespace {
+
+using gg::Mapping;
+using gg::Ordering;
+using gg::WorksetRepr;
+using rt::Thresholds;
+
+Thresholds default_thresholds() {
+  return Thresholds::for_device(simt::DeviceProps::fermi_c2070());
+}
+
+// ---- decision maker: the five regions of Fig. 11 ---------------------------
+
+TEST(Decision, DerivedThresholdsMatchPaper) {
+  const auto t = default_thresholds();
+  EXPECT_DOUBLE_EQ(t.t1_avg_outdegree, 32.0);
+  EXPECT_DOUBLE_EQ(t.t2_ws_size, 192.0 * 14.0);  // Sec. VII.B: 2,688
+}
+
+TEST(Decision, SmallWorksetAlwaysBlockQueue) {
+  const auto t = default_thresholds();
+  for (const double deg : {2.0, 20.0, 200.0}) {
+    const auto v = rt::decide(t, 100, deg, 1000000);
+    EXPECT_EQ(v.mapping, Mapping::block);
+    EXPECT_EQ(v.repr, WorksetRepr::queue);
+  }
+}
+
+TEST(Decision, MidWorksetLowDegreeThreadQueue) {
+  const auto t = default_thresholds();
+  // |WS| = 5000 (> T2), T3 = 30% of 1M (> |WS|), avg deg 5 (< T1).
+  const auto v = rt::decide(t, 5000, 5.0, 1000000);
+  EXPECT_EQ(v.mapping, Mapping::thread);
+  EXPECT_EQ(v.repr, WorksetRepr::queue);
+}
+
+TEST(Decision, MidWorksetHighDegreeBlockQueue) {
+  const auto t = default_thresholds();
+  const auto v = rt::decide(t, 5000, 80.0, 1000000);
+  EXPECT_EQ(v.mapping, Mapping::block);
+  EXPECT_EQ(v.repr, WorksetRepr::queue);
+}
+
+TEST(Decision, LargeWorksetLowDegreeThreadBitmap) {
+  const auto t = default_thresholds();
+  const auto v = rt::decide(t, 400000, 5.0, 1000000);
+  EXPECT_EQ(v.mapping, Mapping::thread);
+  EXPECT_EQ(v.repr, WorksetRepr::bitmap);
+}
+
+TEST(Decision, LargeWorksetHighDegreeBlockBitmap) {
+  const auto t = default_thresholds();
+  const auto v = rt::decide(t, 400000, 80.0, 1000000);
+  EXPECT_EQ(v.mapping, Mapping::block);
+  EXPECT_EQ(v.repr, WorksetRepr::bitmap);
+}
+
+TEST(Decision, AlwaysUnordered) {
+  const auto t = default_thresholds();
+  for (const std::uint64_t ws : {10ull, 10000ull, 500000ull}) {
+    for (const double deg : {3.0, 64.0}) {
+      EXPECT_EQ(rt::decide(t, ws, deg, 1000000).ordering, Ordering::unordered);
+    }
+  }
+}
+
+TEST(Decision, T3ScalesWithNodeCount) {
+  const auto t = default_thresholds();
+  // Same |WS|: bitmap on a small graph, queue on a huge one.
+  EXPECT_EQ(rt::decide(t, 50000, 5.0, 100000).repr, WorksetRepr::bitmap);
+  EXPECT_EQ(rt::decide(t, 50000, 5.0, 10000000).repr, WorksetRepr::queue);
+}
+
+TEST(Decision, SkewAwareMappingPrefersBlockOnHeavyTails) {
+  const auto t = default_thresholds();
+  // avg 8 alone would pick thread; a heavy tail (stddev 100) flips to block
+  // (Sec. VI.B: uneven outdegree distributions cause warp divergence under
+  // thread mapping).
+  EXPECT_EQ(rt::decide(t, 400000, 8.0, 1000000, 0.0).mapping, Mapping::thread);
+  EXPECT_EQ(rt::decide(t, 400000, 8.0, 1000000, 100.0).mapping, Mapping::block);
+}
+
+TEST(Decision, SkewWeightZeroRestoresPaperRule) {
+  auto t = default_thresholds();
+  t.skew_weight = 0.0;
+  EXPECT_EQ(rt::decide(t, 400000, 8.0, 1000000, 1000.0).mapping, Mapping::thread);
+}
+
+TEST(Decision, ExactBoundaryValues) {
+  const auto t = default_thresholds();
+  // ws == T2 is NOT below T2: the B_QU shortcut must not trigger.
+  const auto at_t2 = rt::decide(t, 2688, 5.0, 1000000);
+  EXPECT_EQ(at_t2.mapping, Mapping::thread);
+  // ws == T3 exactly: "above T3" is strict, so queue.
+  const auto at_t3 =
+      rt::decide(t, static_cast<std::uint64_t>(0.30 * 1000000), 5.0, 1000000);
+  EXPECT_EQ(at_t3.repr, WorksetRepr::queue);
+}
+
+TEST(Decision, DeviceDerivedT2TracksSmCount) {
+  const auto c2070 = Thresholds::for_device(simt::DeviceProps::fermi_c2070());
+  const auto gtx580 = Thresholds::for_device(simt::DeviceProps::fermi_gtx580());
+  EXPECT_DOUBLE_EQ(c2070.t2_ws_size, 192.0 * 14);
+  EXPECT_DOUBLE_EQ(gtx580.t2_ws_size, 192.0 * 16);
+}
+
+// ---- inspector --------------------------------------------------------------
+
+TEST(Inspector, ComputesStaticAttributes) {
+  const auto d = graph::gen::make_dataset_scaled_to(graph::gen::DatasetId::amazon, 20000);
+  rt::GraphInspector insp(d.csr);
+  EXPECT_EQ(insp.num_nodes(), d.csr.num_nodes);
+  EXPECT_NEAR(insp.avg_outdegree(), 8.5, 0.3);
+  insp.set_monitor_interval(0);
+  EXPECT_EQ(insp.monitor_interval(), 1u);  // clamped
+  insp.set_monitor_interval(8);
+  EXPECT_EQ(insp.monitor_interval(), 8u);
+}
+
+// ---- adaptive engine --------------------------------------------------------
+
+class AdaptiveCorrectness
+    : public ::testing::TestWithParam<graph::gen::DatasetId> {};
+
+TEST_P(AdaptiveCorrectness, BfsMatchesCpu) {
+  const auto d = graph::gen::make_dataset_scaled_to(GetParam(), 8000);
+  const auto expected = cpu::bfs(d.csr, d.source);
+  simt::Device dev;
+  const auto got = rt::adaptive_bfs(dev, d.csr, d.source);
+  EXPECT_EQ(got.level, expected.level);
+  EXPECT_GT(got.metrics.decisions, 0u);
+}
+
+TEST_P(AdaptiveCorrectness, SsspMatchesCpu) {
+  const auto d = graph::gen::make_dataset_scaled_to(GetParam(), 6000);
+  const auto expected = cpu::dijkstra(d.csr, d.source);
+  simt::Device dev;
+  const auto got = rt::adaptive_sssp(dev, d.csr, d.source);
+  EXPECT_EQ(got.dist, expected.dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, AdaptiveCorrectness,
+                         ::testing::ValuesIn(graph::gen::all_datasets()),
+                         [](const auto& info) {
+                           std::string n = graph::gen::dataset_name(info.param);
+                           for (auto& c : n) c = c == '-' ? '_' : c;
+                           return n;
+                         });
+
+TEST(Adaptive, StartsInBlockQueueRegion) {
+  // The first frontier has size 1 < T2, so the first iterations must run
+  // B_QU regardless of topology.
+  const auto d = graph::gen::make_dataset_scaled_to(graph::gen::DatasetId::amazon, 20000);
+  simt::Device dev;
+  const auto got = rt::adaptive_bfs(dev, d.csr, d.source);
+  ASSERT_FALSE(got.metrics.iterations.empty());
+  const auto first = got.metrics.iterations.front().variant;
+  EXPECT_EQ(first.mapping, Mapping::block);
+  EXPECT_EQ(first.repr, WorksetRepr::queue);
+}
+
+TEST(Adaptive, SwitchesVariantDuringTraversalOnLargeFrontiers) {
+  // A random graph's frontier explodes past T2/T3, forcing at least one
+  // representation or mapping switch during the traversal.
+  auto g = graph::gen::erdos_renyi(60000, 300000, 5);
+  simt::Device dev;
+  const auto got = rt::adaptive_bfs(dev, g, 0);
+  EXPECT_GT(got.metrics.switches, 0u);
+  // And more than one distinct variant must actually have run.
+  std::set<std::string> used;
+  for (const auto& it : got.metrics.iterations) {
+    used.insert(gg::variant_name(it.variant));
+  }
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(Adaptive, MonitorIntervalReducesDecisions) {
+  auto g = graph::gen::erdos_renyi(30000, 150000, 6);
+  simt::Device d1, d2;
+  rt::AdaptiveOptions every;
+  every.monitor_interval = 1;
+  rt::AdaptiveOptions sampled;
+  sampled.monitor_interval = 4;
+  const auto a = rt::adaptive_bfs(d1, g, 0, every);
+  const auto b = rt::adaptive_bfs(d2, g, 0, sampled);
+  EXPECT_GT(a.metrics.decisions, b.metrics.decisions);
+  // Correctness unaffected by sampling.
+  const auto expected = cpu::bfs(g, 0);
+  EXPECT_EQ(a.level, expected.level);
+  EXPECT_EQ(b.level, expected.level);
+}
+
+TEST(Adaptive, ThresholdOverrideRespected) {
+  auto g = graph::gen::erdos_renyi(30000, 150000, 8);
+  simt::Device dev;
+  rt::AdaptiveOptions opts;
+  // T3 fraction 0 => bitmap whenever |WS| > T2; queue only below T2.
+  opts.thresholds = Thresholds::for_device(dev.props(), 192, 0.0);
+  opts.thresholds_overridden = true;
+  const auto got = rt::adaptive_bfs(dev, g, 0, opts);
+  bool saw_bitmap = false;
+  for (const auto& it : got.metrics.iterations) {
+    if (it.ws_size > opts.thresholds.t2_ws_size) {
+      EXPECT_EQ(it.variant.repr, WorksetRepr::bitmap);
+      saw_bitmap = true;
+    }
+  }
+  EXPECT_TRUE(saw_bitmap);
+}
+
+// ---- tuner -------------------------------------------------------------------
+
+TEST(Tuner, T3SweepProducesCurveAndBest) {
+  const auto d = graph::gen::make_dataset_scaled_to(graph::gen::DatasetId::google, 10000);
+  simt::Device dev;
+  const std::vector<double> fractions{0.01, 0.05, 0.10};
+  const auto sweep = rt::sweep_t3(dev, d.csr, d.source, fractions,
+                                  rt::TunedAlgorithm::sssp);
+  ASSERT_EQ(sweep.curve.size(), 3u);
+  for (const auto& p : sweep.curve) EXPECT_GT(p.time_us, 0.0);
+  EXPECT_GT(sweep.best_time_us, 0.0);
+  bool best_in_set = false;
+  for (const double f : fractions) best_in_set |= f == sweep.best_value;
+  EXPECT_TRUE(best_in_set);
+}
+
+TEST(Tuner, MonitorSweepRuns) {
+  const auto d = graph::gen::make_dataset_scaled_to(graph::gen::DatasetId::p2p, 8000);
+  simt::Device dev;
+  const std::vector<std::uint32_t> intervals{1, 2, 8};
+  const auto sweep = rt::sweep_monitor_interval(dev, d.csr, d.source, intervals,
+                                                rt::TunedAlgorithm::bfs);
+  ASSERT_EQ(sweep.curve.size(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cpu/bfs_serial.h"
+#include "cpu/sssp_serial.h"
+#include "graph/gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/transform.h"
+
+namespace {
+
+TEST(IsSymmetric, DetectsBothCases) {
+  const auto directed =
+      graph::csr_from_edges(3, std::vector<graph::Edge>{{0, 1}, {1, 2}});
+  EXPECT_FALSE(graph::is_symmetric(directed));
+  EXPECT_TRUE(graph::is_symmetric(graph::symmetrize(directed)));
+}
+
+TEST(IsSymmetric, SelfLoopsAreTheirOwnReverse) {
+  const auto g = graph::csr_from_edges(2, std::vector<graph::Edge>{{0, 0}});
+  EXPECT_TRUE(graph::is_symmetric(g));
+}
+
+TEST(IsSymmetric, CountsMultiplicity) {
+  // Two arcs one way, one arc back: not symmetric.
+  const auto g = graph::csr_from_edges(
+      2, std::vector<graph::Edge>{{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_FALSE(graph::is_symmetric(g));
+}
+
+TEST(IsSymmetric, GeneratorsProduceWhatTheyClaim) {
+  EXPECT_TRUE(graph::is_symmetric(graph::gen::road_network(2000, 4)));
+  EXPECT_TRUE(graph::is_symmetric(graph::gen::watts_strogatz(1000, 4, 0.1, 5)));
+  EXPECT_FALSE(graph::is_symmetric(graph::gen::regular_copurchase(1000, 5)));
+}
+
+TEST(RelabelByDegree, SortsDegreesDescending) {
+  const auto g = graph::gen::erdos_renyi(500, 3000, 9);
+  const auto r = graph::relabel_by_degree(g);
+  for (std::uint32_t v = 0; v + 1 < r.csr.num_nodes; ++v) {
+    EXPECT_GE(r.csr.degree(v), r.csr.degree(v + 1));
+  }
+}
+
+TEST(RelabelByDegree, MappingsAreInverse) {
+  const auto g = graph::gen::erdos_renyi(300, 1200, 2);
+  const auto r = graph::relabel_by_degree(g);
+  for (std::uint32_t old = 0; old < g.num_nodes; ++old) {
+    EXPECT_EQ(r.old_id[r.new_id[old]], old);
+  }
+}
+
+TEST(Relabel, PreservesBfsStructure) {
+  const auto g = graph::gen::erdos_renyi(800, 4000, 7);
+  const auto r = graph::relabel_by_degree(g);
+  const auto orig = cpu::bfs(g, 5);
+  const auto relab = cpu::bfs(r.csr, r.new_id[5]);
+  for (std::uint32_t old = 0; old < g.num_nodes; ++old) {
+    EXPECT_EQ(orig.level[old], relab.level[r.new_id[old]]) << old;
+  }
+}
+
+TEST(Relabel, PreservesWeightsAlongEdges) {
+  auto g = graph::gen::erdos_renyi(400, 2000, 11);
+  graph::assign_uniform_weights(g, 1, 99, 3);
+  const auto r = graph::relabel_by_degree(g);
+  const auto orig = cpu::dijkstra(g, 0);
+  const auto relab = cpu::dijkstra(r.csr, r.new_id[0]);
+  for (std::uint32_t old = 0; old < g.num_nodes; ++old) {
+    EXPECT_EQ(orig.dist[old], relab.dist[r.new_id[old]]);
+  }
+}
+
+TEST(Relabel, IdentityPermutationIsNoOp) {
+  const auto g = graph::gen::erdos_renyi(100, 400, 1);
+  std::vector<graph::NodeId> identity(g.num_nodes);
+  std::iota(identity.begin(), identity.end(), 0u);
+  const auto r = graph::relabel(g, identity);
+  EXPECT_EQ(r.csr.row_offsets, g.row_offsets);
+  EXPECT_EQ(r.csr.col_indices, g.col_indices);
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  // 0-1-2-3 chain; take {1, 2}.
+  const auto g = graph::csr_from_edges(
+      4, std::vector<graph::Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<graph::NodeId> sel{1, 2};
+  const auto r = graph::induced_subgraph(g, sel);
+  EXPECT_EQ(r.csr.num_nodes, 2u);
+  EXPECT_EQ(r.csr.num_edges(), 1u);  // only 1->2 survives
+  EXPECT_EQ(r.csr.neighbors(0)[0], 1u);
+  EXPECT_EQ(r.old_id[0], 1u);
+  EXPECT_EQ(r.old_id[1], 2u);
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  const auto g = graph::csr_from_edges(3, std::vector<graph::Edge>{{0, 1}});
+  const std::vector<graph::NodeId> sel{1, 1};
+  EXPECT_DEATH(graph::induced_subgraph(g, sel), "duplicate");
+}
+
+TEST(DedupEdges, KeepsMinWeight) {
+  const std::vector<graph::Edge> e{{0, 1}, {0, 1}, {0, 2}};
+  const std::vector<std::uint32_t> w{9, 4, 7};
+  const auto g = graph::csr_from_edges(3, e, w);
+  const auto d = graph::dedup_edges(g);
+  EXPECT_EQ(d.num_edges(), 2u);
+  EXPECT_EQ(d.edge_weights(0)[0], 4u);  // neighbors sorted by id: 1 then 2
+  EXPECT_EQ(d.edge_weights(0)[1], 7u);
+}
+
+TEST(DedupEdges, ShortestPathsUnchanged) {
+  auto g = graph::gen::erdos_renyi(500, 5000, 13);  // dense: duplicates likely
+  graph::assign_uniform_weights(g, 1, 50, 2);
+  const auto d = graph::dedup_edges(g);
+  EXPECT_LE(d.num_edges(), g.num_edges());
+  EXPECT_EQ(cpu::dijkstra(g, 0).dist, cpu::dijkstra(d, 0).dist);
+}
+
+TEST(WattsStrogatz, ZeroRewireIsRingLattice) {
+  const auto g = graph::gen::watts_strogatz(100, 4, 0.0, 1);
+  const auto s = graph::GraphStats::compute(g);
+  EXPECT_EQ(s.outdeg_min, 4u);
+  EXPECT_EQ(s.outdeg_max, 4u);
+  const auto reach = graph::compute_reach(g, 0);
+  EXPECT_EQ(reach.reachable_nodes, 100u);
+  EXPECT_EQ(reach.levels, 25u);  // n / k hops around the ring
+}
+
+TEST(WattsStrogatz, RewiringShrinksDiameter) {
+  const auto lattice = graph::gen::watts_strogatz(2000, 4, 0.0, 1);
+  const auto small_world = graph::gen::watts_strogatz(2000, 4, 0.2, 1);
+  EXPECT_GT(graph::compute_reach(lattice, 0).levels,
+            2 * graph::compute_reach(small_world, 0).levels);
+}
+
+}  // namespace

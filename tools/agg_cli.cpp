@@ -1,0 +1,303 @@
+// agg — command-line driver for the adaptive GPU graph library.
+//
+//   agg stats    <graph>                     topology characterization
+//   agg bfs      <graph> [--source=N] [--policy=adaptive|cpu|U_T_BM|...]
+//   agg sssp     <graph> [--source=N] [--policy=...] [--weights=LO,HI]
+//   agg cc       <graph> [--policy=...] [--no-symmetrize]
+//   agg pagerank <graph> [--damping=0.85] [--policy=...] [--top=10]
+//   agg mst      <graph> [--policy=...] [--no-symmetrize]
+//   agg generate <kind>  --out=FILE [--nodes=N] [--seed=S]
+//                kinds: road, amazon, citeseer, p2p, google, sns, rmat, er
+//   agg convert  <in> <out>                  between .gr / .txt / .agg
+//   agg tune     <graph> [--algo=bfs|sssp]   T3 + sampling-interval sweeps
+//
+// Graph files are recognized by extension: .gr (DIMACS shortest path),
+// .txt (SNAP edge list), .agg (binary).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "api/algorithms.h"
+#include "api/graph_api.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "graph/gen/datasets.h"
+#include "graph/gen/generators.h"
+#include "graph/io.h"
+#include "runtime/tuner.h"
+#include "simt/profiler.h"
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+adaptive::Graph load_any(const std::string& path) {
+  if (ends_with(path, ".gr")) return adaptive::Graph::load_dimacs(path);
+  if (ends_with(path, ".txt")) return adaptive::Graph::load_snap(path);
+  if (ends_with(path, ".agg")) return adaptive::Graph::load_binary(path);
+  std::fprintf(stderr, "unknown graph format: %s (expect .gr/.txt/.agg)\n",
+               path.c_str());
+  std::exit(2);
+}
+
+void save_any(const graph::Csr& g, const std::string& path) {
+  if (ends_with(path, ".gr")) {
+    graph::write_dimacs(g, path);
+  } else if (ends_with(path, ".txt")) {
+    graph::write_snap_edgelist(g, path);
+  } else if (ends_with(path, ".agg")) {
+    graph::write_binary(g, path);
+  } else {
+    std::fprintf(stderr, "unknown output format: %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+adaptive::Policy parse_policy(const std::string& name) {
+  if (name == "adaptive") return adaptive::Policy::adapt();
+  if (name == "cpu") return adaptive::Policy::cpu();
+  return adaptive::Policy::fixed(name);
+}
+
+void print_metrics(const gg::TraversalMetrics& m, double cpu_wall_ms) {
+  if (m.iterations.empty() && m.kernels == 0) {
+    std::printf("cpu wall time: %.3f ms\n", cpu_wall_ms);
+    return;
+  }
+  std::printf("%s\n", m.summary().c_str());
+  std::printf("modeled device time %.3f ms (kernels %.3f, transfers %.3f), "
+              "%llu kernel launches\n",
+              m.total_ms(), m.kernel_us / 1000.0, m.transfer_us / 1000.0,
+              static_cast<unsigned long long>(m.kernels));
+}
+
+int cmd_stats(const agg::Cli& cli) {
+  const auto g = load_any(cli.positional()[1]);
+  const auto& s = g.stats();
+  std::printf("%s\n", s.summary().c_str());
+  std::printf("outdegree stddev: %.2f\n%s", s.outdeg_stddev,
+              s.outdeg_hist.render().c_str());
+  const auto reach = graph::compute_reach(g.csr(), g.default_source());
+  std::printf("from max-degree node %u: %u levels, %s nodes reachable\n",
+              g.default_source(), reach.levels,
+              agg::Table::fmt_int(reach.reachable_nodes).c_str());
+  return 0;
+}
+
+int cmd_bfs(const agg::Cli& cli) {
+  const auto g = load_any(cli.positional()[1]);
+  const auto source = static_cast<graph::NodeId>(
+      cli.get_int("source", g.default_source()));
+  simt::Device dev;
+  std::optional<simt::Profiler> prof;
+  if (cli.get_bool("profile", false)) prof.emplace(dev);
+  const auto out =
+      adaptive::bfs(dev, g, source, parse_policy(cli.get("policy", "adaptive")));
+  if (prof) std::printf("%s", prof->report().c_str());
+  std::uint64_t reached = 0;
+  std::uint32_t max_level = 0;
+  for (const auto l : out.level) {
+    if (l == adaptive::kUnreachable) continue;
+    ++reached;
+    max_level = std::max(max_level, l);
+  }
+  std::printf("BFS from %u: reached %s of %s nodes, %u levels\n", source,
+              agg::Table::fmt_int(reached).c_str(),
+              agg::Table::fmt_int(g.num_nodes()).c_str(), max_level);
+  print_metrics(out.metrics, out.cpu_wall_ms);
+  return 0;
+}
+
+int cmd_sssp(const agg::Cli& cli) {
+  auto g = load_any(cli.positional()[1]);
+  if (!g.is_weighted()) {
+    const std::string range = cli.get("weights", "1,1000");
+    const auto comma = range.find(',');
+    const auto lo = static_cast<std::uint32_t>(std::stoul(range.substr(0, comma)));
+    const auto hi = static_cast<std::uint32_t>(std::stoul(range.substr(comma + 1)));
+    std::printf("(unweighted input: assigning uniform weights %u..%u)\n", lo, hi);
+    g.set_uniform_weights(lo, hi);
+  }
+  const auto source = static_cast<graph::NodeId>(
+      cli.get_int("source", g.default_source()));
+  const auto out =
+      adaptive::sssp(g, source, parse_policy(cli.get("policy", "adaptive")));
+  std::uint64_t reached = 0;
+  std::uint64_t total = 0;
+  for (const auto d : out.dist) {
+    if (d == adaptive::kUnreachable) continue;
+    ++reached;
+    total += d;
+  }
+  std::printf("SSSP from %u: reached %s nodes, mean distance %.1f\n", source,
+              agg::Table::fmt_int(reached).c_str(),
+              reached ? static_cast<double>(total) / reached : 0.0);
+  print_metrics(out.metrics, out.cpu_wall_ms);
+  return 0;
+}
+
+int cmd_cc(const agg::Cli& cli) {
+  const auto g = load_any(cli.positional()[1]);
+  const auto out = adaptive::cc(g, parse_policy(cli.get("policy", "adaptive")),
+                                !cli.get_bool("no-symmetrize", false));
+  std::printf("%s weakly-connected components\n",
+              agg::Table::fmt_int(out.num_components).c_str());
+  print_metrics(out.metrics, out.cpu_wall_ms);
+  return 0;
+}
+
+int cmd_pagerank(const agg::Cli& cli) {
+  const auto g = load_any(cli.positional()[1]);
+  const double damping = cli.get_double("damping", 0.85);
+  const auto out = adaptive::pagerank(g, damping,
+                                      parse_policy(cli.get("policy", "adaptive")));
+  std::vector<std::uint32_t> order(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return out.rank[a] > out.rank[b];
+  });
+  const auto top = static_cast<std::size_t>(cli.get_int("top", 10));
+  std::printf("top %zu pages by rank (damping %.2f):\n", top, damping);
+  for (std::size_t i = 0; i < std::min<std::size_t>(top, order.size()); ++i) {
+    std::printf("  %2zu. node %-10u rank %.3e\n", i + 1, order[i],
+                out.rank[order[i]]);
+  }
+  print_metrics(out.metrics, out.cpu_wall_ms);
+  return 0;
+}
+
+int cmd_mst(const agg::Cli& cli) {
+  auto g = load_any(cli.positional()[1]);
+  if (!g.is_weighted()) {
+    std::printf("(unweighted input: assigning uniform weights 1..1000)\n");
+    g.set_uniform_weights(1, 1000);
+  }
+  const auto out = adaptive::mst(g, parse_policy(cli.get("policy", "adaptive")),
+                                 !cli.get_bool("no-symmetrize", false));
+  std::printf("minimum spanning forest: weight %llu, %s trees, %s edges\n",
+              static_cast<unsigned long long>(out.total_weight),
+              agg::Table::fmt_int(out.num_trees).c_str(),
+              agg::Table::fmt_int(out.edges_in_forest).c_str());
+  print_metrics(out.metrics, out.cpu_wall_ms);
+  return 0;
+}
+
+int cmd_generate(const agg::Cli& cli) {
+  const std::string kind = cli.positional()[1];
+  const std::string out_path = cli.get("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "generate requires --out=FILE\n");
+    return 2;
+  }
+  const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes", 100000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  graph::Csr g;
+  if (kind == "road") {
+    g = graph::gen::road_network(nodes, seed);
+  } else if (kind == "rmat") {
+    graph::gen::RmatParams p;
+    p.scale = 1;
+    while ((1u << p.scale) < nodes) ++p.scale;
+    p.seed = seed;
+    g = graph::gen::rmat(p);
+  } else if (kind == "er") {
+    g = graph::gen::erdos_renyi(nodes, 8ull * nodes, seed);
+  } else {
+    for (const auto id : graph::gen::all_datasets()) {
+      std::string name = graph::gen::dataset_name(id);
+      for (auto& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == kind || (kind == "road" && id == graph::gen::DatasetId::co_road)) {
+        g = graph::gen::make_dataset_scaled_to(id, nodes).csr;
+        break;
+      }
+    }
+    if (g.num_nodes == 0) {
+      std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+      return 2;
+    }
+  }
+  if (cli.has("weights")) {
+    graph::assign_uniform_weights(g, 1, 1000, seed);
+  }
+  save_any(g, out_path);
+  std::printf("wrote %s: %s\n", out_path.c_str(),
+              graph::GraphStats::compute(g).summary().c_str());
+  return 0;
+}
+
+int cmd_convert(const agg::Cli& cli) {
+  const auto g = load_any(cli.positional()[1]);
+  save_any(g.csr(), cli.positional()[2]);
+  std::printf("converted %s -> %s\n", cli.positional()[1].c_str(),
+              cli.positional()[2].c_str());
+  return 0;
+}
+
+int cmd_tune(const agg::Cli& cli) {
+  const auto g = load_any(cli.positional()[1]);
+  const auto algo = cli.get("algo", "sssp") == "bfs" ? rt::TunedAlgorithm::bfs
+                                                     : rt::TunedAlgorithm::sssp;
+  const auto source = g.default_source();
+  simt::Device dev;
+
+  std::vector<double> fractions;
+  for (int pct = 5; pct <= 60; pct += 5) fractions.push_back(pct / 100.0);
+  const auto t3 = rt::sweep_t3(dev, g.csr(), source, fractions, algo);
+  std::printf("T3 sweep (fraction of n -> ms):\n");
+  for (const auto& p : t3.curve) {
+    std::printf("  %4.0f%% %10.3f%s\n", p.value * 100, p.time_us / 1000.0,
+                p.value == t3.best_value ? "  <- best" : "");
+  }
+
+  const std::vector<std::uint32_t> intervals{1, 2, 4, 8, 16};
+  const auto rs = rt::sweep_monitor_interval(dev, g.csr(), source, intervals, algo);
+  std::printf("monitoring interval sweep (R -> ms):\n");
+  for (const auto& p : rs.curve) {
+    std::printf("  R=%2.0f %10.3f%s\n", p.value, p.time_us / 1000.0,
+                p.value == rs.best_value ? "  <- best" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  agg::Cli cli(argc, argv);
+  if (cli.positional().empty() || cli.has("help")) {
+    std::printf(
+        "agg — adaptive GPU graph algorithms (simulated device)\n\n"
+        "  agg stats    <graph>\n"
+        "  agg bfs      <graph> [--source=N] [--policy=adaptive|cpu|U_T_BM|...]\n"
+        "  agg sssp     <graph> [--source=N] [--policy=...] [--weights=LO,HI]\n"
+        "  agg cc       <graph> [--policy=...] [--no-symmetrize]\n"
+        "  agg pagerank <graph> [--damping=0.85] [--policy=...] [--top=10]\n"
+        "  agg mst      <graph> [--policy=...] [--no-symmetrize]\n"
+        "  agg generate <kind> --out=FILE [--nodes=N] [--seed=S] [--weights]\n"
+        "  agg convert  <in> <out>\n"
+        "  agg tune     <graph> [--algo=bfs|sssp]\n");
+    return cli.has("help") ? 0 : 2;
+  }
+  const std::string cmd = cli.positional()[0];
+  auto need = [&](std::size_t n) {
+    if (cli.positional().size() < n + 1) {
+      std::fprintf(stderr, "%s: missing argument(s)\n", cmd.c_str());
+      std::exit(2);
+    }
+  };
+  if (cmd == "stats") { need(1); return cmd_stats(cli); }
+  if (cmd == "bfs") { need(1); return cmd_bfs(cli); }
+  if (cmd == "sssp") { need(1); return cmd_sssp(cli); }
+  if (cmd == "cc") { need(1); return cmd_cc(cli); }
+  if (cmd == "pagerank") { need(1); return cmd_pagerank(cli); }
+  if (cmd == "mst") { need(1); return cmd_mst(cli); }
+  if (cmd == "generate") { need(1); return cmd_generate(cli); }
+  if (cmd == "convert") { need(2); return cmd_convert(cli); }
+  if (cmd == "tune") { need(1); return cmd_tune(cli); }
+  std::fprintf(stderr, "unknown command '%s' (try --help)\n", cmd.c_str());
+  return 2;
+}
