@@ -10,6 +10,7 @@
 #include "gpu_graph/bfs_engine.h"
 #include "gpu_graph/sssp_engine.h"
 #include "graph/io.h"
+#include "simt/exec_pool.h"
 
 namespace bench {
 namespace {
@@ -28,6 +29,10 @@ Options parse_common(const agg::Cli& cli) {
   Options opts;
   opts.scale = cli.get_double("scale", cli.get_bool("quick", false) ? 0.2 : 1.0);
   opts.cache_dir = cli.get("cache", ".dataset-cache");
+  const auto sim_threads = cli.get_int("sim-threads", 0);
+  if (sim_threads > 0) {
+    simt::ExecPool::set_threads(static_cast<int>(sim_threads));
+  }
   const std::string list = cli.get("datasets", "");
   if (list.empty()) {
     opts.datasets = graph::gen::all_datasets();

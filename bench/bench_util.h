@@ -3,10 +3,12 @@
 // speedup tables.
 //
 // Every bench accepts:
-//   --scale=<f>     fraction of the paper's dataset sizes (default 1.0)
-//   --quick         shorthand for --scale=0.2
-//   --datasets=a,b  comma-separated subset (CO-road,CiteSeer,p2p,Amazon,Google,SNS)
-//   --cache=<dir>   dataset cache directory (default .dataset-cache)
+//   --scale=<f>       fraction of the paper's dataset sizes (default 1.0)
+//   --quick           shorthand for --scale=0.2
+//   --datasets=a,b    comma-separated subset (CO-road,CiteSeer,p2p,Amazon,Google,SNS)
+//   --cache=<dir>     dataset cache directory (default .dataset-cache)
+//   --sim-threads=<n> host worker threads for the simulator's parallel launch
+//                     path (overrides SIMT_THREADS; default hardware concurrency)
 #pragma once
 
 #include <string>

@@ -1,11 +1,25 @@
 #!/bin/bash
 # Regenerates bench_output.txt: every experiment binary at full dataset scale.
+#
+# SIMT_THREADS controls the worker count of the simulator's pooled launch
+# path (see src/simt/exec_pool.h); defaults to the host core count. The
+# simulated metrics are thread-count invariant, only host wall clock changes.
 cd "$(dirname "$0")"
+export SIMT_THREADS="${SIMT_THREADS:-$(nproc)}"
+mkdir -p results
 {
+  echo "###### config: SIMT_THREADS=${SIMT_THREADS}"
+  echo
   for b in build/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "###### $(basename "$b")"
-      "$b"
+      if [ "$(basename "$b")" = micro_simt ]; then
+        # Machine-readable copy (name / real_time / items_per_second) for
+        # tracking the serial-vs-pooled launch speedup across revisions.
+        "$b" --benchmark_out=results/BENCH_simt.json --benchmark_out_format=json
+      else
+        "$b"
+      fi
       echo
     fi
   done

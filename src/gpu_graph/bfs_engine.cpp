@@ -60,6 +60,9 @@ void visit_element(simt::ThreadCtx& ctx, BfsKernelState& st, std::uint32_t id,
   }
 }
 
+// All compute variants keep the default LaunchPolicy::serial: visit_element
+// branches on the update-flag claim and push_backs into the host-side updated
+// list, so the functional result depends on the order blocks run.
 void launch_computation(simt::Device& dev, BfsKernelState& st, Variant v,
                         std::span<const std::uint32_t> frontier,
                         std::uint32_t thread_tpb, std::uint32_t block_tpb) {

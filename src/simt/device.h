@@ -1,6 +1,7 @@
 // Device facade: allocation, host<->device transfers, device-side fills, the
-// simulated clock, and cumulative accounting. A Device owns the reusable
-// tracing scratch used by kernel launches.
+// simulated clock, and cumulative accounting. Tracing scratch for kernel
+// launches lives in the per-worker slots of ExecPool (see exec_pool.h), not
+// on the Device, so blocks of a parallel launch never share mutable state.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +43,7 @@ class Device {
  public:
   explicit Device(const DeviceProps& props = DeviceProps::fermi_c2070(),
                   TimingModel tm = TimingModel::fermi_default())
-      : props_(props), tm_(tm), space_(props.global_mem_bytes), trace_(tm_) {}
+      : props_(props), tm_(tm), space_(props.global_mem_bytes) {}
 
   const DeviceProps& props() const { return props_; }
   const TimingModel& timing() const { return tm_; }
@@ -146,18 +147,10 @@ class Device {
     (to_device ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
   }
 
-  // Scratch shared by launches (single-threaded simulator).
-  WarpTrace& trace() { return trace_; }
-  AtomicTally& tally() { return tally_; }
-  BlockSharedState& block_shared() { return block_shared_; }
-
  private:
   DeviceProps props_;
   TimingModel tm_;
   AddressSpace space_;
-  WarpTrace trace_;
-  AtomicTally tally_;
-  BlockSharedState block_shared_;
   DeviceStats stats_;
   KernelObserver observer_;
   double clock_us_ = 0;

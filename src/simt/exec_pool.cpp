@@ -1,0 +1,167 @@
+#include "simt/exec_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+namespace simt {
+namespace {
+
+// SIMT_THREADS env var, else hardware concurrency. Only consulted when no
+// explicit set_threads(n >= 1) override is in effect.
+int resolve_auto_threads() {
+  if (const char* env = std::getenv("SIMT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 512) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+struct ExecPool::State {
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<std::thread> workers;
+
+  int explicit_threads = 0;  // 0 = auto (env / hardware)
+  bool stop = false;
+
+  // Current job; workers detect a new one by the sequence number.
+  std::uint64_t seq = 0;
+  std::atomic<std::uint64_t> cursor{0};
+  std::uint64_t count = 0;
+  void* env = nullptr;
+  ChunkFn fn = nullptr;
+  int running = 0;
+};
+
+ExecPool& ExecPool::instance() {
+  static ExecPool pool;
+  return pool;
+}
+
+void ExecPool::set_threads(int n) {
+  ExecPool& p = instance();
+  if (!p.state_) p.state_ = std::make_unique<State>();
+  std::lock_guard<std::mutex> lk(p.state_->m);
+  p.state_->explicit_threads = n >= 1 ? n : 0;
+}
+
+int ExecPool::threads() {
+  ExecPool& p = instance();
+  if (!p.state_) p.state_ = std::make_unique<State>();
+  int explicit_threads;
+  {
+    std::lock_guard<std::mutex> lk(p.state_->m);
+    explicit_threads = p.state_->explicit_threads;
+  }
+  return explicit_threads >= 1 ? explicit_threads : resolve_auto_threads();
+}
+
+void ExecPool::prepare(int workers, const TimingModel& tm) {
+  while (scratch_.size() < static_cast<std::size_t>(workers)) {
+    scratch_.push_back(std::make_unique<WorkerScratch>());
+  }
+  for (int w = 0; w < workers; ++w) {
+    scratch(w).trace.rebind(tm);
+    scratch(w).tally.reset();
+  }
+  prepared_workers_ = workers;
+}
+
+AtomicTally& ExecPool::merged_tally() {
+  AtomicTally& dst = scratch(0).tally;
+  for (int w = 1; w < prepared_workers_; ++w) {
+    scratch(w).tally.merge_into(dst);
+  }
+  return dst;
+}
+
+void ExecPool::worker_loop(int worker) {
+  State& st = *state_;
+  WorkerScratch& ws = scratch(worker + 1);
+  std::uint64_t seen = 0;
+  for (;;) {
+    void* env;
+    ChunkFn fn;
+    std::uint64_t count;
+    {
+      std::unique_lock<std::mutex> lk(st.m);
+      st.cv_work.wait(lk, [&] { return st.stop || st.seq != seen; });
+      if (st.stop) return;
+      seen = st.seq;
+      env = st.env;
+      fn = st.fn;
+      count = st.count;
+    }
+    for (;;) {
+      const std::uint64_t begin =
+          st.cursor.fetch_add(kChunkBlocks, std::memory_order_relaxed);
+      if (begin >= count) break;
+      fn(env, ws, begin, std::min<std::uint64_t>(begin + kChunkBlocks, count));
+    }
+    {
+      std::lock_guard<std::mutex> lk(st.m);
+      if (--st.running == 0) st.cv_done.notify_one();
+    }
+  }
+}
+
+void ExecPool::dispatch(std::uint64_t count, void* env, ChunkFn fn) {
+  State& st = *state_;
+  const int target_workers = prepared_workers_ - 1;
+  if (static_cast<int>(st.workers.size()) != target_workers) {
+    stop_workers();
+    st.workers.reserve(static_cast<std::size_t>(target_workers));
+    for (int w = 0; w < target_workers; ++w) {
+      st.workers.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(st.m);
+    st.cursor.store(0, std::memory_order_relaxed);
+    st.count = count;
+    st.env = env;
+    st.fn = fn;
+    st.running = static_cast<int>(st.workers.size());
+    ++st.seq;
+    st.cv_work.notify_all();
+  }
+  // The calling thread is worker 0.
+  WorkerScratch& ws = scratch(0);
+  for (;;) {
+    const std::uint64_t begin =
+        st.cursor.fetch_add(kChunkBlocks, std::memory_order_relaxed);
+    if (begin >= count) break;
+    fn(env, ws, begin, std::min<std::uint64_t>(begin + kChunkBlocks, count));
+  }
+  std::unique_lock<std::mutex> lk(st.m);
+  st.cv_done.wait(lk, [&] { return st.running == 0; });
+}
+
+void ExecPool::stop_workers() {
+  State& st = *state_;
+  if (st.workers.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(st.m);
+    st.stop = true;
+    st.cv_work.notify_all();
+  }
+  for (std::thread& t : st.workers) t.join();
+  st.workers.clear();
+  std::lock_guard<std::mutex> lk(st.m);
+  st.stop = false;
+}
+
+ExecPool::~ExecPool() {
+  if (state_) stop_workers();
+}
+
+}  // namespace simt

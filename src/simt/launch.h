@@ -15,18 +15,44 @@
 // launch_phased adds BSP-style phases (each boundary = __syncthreads()) and
 // per-block shared memory, used by the reduction/scan primitives and the
 // working-set population counter.
+//
+// Parallel execution: every launch produces a self-contained BlockPartial per
+// executed block (warp-cost subtotals, the block's (issue, crit) pair, the
+// worker-private atomic tally), then reduces the partials in canonical block
+// order. Serial and pooled launches share that reduction code path, so a
+// kernel that declares LaunchPolicy::parallel gets bit-identical KernelStats
+// for any SIMT_THREADS value — which worker executed a block never enters a
+// number. Kernels whose *functional* result depends on the serialized order
+// of atomics across blocks must stay LaunchPolicy::serial (the default).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
+#include <vector>
 
 #include "common/check.h"
 #include "simt/device.h"
+#include "simt/exec_pool.h"
 #include "simt/kernel.h"
 #include "simt/timing_model.h"
 
 namespace simt {
+
+// Whether the blocks of a launch may execute concurrently on the host pool.
+//
+//  * serial   — blocks run in block order on one host thread; atomics are
+//               serialized in that deterministic order. Required whenever the
+//               kernel's functional output depends on atomic return values or
+//               on host-side per-launch state (queue insertion positions,
+//               CAS-based ownership claims, host push_back of updates).
+//  * parallel — blocks are functionally independent: each output cell is
+//               written by at most one block (or all writers store the same
+//               value), and atomic results are order-insensitive (same-value
+//               counters with discarded returns, idempotent min folds whose
+//               returns are unused). Such launches shard across ExecPool.
+enum class LaunchPolicy { serial, parallel };
 
 struct GridSpec {
   std::uint64_t total_threads = 0;
@@ -36,6 +62,14 @@ struct GridSpec {
   bool sparse_threads = false;
   bool sparse_blocks = false;
   Predicate pred{};
+  LaunchPolicy policy = LaunchPolicy::serial;
+
+  // `GridSpec::dense(n, tpb).with(LaunchPolicy::parallel)`.
+  GridSpec with(LaunchPolicy p) const {
+    GridSpec g = *this;
+    g.policy = p;
+    return g;
+  }
 
   static GridSpec dense(std::uint64_t total, std::uint32_t tpb) {
     GridSpec g;
@@ -59,6 +93,8 @@ struct GridSpec {
   static GridSpec over_blocks(std::uint64_t total_blocks, std::uint32_t tpb,
                               std::span<const std::uint32_t> active, Predicate pred) {
     GridSpec g;
+    AGG_CHECK(tpb >= 1 &&
+              total_blocks <= std::numeric_limits<std::uint64_t>::max() / tpb);
     g.total_threads = total_blocks * tpb;
     g.tpb = tpb;
     g.active_blocks = active;
@@ -89,6 +125,26 @@ struct LaunchTotals {
     stats.lockstep_work += wc.lockstep_work * k;
     (executed ? stats.warps_executed : stats.warps_uniform) += count;
   }
+
+  void merge(const LaunchTotals& o) {
+    stats.issue_cycles += o.stats.issue_cycles;
+    stats.mem_instrs += o.stats.mem_instrs;
+    stats.transactions += o.stats.transactions;
+    stats.atomics += o.stats.atomics;
+    stats.lane_work += o.stats.lane_work;
+    stats.lockstep_work += o.stats.lockstep_work;
+    stats.warps_executed += o.stats.warps_executed;
+    stats.warps_uniform += o.stats.warps_uniform;
+  }
+};
+
+// Self-contained result of one executed block. A worker writes only its
+// block's slot; the launcher folds the slots in block order afterwards, so
+// floating-point association is fixed by the block structure alone.
+struct BlockPartial {
+  LaunchTotals totals;
+  double issue = 0;
+  double crit = 0;
 };
 
 }  // namespace detail
@@ -100,14 +156,11 @@ KernelStats launch(Device& dev, const char* name, const GridSpec& grid, Body&& b
   const TimingModel& tm = dev.timing();
   AGG_CHECK(grid.tpb >= 1 && grid.tpb <= static_cast<std::uint32_t>(props.max_threads_per_block));
 
-  WarpTrace& trace = dev.trace();
-  AtomicTally& tally = dev.tally();
-  tally.reset();
-
   detail::LaunchTotals totals;
   totals.stats.name = name;
   totals.stats.total_threads = grid.total_threads;
   totals.stats.blocks = grid.blocks();
+  const std::uint64_t grid_blocks = totals.stats.blocks;
 
   WaveAccumulator waves(props, tm, grid.tpb);
   const std::uint32_t warps_per_block = (grid.tpb + kWarpSize - 1) / kWarpSize;
@@ -116,147 +169,186 @@ KernelStats launch(Device& dev, const char* name, const GridSpec& grid, Body&& b
   const double pred_block_issue = pred_wc.issue_cycles * warps_per_block;
   const double pred_block_crit = pred_wc.critical_cycles(tm);
 
-  // Runs the 32 lanes [warp_begin, warp_begin+32) of block b; `is_active`
-  // decides per-lane whether the body runs. Returns the warp cost.
-  auto run_warp = [&](std::uint64_t b, std::uint64_t warp_begin, auto&& is_active,
-                      auto&& lane_addr) {
-    trace.begin_warp();
-    ThreadCtx ctx(trace, nullptr, b, grid.tpb, totals.stats.blocks);
+  // Runs the 32 lanes [warp_begin, warp_begin+32) of block b on `ws`;
+  // `is_active` decides per-lane whether the body runs. Returns the warp cost.
+  auto run_warp = [&](WorkerScratch& ws, bool concurrent, std::uint64_t b,
+                      std::uint64_t warp_begin, auto&& is_active, auto&& lane_addr) {
+    ws.trace.begin_warp();
+    ThreadCtx ctx(ws.trace, nullptr, b, grid.tpb, grid_blocks, concurrent);
     const std::uint64_t warp_end =
         std::min<std::uint64_t>(warp_begin + kWarpSize, grid.total_threads);
     const std::uint64_t block_base = b * grid.tpb;
     for (std::uint64_t gid = warp_begin; gid < warp_end; ++gid) {
       ctx.bind_lane(static_cast<std::uint32_t>(gid - block_base));
       if (grid.pred.enabled()) {
-        trace.on_global(kPredicateSite, lane_addr(gid),
-                        std::max<std::uint32_t>(grid.pred.stride, 1));
-        trace.on_compute(kPredicateOpsSite,
-                         static_cast<std::uint64_t>(grid.pred.ops));
+        ws.trace.on_global(kPredicateSite, lane_addr(gid),
+                           std::max<std::uint32_t>(grid.pred.stride, 1));
+        ws.trace.on_compute(kPredicateOpsSite,
+                            static_cast<std::uint64_t>(grid.pred.ops));
       }
       if (is_active(gid)) body(ctx);
     }
-    return trace.finish_warp(tally);
+    return ws.trace.finish_warp(ws.tally);
   };
 
+  ExecPool& pool = ExecPool::instance();
+  const bool want_parallel = grid.policy == LaunchPolicy::parallel;
+
   if (grid.sparse_threads) {
+    // Executed blocks: (block id, slice of the sorted active-thread list).
+    struct ExecBlock {
+      std::uint64_t b;
+      std::size_t begin;
+      std::size_t end;
+    };
     const auto& active = grid.active_threads;
-    std::size_t i = 0;
+    std::vector<ExecBlock> exec;
+    {
+      std::size_t i = 0;
+      while (i < active.size()) {
+        const std::uint64_t b = active[i] / grid.tpb;
+        std::size_t j = i;
+        while (j < active.size() && active[j] / grid.tpb == b) {
+          AGG_DCHECK(j == i || active[j] > active[j - 1]);
+          ++j;
+        }
+        AGG_DCHECK(exec.empty() || b > exec.back().b);
+        exec.push_back({b, i, j});
+        i = j;
+      }
+    }
+    std::vector<detail::BlockPartial> parts(exec.size());
+    pool.run_blocks(
+        exec.size(), want_parallel, tm,
+        [&](WorkerScratch& ws, bool concurrent, std::uint64_t k) {
+          const ExecBlock& eb = exec[k];
+          detail::BlockPartial& part = parts[k];
+          const std::uint64_t b = eb.b;
+          const std::uint64_t block_base = b * grid.tpb;
+          const std::uint64_t block_threads =
+              std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
+          const auto warps_here =
+              static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
+          std::size_t cursor = eb.begin;
+          for (std::uint32_t w = 0; w < warps_here; ++w) {
+            const std::uint64_t warp_begin =
+                block_base + static_cast<std::uint64_t>(w) * kWarpSize;
+            const std::uint64_t warp_end =
+                std::min<std::uint64_t>(warp_begin + kWarpSize, grid.total_threads);
+            const bool has_active = cursor < eb.end && active[cursor] < warp_end;
+            if (!has_active) {
+              part.issue += pred_wc.issue_cycles;
+              part.crit = std::max(part.crit, pred_block_crit);
+              part.totals.add_warp(pred_wc, 1, /*executed=*/false);
+              continue;
+            }
+            const WarpCost wc = run_warp(
+                ws, concurrent, b, warp_begin,
+                [&](std::uint64_t gid) {
+                  if (cursor < eb.end && active[cursor] == gid) {
+                    ++cursor;
+                    return true;
+                  }
+                  return false;
+                },
+                [&](std::uint64_t gid) {
+                  return grid.pred.base_addr +
+                         (gid >> grid.pred.id_shift) * grid.pred.stride;
+                });
+            part.issue += wc.issue_cycles;
+            part.crit = std::max(part.crit, wc.critical_cycles(tm));
+            part.totals.add_warp(wc);
+          }
+        });
     std::uint64_t next_block = 0;
-    while (i < active.size()) {
-      const std::uint64_t b = active[i] / grid.tpb;
-      AGG_DCHECK(b >= next_block);
+    for (std::size_t k = 0; k < exec.size(); ++k) {
+      const std::uint64_t b = exec[k].b;
       if (b > next_block) {
         waves.add_uniform_blocks(b - next_block, pred_block_issue, pred_block_crit);
         totals.add_warp(pred_wc, (b - next_block) * warps_per_block, /*executed=*/false);
       }
-      // Collect this block's active ids.
-      std::size_t j = i;
-      while (j < active.size() && active[j] / grid.tpb == b) {
-        AGG_DCHECK(j == i || active[j] > active[j - 1]);
-        ++j;
-      }
-      double block_issue = 0;
-      double block_crit = 0;
-      const std::uint64_t block_base = b * grid.tpb;
-      const std::uint64_t block_threads =
-          std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
-      const std::uint32_t warps_here =
-          static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
-      std::size_t cursor = i;
-      for (std::uint32_t w = 0; w < warps_here; ++w) {
-        const std::uint64_t warp_begin = block_base + static_cast<std::uint64_t>(w) * kWarpSize;
-        const std::uint64_t warp_end =
-            std::min<std::uint64_t>(warp_begin + kWarpSize, grid.total_threads);
-        const bool has_active = cursor < j && active[cursor] < warp_end;
-        if (!has_active) {
-          block_issue += pred_wc.issue_cycles;
-          block_crit = std::max(block_crit, pred_wc.critical_cycles(tm));
-          totals.add_warp(pred_wc, 1, /*executed=*/false);
-          continue;
-        }
-        const WarpCost wc = run_warp(
-            b, warp_begin,
-            [&](std::uint64_t gid) {
-              if (cursor < j && active[cursor] == gid) {
-                ++cursor;
-                return true;
-              }
-              return false;
-            },
-            [&](std::uint64_t gid) {
-              return grid.pred.base_addr + (gid >> grid.pred.id_shift) * grid.pred.stride;
-            });
-        block_issue += wc.issue_cycles;
-        block_crit = std::max(block_crit, wc.critical_cycles(tm));
-        totals.add_warp(wc);
-      }
-      waves.add_block(b, block_issue, block_crit);
+      totals.merge(parts[k].totals);
+      waves.add_block(b, parts[k].issue, parts[k].crit);
       next_block = b + 1;
-      i = j;
     }
-    if (next_block < totals.stats.blocks) {
-      const std::uint64_t rest = totals.stats.blocks - next_block;
+    if (next_block < grid_blocks) {
+      const std::uint64_t rest = grid_blocks - next_block;
       waves.add_uniform_blocks(rest, pred_block_issue, pred_block_crit);
       totals.add_warp(pred_wc, rest * warps_per_block, /*executed=*/false);
     }
   } else if (grid.sparse_blocks) {
     const auto& active = grid.active_blocks;
+    std::vector<detail::BlockPartial> parts(active.size());
+    pool.run_blocks(
+        active.size(), want_parallel, tm,
+        [&](WorkerScratch& ws, bool concurrent, std::uint64_t k) {
+          const std::uint64_t b = active[k];
+          AGG_DCHECK(k == 0 || b > active[k - 1]);
+          AGG_DCHECK(b < grid_blocks);
+          detail::BlockPartial& part = parts[k];
+          const std::uint64_t block_base = b * grid.tpb;
+          const std::uint64_t block_threads =
+              std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
+          const auto warps_here =
+              static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
+          for (std::uint32_t w = 0; w < warps_here; ++w) {
+            const WarpCost wc = run_warp(
+                ws, concurrent, b,
+                block_base + static_cast<std::uint64_t>(w) * kWarpSize,
+                [](std::uint64_t) { return true; },
+                [&](std::uint64_t) {
+                  return grid.pred.base_addr + b * grid.pred.stride;
+                });
+            part.issue += wc.issue_cycles;
+            part.crit = std::max(part.crit, wc.critical_cycles(tm));
+            part.totals.add_warp(wc);
+          }
+        });
     std::uint64_t next_block = 0;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      const std::uint64_t b = active[i];
-      AGG_DCHECK(i == 0 || b > active[i - 1]);
-      AGG_DCHECK(b >= next_block && b < totals.stats.blocks);
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const std::uint64_t b = active[k];
       if (b > next_block) {
         waves.add_uniform_blocks(b - next_block, pred_block_issue, pred_block_crit);
         totals.add_warp(pred_wc, (b - next_block) * warps_per_block, /*executed=*/false);
       }
-      double block_issue = 0;
-      double block_crit = 0;
-      const std::uint64_t block_base = b * grid.tpb;
-      const std::uint64_t block_threads =
-          std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
-      const auto warps_here =
-          static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
-      for (std::uint32_t w = 0; w < warps_here; ++w) {
-        const WarpCost wc = run_warp(
-            b, block_base + static_cast<std::uint64_t>(w) * kWarpSize,
-            [](std::uint64_t) { return true; },
-            [&](std::uint64_t) { return grid.pred.base_addr + b * grid.pred.stride; });
-        block_issue += wc.issue_cycles;
-        block_crit = std::max(block_crit, wc.critical_cycles(tm));
-        totals.add_warp(wc);
-      }
-      waves.add_block(b, block_issue, block_crit);
+      totals.merge(parts[k].totals);
+      waves.add_block(b, parts[k].issue, parts[k].crit);
       next_block = b + 1;
     }
-    if (next_block < totals.stats.blocks) {
-      const std::uint64_t rest = totals.stats.blocks - next_block;
+    if (next_block < grid_blocks) {
+      const std::uint64_t rest = grid_blocks - next_block;
       waves.add_uniform_blocks(rest, pred_block_issue, pred_block_crit);
       totals.add_warp(pred_wc, rest * warps_per_block, /*executed=*/false);
     }
   } else {
     // Dense.
-    for (std::uint64_t b = 0; b < totals.stats.blocks; ++b) {
-      double block_issue = 0;
-      double block_crit = 0;
-      const std::uint64_t block_base = b * grid.tpb;
-      const std::uint64_t block_threads =
-          std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
-      const auto warps_here =
-          static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
-      for (std::uint32_t w = 0; w < warps_here; ++w) {
-        const WarpCost wc = run_warp(
-            b, block_base + static_cast<std::uint64_t>(w) * kWarpSize,
-            [](std::uint64_t) { return true; }, [](std::uint64_t) { return 0ull; });
-        block_issue += wc.issue_cycles;
-        block_crit = std::max(block_crit, wc.critical_cycles(tm));
-        totals.add_warp(wc);
-      }
-      waves.add_block(b, block_issue, block_crit);
+    std::vector<detail::BlockPartial> parts(grid_blocks);
+    pool.run_blocks(
+        grid_blocks, want_parallel, tm,
+        [&](WorkerScratch& ws, bool concurrent, std::uint64_t b) {
+          detail::BlockPartial& part = parts[b];
+          const std::uint64_t block_base = b * grid.tpb;
+          const std::uint64_t block_threads =
+              std::min<std::uint64_t>(grid.tpb, grid.total_threads - block_base);
+          const auto warps_here =
+              static_cast<std::uint32_t>((block_threads + kWarpSize - 1) / kWarpSize);
+          for (std::uint32_t w = 0; w < warps_here; ++w) {
+            const WarpCost wc = run_warp(
+                ws, concurrent, b,
+                block_base + static_cast<std::uint64_t>(w) * kWarpSize,
+                [](std::uint64_t) { return true; }, [](std::uint64_t) { return 0ull; });
+            part.issue += wc.issue_cycles;
+            part.crit = std::max(part.crit, wc.critical_cycles(tm));
+            part.totals.add_warp(wc);
+          }
+        });
+    for (std::uint64_t b = 0; b < grid_blocks; ++b) {
+      totals.merge(parts[b].totals);
+      waves.add_block(b, parts[b].issue, parts[b].crit);
     }
   }
 
-  totals.stats.max_atomic_same_addr = tally.max_count();
+  totals.stats.max_atomic_same_addr = pool.merged_tally().max_count();
   assemble_kernel_time(props, tm, waves.finish_cycles(), totals.stats);
   dev.account_kernel(totals.stats);
   return totals.stats;
@@ -267,50 +359,55 @@ KernelStats launch(Device& dev, const char* name, const GridSpec& grid, Body&& b
 // across phases within a block.
 template <typename Body>
 KernelStats launch_phased(Device& dev, const char* name, std::uint64_t total_threads,
-                          std::uint32_t tpb, int phases, Body&& body) {
+                          std::uint32_t tpb, int phases, Body&& body,
+                          LaunchPolicy policy = LaunchPolicy::serial) {
   const DeviceProps& props = dev.props();
   const TimingModel& tm = dev.timing();
-  WarpTrace& trace = dev.trace();
-  AtomicTally& tally = dev.tally();
-  tally.reset();
+  AGG_CHECK(tpb >= 1 && tpb <= static_cast<std::uint32_t>(props.max_threads_per_block));
 
   detail::LaunchTotals totals;
   totals.stats.name = name;
   totals.stats.total_threads = total_threads;
   totals.stats.blocks = (total_threads + tpb - 1) / tpb;
+  const std::uint64_t grid_blocks = totals.stats.blocks;
 
   WaveAccumulator waves(props, tm, tpb);
-  for (std::uint64_t b = 0; b < totals.stats.blocks; ++b) {
-    BlockSharedState& shared = dev.block_shared();
-    shared.reset(props.shared_mem_per_block);
-    ThreadCtx ctx(trace, &shared, b, tpb, totals.stats.blocks);
-    const std::uint64_t block_base = b * tpb;
-    const std::uint64_t block_threads =
-        std::min<std::uint64_t>(tpb, total_threads - block_base);
-    double block_issue = 0;
-    double block_crit = 0;
-    for (int p = 0; p < phases; ++p) {
-      double phase_crit = 0;
-      for (std::uint64_t warp_begin = 0; warp_begin < block_threads;
-           warp_begin += kWarpSize) {
-        trace.begin_warp();
-        const std::uint64_t warp_end =
-            std::min<std::uint64_t>(warp_begin + kWarpSize, block_threads);
-        for (std::uint64_t t = warp_begin; t < warp_end; ++t) {
-          ctx.bind_lane(static_cast<std::uint32_t>(t));
-          body(p, ctx);
+  ExecPool& pool = ExecPool::instance();
+  std::vector<detail::BlockPartial> parts(grid_blocks);
+  pool.run_blocks(
+      grid_blocks, policy == LaunchPolicy::parallel, tm,
+      [&](WorkerScratch& ws, bool concurrent, std::uint64_t b) {
+        detail::BlockPartial& part = parts[b];
+        ws.shared.reset(props.shared_mem_per_block);
+        ThreadCtx ctx(ws.trace, &ws.shared, b, tpb, grid_blocks, concurrent);
+        const std::uint64_t block_base = b * tpb;
+        const std::uint64_t block_threads =
+            std::min<std::uint64_t>(tpb, total_threads - block_base);
+        for (int p = 0; p < phases; ++p) {
+          double phase_crit = 0;
+          for (std::uint64_t warp_begin = 0; warp_begin < block_threads;
+               warp_begin += kWarpSize) {
+            ws.trace.begin_warp();
+            const std::uint64_t warp_end =
+                std::min<std::uint64_t>(warp_begin + kWarpSize, block_threads);
+            for (std::uint64_t t = warp_begin; t < warp_end; ++t) {
+              ctx.bind_lane(static_cast<std::uint32_t>(t));
+              body(p, ctx);
+            }
+            const WarpCost wc = ws.trace.finish_warp(ws.tally);
+            part.issue += wc.issue_cycles;
+            phase_crit = std::max(phase_crit, wc.critical_cycles(tm));
+            part.totals.add_warp(wc);
+          }
+          part.crit += phase_crit;  // barrier: phases serialize on the slowest warp
         }
-        const WarpCost wc = trace.finish_warp(tally);
-        block_issue += wc.issue_cycles;
-        phase_crit = std::max(phase_crit, wc.critical_cycles(tm));
-        totals.add_warp(wc);
-      }
-      block_crit += phase_crit;  // barrier: phases serialize on the slowest warp
-    }
-    waves.add_block(b, block_issue, block_crit);
+      });
+  for (std::uint64_t b = 0; b < grid_blocks; ++b) {
+    totals.merge(parts[b].totals);
+    waves.add_block(b, parts[b].issue, parts[b].crit);
   }
 
-  totals.stats.max_atomic_same_addr = tally.max_count();
+  totals.stats.max_atomic_same_addr = pool.merged_tally().max_count();
   assemble_kernel_time(props, tm, waves.finish_cycles(), totals.stats);
   dev.account_kernel(totals.stats);
   return totals.stats;

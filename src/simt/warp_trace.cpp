@@ -57,6 +57,13 @@ void AtomicTally::add(std::uint64_t addr, std::uint64_t count) {
   total_ += count;
 }
 
+void AtomicTally::merge_into(AtomicTally& dst) const {
+  if (total_ == 0) return;
+  for (const Slot& s : slots_) {
+    if (s.key != 0) dst.add(s.key, s.count);
+  }
+}
+
 void AtomicTally::grow() {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{});

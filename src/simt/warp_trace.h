@@ -70,6 +70,11 @@ class AtomicTally {
  public:
   void reset();
   void add(std::uint64_t addr, std::uint64_t count = 1);
+  // Adds every (addr, count) pair of this tally into `dst`. Counts are
+  // integers, so merging per-worker tallies in any order yields the same
+  // per-address totals (and hence the same max_count) as a serial tally —
+  // the property the deterministic parallel launch path relies on.
+  void merge_into(AtomicTally& dst) const;
   std::uint64_t max_count() const { return max_count_; }
   std::uint64_t total() const { return total_; }
 
@@ -87,7 +92,12 @@ class AtomicTally {
 
 class WarpTrace {
  public:
+  // A default-constructed trace must be rebind()-ed to a timing model before
+  // recording; the worker-pool scratch slots outlive any single Device.
+  WarpTrace() = default;
   explicit WarpTrace(const TimingModel& tm) : tm_(&tm) {}
+
+  void rebind(const TimingModel& tm) { tm_ = &tm; }
 
   void begin_warp();
   void set_lane(int lane) { lane_ = lane; }
@@ -128,7 +138,7 @@ class WarpTrace {
 
   SiteState& touch(Site site, Kind kind);
 
-  const TimingModel* tm_;
+  const TimingModel* tm_ = nullptr;
   std::array<SiteState, kMaxSites> sites_;
   std::vector<std::uint8_t> touched_;
   int lane_ = 0;

@@ -26,6 +26,7 @@
 #include "graph/gen/generators.h"
 #include "graph/io.h"
 #include "runtime/tuner.h"
+#include "simt/exec_pool.h"
 #include "simt/profiler.h"
 
 namespace {
@@ -268,6 +269,10 @@ int cmd_tune(const agg::Cli& cli) {
 
 int main(int argc, char** argv) {
   agg::Cli cli(argc, argv);
+  const auto sim_threads = cli.get_int("sim-threads", 0);
+  if (sim_threads > 0) {
+    simt::ExecPool::set_threads(static_cast<int>(sim_threads));
+  }
   if (cli.positional().empty() || cli.has("help")) {
     std::printf(
         "agg — adaptive GPU graph algorithms (simulated device)\n\n"
@@ -279,7 +284,11 @@ int main(int argc, char** argv) {
         "  agg mst      <graph> [--policy=...] [--no-symmetrize]\n"
         "  agg generate <kind> --out=FILE [--nodes=N] [--seed=S] [--weights]\n"
         "  agg convert  <in> <out>\n"
-        "  agg tune     <graph> [--algo=bfs|sssp]\n");
+        "  agg tune     <graph> [--algo=bfs|sssp]\n\n"
+        "global flags:\n"
+        "  --sim-threads=N  host worker threads for the simulator's parallel\n"
+        "                   launch path (overrides SIMT_THREADS; default:\n"
+        "                   hardware concurrency; 1 = serial)\n");
     return cli.has("help") ? 0 : 2;
   }
   const std::string cmd = cli.positional()[0];
