@@ -1,7 +1,10 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 
 #include "common/check.h"
 #include "cpu/bfs_serial.h"
@@ -11,6 +14,10 @@
 #include "gpu_graph/sssp_engine.h"
 #include "graph/io.h"
 #include "simt/exec_pool.h"
+#include "trace/chrome_trace.h"
+#include "trace/counters.h"
+#include "trace/jsonl_trace.h"
+#include "trace/trace_sink.h"
 
 namespace bench {
 namespace {
@@ -23,6 +30,43 @@ graph::gen::DatasetId parse_dataset(const std::string& name) {
   std::abort();
 }
 
+std::string g_metrics_out;
+
+// Benches exit through main's return (or google-benchmark's shutdown), so
+// trace artifacts are finalized from an atexit hook.
+void flush_trace_artifacts() {
+  trace::Tracer::instance().clear();
+  if (g_metrics_out.empty()) return;
+  std::ofstream f(g_metrics_out, std::ios::binary | std::ios::trunc);
+  if (f) f << trace::CounterRegistry::instance().to_json() << '\n';
+}
+
+void setup_tracing(const agg::Cli& cli) {
+  const std::string trace_out = cli.get("trace-out", "");
+  g_metrics_out = cli.get("metrics-out", "");
+  if (trace_out.empty() && g_metrics_out.empty()) return;
+  if (!trace_out.empty()) {
+    const std::string format = cli.get("trace-format", "chrome");
+    if (format == "chrome") {
+      const int lanes =
+          static_cast<int>(simt::DeviceProps::fermi_c2070().num_sms);
+      trace::Tracer::instance().attach(
+          std::make_unique<trace::ChromeTraceSink>(trace_out, lanes));
+    } else if (format == "jsonl") {
+      trace::Tracer::instance().attach(
+          std::make_unique<trace::JsonlDecisionSink>(trace_out));
+    } else {
+      std::fprintf(stderr, "unknown --trace-format '%s' (expect chrome|jsonl)\n",
+                   format.c_str());
+      std::exit(2);
+    }
+  }
+  if (!g_metrics_out.empty()) {
+    trace::CounterRegistry::instance().set_enabled(true);
+  }
+  std::atexit(flush_trace_artifacts);
+}
+
 }  // namespace
 
 Options parse_common(const agg::Cli& cli) {
@@ -33,6 +77,7 @@ Options parse_common(const agg::Cli& cli) {
   if (sim_threads > 0) {
     simt::ExecPool::set_threads(static_cast<int>(sim_threads));
   }
+  setup_tracing(cli);
   const std::string list = cli.get("datasets", "");
   if (list.empty()) {
     opts.datasets = graph::gen::all_datasets();

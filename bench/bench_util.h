@@ -9,6 +9,9 @@
 //   --cache=<dir>     dataset cache directory (default .dataset-cache)
 //   --sim-threads=<n> host worker threads for the simulator's parallel launch
 //                     path (overrides SIMT_THREADS; default hardware concurrency)
+//   --trace-out=<f>   write a trace of the bench's runs (flushed at exit)
+//   --trace-format=<f> chrome (timeline, default) | jsonl (decision log)
+//   --metrics-out=<f> write the metrics-counter registry as JSON at exit
 #pragma once
 
 #include <string>

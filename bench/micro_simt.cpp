@@ -4,9 +4,13 @@
 // guard against regressions that would make the experiment benches unusable.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "simt/exec_pool.h"
 #include "simt/launch.h"
 #include "simt/primitives.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace_sink.h"
 
 namespace {
 
@@ -213,6 +217,27 @@ void BM_PooledPhasedScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_PooledPhasedScan)->Args({1 << 17, 1})->Args({1 << 17, 8});
+
+// ---- tracing overhead ----
+//
+// Second argument: 0 = tracing off (each launch pays exactly one
+// predicted-false trace::active() branch — this row must track the plain
+// launch numbers), 1 = Chrome sink attached in memory (cost of rendering
+// every kernel event).
+void BM_LaunchTraceOverhead(benchmark::State& state) {
+  if (state.range(1) != 0) {
+    trace::Tracer::instance().attach(std::make_unique<trace::ChromeTraceSink>());
+  }
+  simt::Device dev;
+  const auto threads = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    simt::launch(dev, "traced", simt::GridSpec::dense(threads, 256),
+                 [](simt::ThreadCtx& ctx) { ctx.compute(4, kOps); });
+  }
+  trace::Tracer::instance().clear();
+  state.SetItemsProcessed(state.iterations() * threads);
+}
+BENCHMARK(BM_LaunchTraceOverhead)->Args({1 << 14, 0})->Args({1 << 14, 1});
 
 }  // namespace
 

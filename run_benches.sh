@@ -17,6 +17,12 @@ mkdir -p results
         # Machine-readable copy (name / real_time / items_per_second) for
         # tracking the serial-vs-pooled launch speedup across revisions.
         "$b" --benchmark_out=results/BENCH_simt.json --benchmark_out_format=json
+      elif [ "$(basename "$b")" = table4_adaptive ]; then
+        # Archive the adaptive runtime's decision trace and counter registry
+        # next to the bench output (deterministic: diffable across revisions).
+        "$b" --trace-out=results/TRACE_table4_adaptive.jsonl \
+             --trace-format=jsonl \
+             --metrics-out=results/METRICS_table4_adaptive.json
       else
         "$b"
       fi

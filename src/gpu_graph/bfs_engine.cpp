@@ -267,8 +267,10 @@ GpuBfsResult run_bfs(simt::Device& dev, const graph::Csr& g, graph::NodeId sourc
       for (const std::uint32_t v : updated) ws.update().host_view()[v] = 0;
     }
 
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter, on_cpu});
+    record_iteration(result.metrics, "bfs",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter, on_cpu},
+                     dev.now_us());
     frontier.swap(updated);
     updated.clear();
     variant = next;

@@ -210,8 +210,10 @@ GpuCcResult run_cc(simt::Device& dev, const graph::Csr& g,
                                       : Workset::GenMethod::atomic);
     }
 
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+    record_iteration(result.metrics, "cc",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter},
+                     dev.now_us());
     frontier.swap(updated);
     updated.clear();
     variant = next;

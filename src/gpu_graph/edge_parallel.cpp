@@ -83,8 +83,10 @@ GpuEdgeParallelResult run_sssp_edge_parallel(simt::Device& dev,
       }
     }
     changed.swap(next);
-    result.metrics.iterations.push_back(
-        {round, coo.num_edges(), gg::Variant{}, dev.now_us() - t_iter});
+    record_iteration(result.metrics, "sssp_edge",
+                     {round, coo.num_edges(), gg::Variant{},
+                      dev.now_us() - t_iter},
+                     dev.now_us());
   }
 
   result.dist.resize(g.num_nodes);

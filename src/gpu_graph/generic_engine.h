@@ -222,8 +222,10 @@ GenericResult run_frontier(simt::Device& dev, const graph::Csr& g,
                   opts.scan_queue_gen ? Workset::GenMethod::scan
                                       : Workset::GenMethod::atomic);
     }
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+    record_iteration(result.metrics, "generic",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter},
+                     dev.now_us());
     frontier.swap(updated);
     updated.clear();
     variant = next;

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/table.h"
+#include "trace/counters.h"
+#include "trace/json_writer.h"
+#include "trace/trace_sink.h"
 
 namespace gg {
 
@@ -20,6 +23,56 @@ std::string TraversalMetrics::summary() const {
          (switches ? ", " + std::to_string(switches) + " switches" : "");
 }
 
+std::string TraversalMetrics::to_json() const {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.field("total_us", total_us);
+  w.field("kernel_us", kernel_us);
+  w.field("transfer_us", transfer_us);
+  w.field("kernels", kernels);
+  w.field("simd_efficiency", simd_efficiency);
+  w.field("edges_processed", edges_processed);
+  w.field("switches", switches);
+  w.field("decisions", decisions);
+  w.field("max_ws_size", max_ws_size());
+  w.key("iterations").begin_array();
+  for (const auto& it : iterations) {
+    w.begin_object();
+    w.field("iteration", it.iteration);
+    w.field("ws_size", it.ws_size);
+    w.field("variant", variant_name(it.variant));
+    w.field("time_us", it.time_us);
+    w.field("on_cpu", it.on_cpu);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void record_iteration(TraversalMetrics& m, const char* algo,
+                      const IterationRecord& rec, double end_us) {
+  m.iterations.push_back(rec);
+  if (!trace::active()) return;
+  auto& tracer = trace::Tracer::instance();
+  if (tracer.has_sinks()) {
+    trace::IterationEvent ev;
+    ev.algo = algo;
+    ev.iteration = rec.iteration;
+    ev.ws_size = rec.ws_size;
+    ev.variant = variant_name(rec.variant);
+    ev.on_cpu = rec.on_cpu;
+    ev.start_us = end_us - rec.time_us;
+    ev.dur_us = rec.time_us;
+    tracer.iteration(ev);
+  }
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) {
+    reg.counter("engine.iterations").add();
+    reg.gauge("engine.max_ws_size").set_max(static_cast<double>(rec.ws_size));
+  }
+}
+
 void fill_from_device_delta(TraversalMetrics& m, const simt::DeviceStats& before,
                             const simt::DeviceStats& after, double t_begin_us,
                             double t_end_us) {
@@ -30,6 +83,16 @@ void fill_from_device_delta(TraversalMetrics& m, const simt::DeviceStats& before
   const double lane = after.lane_work - before.lane_work;
   const double lockstep = after.lockstep_work - before.lockstep_work;
   m.simd_efficiency = lockstep > 0 ? lane / lockstep : 1.0;
+
+  // One engine run finished: roll its totals into the metrics registry.
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) {
+    reg.counter("engine.traversals").add();
+    reg.counter("engine.edges_processed")
+        .add(static_cast<double>(m.edges_processed));
+    reg.counter("rt.decisions").add(m.decisions);
+    reg.counter("rt.switches").add(m.switches);
+  }
 }
 
 }  // namespace gg

@@ -34,7 +34,17 @@ struct TraversalMetrics {
   double total_ms() const { return total_us / 1000.0; }
   std::uint64_t max_ws_size() const;
   std::string summary() const;
+  // Full JSON document (iterations array + scalar fields); `--metrics-out`
+  // and the exporter tests parse this back with trace::json_parse.
+  std::string to_json() const;
 };
+
+// Appends `rec` to m.iterations and, when tracing is active, publishes it as
+// an IterationEvent on the host track (start derived from `end_us`, the
+// device's modeled clock after the iteration's final sync) and bumps the
+// engine.* counters.
+void record_iteration(TraversalMetrics& m, const char* algo,
+                      const IterationRecord& rec, double end_us);
 
 // Captures the difference of two DeviceStats snapshots into metrics fields.
 void fill_from_device_delta(TraversalMetrics& m, const simt::DeviceStats& before,

@@ -373,16 +373,20 @@ GpuMstResult run_mst(simt::Device& dev, const graph::Csr& g,
       // No component merged: the surviving update flags are stale; clear
       // them and stop.
       for (const std::uint32_t v : updated) ws.update().host_view()[v] = 0;
-      result.metrics.iterations.push_back(
-          {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+      record_iteration(result.metrics, "mst",
+                       {iteration, frontier.size(), variant,
+                        dev.now_us() - t_iter},
+                       dev.now_us());
       break;
     }
 
     if (!updated.empty()) {
       ws.generate(dev, next.repr, updated);
     }
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+    record_iteration(result.metrics, "mst",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter},
+                     dev.now_us());
     frontier.swap(updated);
     updated.clear();
     variant = next;

@@ -246,8 +246,10 @@ GpuPageRankResult run_pagerank(simt::Device& dev, const graph::Csr& g,
       ws.generate(dev, next.repr, updated);
     }
 
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+    record_iteration(result.metrics, "pagerank",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter},
+                     dev.now_us());
     frontier.swap(updated);
     updated.clear();
     variant = next;

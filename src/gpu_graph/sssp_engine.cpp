@@ -244,8 +244,10 @@ GpuSsspResult run_unordered(simt::Device& dev, const graph::Csr& g,
       for (const std::uint32_t v : updated) ws.update().host_view()[v] = 0;
     }
 
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter, on_cpu});
+    record_iteration(result.metrics, "sssp",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter, on_cpu},
+                     dev.now_us());
     frontier.swap(updated);
     updated.clear();
     variant = next;
@@ -444,8 +446,10 @@ GpuSsspResult run_ordered(simt::Device& dev, const graph::Csr& g,
     }
     cand_count -= frontier.size();
 
-    result.metrics.iterations.push_back(
-        {iteration, frontier.size(), variant, dev.now_us() - t_iter});
+    record_iteration(result.metrics, "sssp_delta",
+                     {iteration, frontier.size(), variant,
+                      dev.now_us() - t_iter},
+                     dev.now_us());
   }
 
   result.dist.resize(g.num_nodes);

@@ -1,5 +1,10 @@
 #include "runtime/adaptive_engine.h"
 
+#include <memory>
+#include <string>
+
+#include "trace/trace_sink.h"
+
 namespace rt {
 namespace {
 
@@ -15,37 +20,89 @@ Thresholds effective_thresholds(simt::Device& dev, const AdaptiveOptions& opts) 
                                 opts.thresholds.t3_fraction);
 }
 
+// Cold path of the selector's trace::active() branch: one DecisionEvent per
+// decision point, stamped with the modeled-clock high-water mark (the
+// selector has no Device handle).
+void emit_decision(const Thresholds& t, std::uint32_t interval,
+                   const char* algo, const gg::SelectorInput& in,
+                   const gg::Variant& chosen, std::string& prev_variant) {
+  auto& tracer = trace::Tracer::instance();
+  std::string name = gg::variant_name(chosen);
+  if (tracer.has_sinks()) {
+    trace::DecisionEvent ev;
+    ev.algo = algo;
+    ev.iteration = in.iteration;
+    ev.ws_size = in.ws_size;
+    ev.avg_outdegree = in.avg_outdegree;
+    ev.outdeg_stddev = in.outdeg_stddev;
+    ev.num_nodes = in.num_nodes;
+    ev.t1 = t.t1_avg_outdegree;
+    ev.t2 = t.t2_ws_size;
+    ev.t3_fraction = t.t3_fraction;
+    ev.t3 = static_cast<std::uint64_t>(t.t3_fraction * in.num_nodes);
+    ev.skew_weight = t.skew_weight;
+    ev.interval = interval;
+    ev.prev_variant = prev_variant;
+    ev.variant = name;
+    ev.switched = !prev_variant.empty() && prev_variant != name;
+    ev.ts_us = tracer.time_us();
+    tracer.decision(std::move(ev));
+  }
+  prev_variant = std::move(name);
+}
+
 }  // namespace
 
 gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds) {
-  return [thresholds](const gg::SelectorInput& in) {
-    return decide(thresholds, in.ws_size, in.avg_outdegree, in.num_nodes,
-                  in.outdeg_stddev);
+  return make_adaptive_selector(thresholds, 1, "adaptive");
+}
+
+gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds,
+                                           std::uint32_t interval,
+                                           const char* algo) {
+  // The engine copies the selector; the prev-variant state is shared across
+  // copies so the switch flag tracks the single underlying traversal.
+  auto prev = std::make_shared<std::string>();
+  return [thresholds, interval, algo, prev](const gg::SelectorInput& in) {
+    const gg::Variant v = decide(thresholds, in.ws_size, in.avg_outdegree,
+                                 in.num_nodes, in.outdeg_stddev);
+    if (trace::active()) {
+      emit_decision(thresholds, interval, algo, in, v, *prev);
+    }
+    return v;
   };
 }
 
 gg::GpuBfsResult adaptive_bfs(simt::Device& dev, const graph::Csr& g,
                               graph::NodeId source, const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
-  return gg::run_bfs(dev, g, source, make_adaptive_selector(t), engine_opts(opts));
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_bfs(dev, g, source,
+                     make_adaptive_selector(t, eo.monitor_interval, "bfs"), eo);
 }
 
 gg::GpuSsspResult adaptive_sssp(simt::Device& dev, const graph::Csr& g,
                                 graph::NodeId source, const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
-  return gg::run_sssp(dev, g, source, make_adaptive_selector(t), engine_opts(opts));
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_sssp(dev, g, source,
+                      make_adaptive_selector(t, eo.monitor_interval, "sssp"), eo);
 }
 
 gg::GpuCcResult adaptive_cc(simt::Device& dev, const graph::Csr& g,
                             const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
-  return gg::run_cc(dev, g, make_adaptive_selector(t), engine_opts(opts));
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_cc(dev, g, make_adaptive_selector(t, eo.monitor_interval, "cc"),
+                    eo);
 }
 
 gg::GpuMstResult adaptive_mst(simt::Device& dev, const graph::Csr& g,
                               const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
-  return gg::run_mst(dev, g, make_adaptive_selector(t), engine_opts(opts));
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_mst(dev, g, make_adaptive_selector(t, eo.monitor_interval, "mst"),
+                     eo);
 }
 
 gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, const graph::Csr& g,
@@ -54,7 +111,10 @@ gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, const graph::Csr& g,
   const Thresholds t = effective_thresholds(dev, opts);
   gg::PageRankOptions options = pr;
   options.engine = engine_opts(opts);
-  return gg::run_pagerank(dev, g, make_adaptive_selector(t), options);
+  return gg::run_pagerank(
+      dev, g,
+      make_adaptive_selector(t, options.engine.monitor_interval, "pagerank"),
+      options);
 }
 
 }  // namespace rt

@@ -24,7 +24,17 @@ struct AdaptiveOptions {
   gg::EngineOptions engine;            // tpb knobs (monitor_interval is set here)
 };
 
+// Wraps the decision maker as an engine selector. The three-argument form
+// additionally publishes a trace::DecisionEvent at every decision point
+// (inputs, thresholds, chosen variant, whether the running variant switched)
+// when tracing is active; `interval` is the sampling rate R recorded in the
+// event, `algo` labels the trace stream. Selector copies share the
+// prev-variant state, so the switch flag stays correct however the engine
+// stores the std::function.
 gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds);
+gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds,
+                                           std::uint32_t interval,
+                                           const char* algo);
 
 gg::GpuBfsResult adaptive_bfs(simt::Device& dev, const graph::Csr& g,
                               graph::NodeId source, const AdaptiveOptions& opts = {});

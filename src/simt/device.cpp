@@ -1,7 +1,80 @@
 #include "simt/device.h"
 
-// Device is header-only (templates); this TU pins the vtable-free class into
-// the library and verifies the header is self-contained.
+#include "trace/counters.h"
+
 namespace simt {
+
 static_assert(kWarpSize == 32);
+
+// Cold continuations of the trace::active() branches in device.h: publish the
+// event to the Tracer and bump the counter registry. Kept out of line so the
+// hot accounting paths stay small.
+
+void Device::trace_kernel(const KernelStats& ks, double start_us) {
+  auto& tracer = trace::Tracer::instance();
+  tracer.set_time_us(clock_us_);
+  if (tracer.has_sinks()) {
+    trace::KernelEvent ev;
+    ev.name = ks.name;
+    ev.start_us = start_us;
+    ev.dur_us = ks.time_us;
+    ev.blocks = ks.blocks;
+    ev.total_threads = ks.total_threads;
+    ev.warps_executed = ks.warps_executed;
+    ev.transactions = ks.transactions;
+    ev.atomics = ks.atomics;
+    ev.simd_efficiency = ks.simd_efficiency();
+    tracer.kernel(ev);
+  }
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) {
+    reg.counter("simt.kernels").add();
+    reg.counter("simt.kernel_time_us").add(ks.time_us);
+    reg.counter("simt.transactions").add(ks.transactions);
+    reg.counter("simt.atomics").add(ks.atomics);
+    reg.counter("simt.warps_executed")
+        .add(static_cast<double>(ks.warps_executed));
+    reg.gauge("simt.clock_us").set_max(clock_us_);
+  }
 }
+
+void Device::trace_transfer(std::uint64_t bytes, bool to_device, double dur_us,
+                            double start_us) {
+  auto& tracer = trace::Tracer::instance();
+  tracer.set_time_us(clock_us_);
+  if (tracer.has_sinks()) {
+    trace::TransferEvent ev;
+    ev.start_us = start_us;
+    ev.dur_us = dur_us;
+    ev.bytes = bytes;
+    ev.to_device = to_device;
+    tracer.transfer(ev);
+  }
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) {
+    reg.counter("simt.transfers").add();
+    reg.counter("simt.transfer_time_us").add(dur_us);
+    reg.counter(to_device ? "simt.bytes_h2d" : "simt.bytes_d2h")
+        .add(static_cast<double>(bytes));
+    reg.gauge("simt.clock_us").set_max(clock_us_);
+  }
+}
+
+void Device::trace_host(double dur_us, double start_us) {
+  auto& tracer = trace::Tracer::instance();
+  tracer.set_time_us(clock_us_);
+  if (tracer.has_sinks()) {
+    trace::HostEvent ev;
+    ev.name = "host.compute";
+    ev.start_us = start_us;
+    ev.dur_us = dur_us;
+    tracer.host(ev);
+  }
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) {
+    reg.counter("simt.host_time_us").add(dur_us);
+    reg.gauge("simt.clock_us").set_max(clock_us_);
+  }
+}
+
+}  // namespace simt

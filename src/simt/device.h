@@ -15,6 +15,7 @@
 #include "simt/memory.h"
 #include "simt/timing_model.h"
 #include "simt/warp_trace.h"
+#include "trace/trace_sink.h"
 
 namespace simt {
 
@@ -117,9 +118,11 @@ class Device {
   // kernel completes, with the final assembled stats.
   using KernelObserver = std::function<void(const KernelStats&)>;
   void set_kernel_observer(KernelObserver obs) { observer_ = std::move(obs); }
+  const KernelObserver& kernel_observer() const { return observer_; }
 
   void account_kernel(const KernelStats& ks) {
     if (observer_) observer_(ks);
+    const double start_us = clock_us_;
     clock_us_ += ks.time_us;
     ++stats_.kernels_launched;
     stats_.kernel_time_us += ks.time_us;
@@ -130,24 +133,36 @@ class Device {
     stats_.lockstep_work += ks.lockstep_work;
     stats_.warps_executed += ks.warps_executed;
     stats_.warps_uniform += ks.warps_uniform;
+    if (trace::active()) trace_kernel(ks, start_us);
   }
 
   // Host-side compute on the application timeline (hybrid CPU/GPU phases).
   void account_host_compute(double us) {
+    const double start_us = clock_us_;
     clock_us_ += us;
     stats_.host_time_us += us;
+    if (trace::active()) trace_host(us, start_us);
   }
 
   void account_transfer(std::uint64_t bytes, bool to_device) {
     const double t =
         tm_.transfer_latency_us + static_cast<double>(bytes) / (props_.pcie_gbps * 1e3);
+    const double start_us = clock_us_;
     clock_us_ += t;
     ++stats_.transfers;
     stats_.transfer_time_us += t;
     (to_device ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
+    if (trace::active()) trace_transfer(bytes, to_device, t, start_us);
   }
 
  private:
+  // Cold paths of the trace::active() branches above (device.cpp): publish
+  // the event to the Tracer and bump the counter registry.
+  void trace_kernel(const KernelStats& ks, double start_us);
+  void trace_transfer(std::uint64_t bytes, bool to_device, double dur_us,
+                      double start_us);
+  void trace_host(double dur_us, double start_us);
+
   DeviceProps props_;
   TimingModel tm_;
   AddressSpace space_;

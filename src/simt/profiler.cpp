@@ -8,26 +8,41 @@
 
 namespace simt {
 
-Profiler::Profiler(Device& dev) : dev_(&dev) {
+Profiler::Profiler(Device& dev) : dev_(&dev), previous_(dev.kernel_observer()) {
   dev_->set_kernel_observer([this](const KernelStats& ks) {
-    Entry& e = entries_[ks.name];
-    ++e.launches;
-    e.time_us += ks.time_us;
-    e.sm_time_us += ks.sm_time_us;
-    e.bw_time_us += ks.bw_time_us;
-    e.atomic_time_us += ks.atomic_time_us;
-    e.transactions += ks.transactions;
-    e.atomics += ks.atomics;
-    e.lane_work += ks.lane_work;
-    e.lockstep_work += ks.lockstep_work;
-    e.warps_executed += ks.warps_executed;
-    total_us_ += ks.time_us;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Entry& e = entries_[ks.name];
+      ++e.launches;
+      e.time_us += ks.time_us;
+      e.sm_time_us += ks.sm_time_us;
+      e.bw_time_us += ks.bw_time_us;
+      e.atomic_time_us += ks.atomic_time_us;
+      e.transactions += ks.transactions;
+      e.atomics += ks.atomics;
+      e.lane_work += ks.lane_work;
+      e.lockstep_work += ks.lockstep_work;
+      e.warps_executed += ks.warps_executed;
+      total_us_ += ks.time_us;
+    }
+    if (previous_) previous_(ks);  // chain: stacked profilers both observe
   });
 }
 
-Profiler::~Profiler() { dev_->set_kernel_observer({}); }
+Profiler::~Profiler() { dev_->set_kernel_observer(std::move(previous_)); }
+
+std::map<std::string, Profiler::Entry> Profiler::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+double Profiler::total_time_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_us_;
+}
 
 void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   total_us_ = 0;
 }
@@ -39,6 +54,7 @@ const char* Profiler::Entry::bottleneck() const {
 }
 
 std::string Profiler::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, const Entry*>> sorted;
   sorted.reserve(entries_.size());
   for (const auto& [name, e] : entries_) sorted.emplace_back(name, &e);

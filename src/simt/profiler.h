@@ -5,10 +5,17 @@
 //   simt::Profiler prof(dev);
 //   ... run algorithms ...
 //   std::puts(prof.report().c_str());
+//
+// Pooled-launch safety: the observer fires on the thread that called
+// launch()/launch_phased(), after the pool's per-block results have been
+// reduced — never on an ExecPool worker — so the aggregation maps are
+// identical for any SIMT_THREADS value. A mutex still guards the entries so
+// report()/entries() may be read while another host thread drives the device.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "simt/device.h"
@@ -17,8 +24,8 @@ namespace simt {
 
 class Profiler {
  public:
-  // Installs itself as the device's kernel observer. Detaches (and restores
-  // nothing) on destruction; only one profiler per device at a time.
+  // Installs itself as the device's kernel observer, chaining to (and on
+  // destruction restoring) any observer that was already installed.
   explicit Profiler(Device& dev);
   ~Profiler();
   Profiler(const Profiler&) = delete;
@@ -43,8 +50,9 @@ class Profiler {
     const char* bottleneck() const;
   };
 
-  const std::map<std::string, Entry>& entries() const { return entries_; }
-  double total_time_us() const { return total_us_; }
+  // Copies under the lock so callers can inspect while the device runs.
+  std::map<std::string, Entry> entries() const;
+  double total_time_us() const;
   void reset();
 
   // Table sorted by accumulated time, descending.
@@ -52,6 +60,8 @@ class Profiler {
 
  private:
   Device* dev_;
+  Device::KernelObserver previous_;
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   double total_us_ = 0;
 };

@@ -1,0 +1,164 @@
+#include "trace/chrome_trace.h"
+
+#include <fstream>
+
+#include "trace/json_writer.h"
+
+namespace trace {
+namespace {
+
+// One complete trace_event object rendered into `out_events` (comma-joined).
+class EventBuilder {
+ public:
+  EventBuilder(std::string& out_events, std::string_view name, const char* ph,
+               int tid, double ts_us)
+      : out_(out_events) {
+    w_.begin_object();
+    w_.field("name", name);
+    w_.field("ph", ph);
+    w_.field("pid", 0);
+    w_.field("tid", tid);
+    w_.field("ts", ts_us);
+  }
+
+  JsonWriter& writer() { return w_; }
+
+  ~EventBuilder() {
+    w_.end_object();
+    if (!out_.empty()) out_ += ",\n";
+    out_ += w_.str();
+  }
+
+ private:
+  std::string& out_;
+  JsonWriter w_;
+};
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::string path, int kernel_lanes)
+    : path_(std::move(path)), kernel_lanes_(kernel_lanes < 1 ? 1 : kernel_lanes) {}
+
+void ChromeTraceSink::kernel(const KernelEvent& ev) {
+  const int tid = 1 + static_cast<int>(ev.seq % static_cast<std::uint64_t>(kernel_lanes_));
+  EventBuilder e(events_, ev.name, "X", tid, ev.start_us);
+  auto& w = e.writer();
+  w.field("dur", ev.dur_us);
+  w.key("args").begin_object();
+  w.field("blocks", ev.blocks);
+  w.field("total_threads", ev.total_threads);
+  w.field("warps_executed", ev.warps_executed);
+  w.field("transactions", ev.transactions);
+  w.field("atomics", ev.atomics);
+  w.field("simd_efficiency", ev.simd_efficiency);
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
+void ChromeTraceSink::transfer(const TransferEvent& ev) {
+  EventBuilder e(events_, ev.to_device ? "memcpy.h2d" : "memcpy.d2h", "X",
+                 transfer_tid(), ev.start_us);
+  auto& w = e.writer();
+  w.field("dur", ev.dur_us);
+  w.key("args").begin_object();
+  w.field("bytes", ev.bytes);
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
+void ChromeTraceSink::host(const HostEvent& ev) {
+  EventBuilder e(events_, ev.name, "X", 0, ev.start_us);
+  auto& w = e.writer();
+  w.field("dur", ev.dur_us);
+  w.key("args").begin_object();
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
+void ChromeTraceSink::iteration(const IterationEvent& ev) {
+  const std::string name = std::string(ev.algo) + ".iteration";
+  EventBuilder e(events_, name, "X", 0, ev.start_us);
+  auto& w = e.writer();
+  w.field("dur", ev.dur_us);
+  w.key("args").begin_object();
+  w.field("iteration", ev.iteration);
+  w.field("ws_size", ev.ws_size);
+  w.field("variant", ev.variant);
+  w.field("on_cpu", ev.on_cpu);
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
+void ChromeTraceSink::decision(const DecisionEvent& ev) {
+  const std::string name = std::string(ev.algo) + ".decision";
+  EventBuilder e(events_, name, "i", decision_tid(), ev.ts_us);
+  auto& w = e.writer();
+  w.field("s", "t");  // thread-scoped instant
+  w.key("args").begin_object();
+  w.field("iteration", ev.iteration);
+  w.field("ws_size", ev.ws_size);
+  w.field("avg_outdegree", ev.avg_outdegree);
+  w.field("outdeg_stddev", ev.outdeg_stddev);
+  w.field("num_nodes", ev.num_nodes);
+  w.field("t1", ev.t1);
+  w.field("t2", ev.t2);
+  w.field("t3_fraction", ev.t3_fraction);
+  w.field("t3", ev.t3);
+  w.field("skew_weight", ev.skew_weight);
+  w.field("interval", ev.interval);
+  w.field("prev_variant", ev.prev_variant);
+  w.field("variant", ev.variant);
+  w.field("switched", ev.switched);
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
+std::string ChromeTraceSink::json() const {
+  // Metadata events name the tracks; rendered fresh so lane count is final.
+  std::string meta;
+  auto thread_name = [&meta](int tid, const std::string& name) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.field("tid", tid);
+    w.key("args").begin_object().field("name", name).end_object();
+    w.end_object();
+    if (!meta.empty()) meta += ",\n";
+    meta += w.str();
+  };
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.field("tid", 0);
+    w.key("args").begin_object().field("name", "simulated device").end_object();
+    w.end_object();
+    meta = w.take();
+  }
+  thread_name(0, "host / iterations");
+  for (int lane = 0; lane < kernel_lanes_; ++lane) {
+    thread_name(1 + lane, "kernels (SM-ish lane " + std::to_string(lane) + ")");
+  }
+  thread_name(transfer_tid(), "pcie transfers");
+  thread_name(decision_tid(), "adaptive decisions");
+
+  std::string out = "{\"traceEvents\":[\n" + meta;
+  if (!events_.empty()) {
+    out += ",\n";
+    out += events_;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void ChromeTraceSink::flush() {
+  if (path_.empty()) return;
+  std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+  if (f) f << json();
+}
+
+}  // namespace trace

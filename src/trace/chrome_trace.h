@@ -1,0 +1,52 @@
+// Chrome trace_event sink: renders the modeled execution as a timeline
+// loadable by chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Track layout (all under pid 0, the simulated device):
+//   tid 0                 host phases + engine iterations (X events)
+//   tid 1..kernel_lanes   kernel launches, round-robin by sequence number —
+//                         "SM-ish" lanes: the modeled device serializes
+//                         kernels on one clock, so the lanes are a reading
+//                         aid (consecutive launches alternate lanes), not an
+//                         occupancy claim; pass the device's SM count for a
+//                         familiar width
+//   tid kernel_lanes+1    H<->D transfers (PCIe)
+//   tid kernel_lanes+2    adaptive decisions (instant events with the full
+//                         T1/T2/T3 input snapshot in args)
+//
+// Timestamps are the simulator's modeled microseconds (Chrome's native ts
+// unit), so the timeline shows modeled time, not host wall time, and the
+// file is byte-identical across --sim-threads values.
+#pragma once
+
+#include <string>
+
+#include "trace/trace_sink.h"
+
+namespace trace {
+
+class ChromeTraceSink : public TraceSink {
+ public:
+  // `path` empty = in-memory only (tests); otherwise flush() writes the
+  // complete document there. `kernel_lanes` >= 1.
+  explicit ChromeTraceSink(std::string path = "", int kernel_lanes = 4);
+
+  void kernel(const KernelEvent& ev) override;
+  void transfer(const TransferEvent& ev) override;
+  void host(const HostEvent& ev) override;
+  void iteration(const IterationEvent& ev) override;
+  void decision(const DecisionEvent& ev) override;
+  void flush() override;
+
+  // The complete document ({"traceEvents":[...]}), renderable at any point.
+  std::string json() const;
+
+ private:
+  int transfer_tid() const { return kernel_lanes_ + 1; }
+  int decision_tid() const { return kernel_lanes_ + 2; }
+
+  std::string path_;
+  int kernel_lanes_;
+  std::string events_;  // comma-joined event objects
+};
+
+}  // namespace trace

@@ -1,0 +1,58 @@
+#include "trace/counters.h"
+
+#include "trace/json_writer.h"
+#include "trace/trace_sink.h"
+
+namespace trace {
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry reg;
+  return reg;
+}
+
+void CounterRegistry::set_enabled(bool on) {
+  enabled_ = on;
+  detail::recompute_active();
+}
+
+Counter& CounterRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& CounterRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+double CounterRegistry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+double CounterRegistry::gauge_value(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value;
+}
+
+void CounterRegistry::reset() {
+  for (auto& [name, c] : counters_) c.value = 0;
+  for (auto& [name, g] : gauges_) g.value = 0;
+}
+
+std::string CounterRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g.value);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace trace

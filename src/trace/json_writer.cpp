@@ -1,0 +1,304 @@
+#include "trace/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace trace {
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_container_.empty()) {
+    if (!first_in_container_.back()) out_.push_back(',');
+    first_in_container_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_.push_back('{');
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  first_in_container_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_.push_back('[');
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  first_in_container_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  pre_value();
+  out_.push_back('"');
+  append_escaped(out_, k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_.push_back('"');
+  append_escaped(out_, s);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  pre_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  pre_value();
+  append_number(out_, d);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  pre_value();
+  out_ += json;
+  return *this;
+}
+
+void JsonWriter::append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; clamp to null-ish zero
+    out += "0";
+    return;
+  }
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (d == std::floor(d) && std::fabs(d) < kMaxExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+// ---- parser ----
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (i + 4 > s.size()) return false;
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Decoded as a single byte when in Latin-1 range; otherwise a
+            // UTF-8 pair (surrogates unsupported — traces never emit them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& v) {
+    skip_ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      v.kind = JsonValue::Kind::object;
+      skip_ws();
+      if (eat('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        JsonValue member;
+        if (!parse_value(member)) return false;
+        v.members.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      v.kind = JsonValue::Kind::array;
+      skip_ws();
+      if (eat(']')) return true;
+      while (true) {
+        JsonValue item;
+        if (!parse_value(item)) return false;
+        v.items.push_back(std::move(item));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::string;
+      return parse_string(v.string);
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::boolean;
+      v.boolean = true;
+      i += 4;
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::boolean;
+      v.boolean = false;
+      i += 5;
+      return true;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      v.kind = JsonValue::Kind::null;
+      i += 4;
+      return true;
+    }
+    // number
+    const std::size_t start = i;
+    if (eat('-')) {}
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (eat('.')) {
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    }
+    if (i == start) return false;
+    char* end = nullptr;
+    const std::string tok(s.substr(start, i - start));
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return false;
+    v.kind = JsonValue::Kind::number;
+    return true;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (kind != Kind::object) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == k) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v;
+  if (!p.parse_value(v)) return std::nullopt;
+  p.skip_ws();
+  if (p.i != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace trace

@@ -1,0 +1,91 @@
+// Deterministic JSON emission and a minimal parser.
+//
+// JsonWriter renders JSON with a fixed, locale-independent number format so
+// that two runs producing bit-identical doubles produce byte-identical
+// documents — the property the trace determinism contract (DESIGN.md,
+// "Observability") rests on. The parser is the validation half: tests and
+// exporters use it to check that emitted documents are well formed and to
+// round-trip values, without pulling in an external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace trace {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  // Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  // Splices a pre-rendered JSON fragment in value position.
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  static void append_escaped(std::string& out, std::string_view s);
+  // Fixed number rendering: integral doubles within 2^53 print without a
+  // fraction; everything else prints with "%.17g" (round-trip exact).
+  static void append_number(std::string& out, double d);
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  std::vector<bool> first_in_container_;
+  bool after_key_ = false;
+};
+
+// Parsed JSON value (tagged union, heap-structured). Object member order is
+// preserved as written.
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                                // array
+  std::vector<std::pair<std::string, JsonValue>> members;      // object
+
+  bool is_object() const { return kind == Kind::object; }
+  bool is_array() const { return kind == Kind::array; }
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view k) const;
+  // Convenience accessors returning a fallback on kind mismatch.
+  double num_or(double fallback) const {
+    return kind == Kind::number ? number : fallback;
+  }
+  std::string_view str_or(std::string_view fallback) const {
+    return kind == Kind::string ? std::string_view(string) : fallback;
+  }
+};
+
+// Strict parse of a complete JSON document; nullopt on any syntax error or
+// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace trace

@@ -1,0 +1,45 @@
+#include "trace/jsonl_trace.h"
+
+#include <fstream>
+
+#include "trace/json_writer.h"
+
+namespace trace {
+
+JsonlDecisionSink::JsonlDecisionSink(std::string path) : path_(std::move(path)) {}
+
+void JsonlDecisionSink::decision(const DecisionEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("kind", "decision");
+  w.field("algo", ev.algo);
+  w.field("iteration", ev.iteration);
+  w.field("ws_size", ev.ws_size);
+  w.field("avg_outdegree", ev.avg_outdegree);
+  w.field("outdeg_stddev", ev.outdeg_stddev);
+  w.field("num_nodes", ev.num_nodes);
+  w.field("t1", ev.t1);
+  w.field("t2", ev.t2);
+  w.field("t3_fraction", ev.t3_fraction);
+  w.field("t3", ev.t3);
+  w.field("skew_weight", ev.skew_weight);
+  w.field("interval", ev.interval);
+  w.field("prev_variant", ev.prev_variant);
+  w.field("variant", ev.variant);
+  w.field("switched", ev.switched);
+  w.field("ts_us", ev.ts_us);
+  w.field("seq", ev.seq);
+  w.end_object();
+  lines_ += w.str();
+  lines_ += '\n';
+  ++decisions_;
+  switches_ += ev.switched;
+}
+
+void JsonlDecisionSink::flush() {
+  if (path_.empty()) return;
+  std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+  if (f) f << lines_;
+}
+
+}  // namespace trace

@@ -1,0 +1,40 @@
+// JSONL decision-trace sink: one JSON object per adaptive decision point,
+// newline-delimited, answering "why did the runtime pick this variant on
+// iteration k?" with the full decision input (|WS|, avg outdegree, the
+// T1/T2/T3 thresholds, sampling interval R), the chosen variant, and whether
+// the choice switched the running implementation.
+//
+// Line schema (stable field order):
+//   {"kind":"decision","algo":"bfs","iteration":3,"ws_size":412,
+//    "avg_outdegree":7.9,"outdeg_stddev":3.1,"num_nodes":100000,
+//    "t1":32,"t2":2688,"t3_fraction":0.3,"t3":30000,"skew_weight":0.5,
+//    "interval":1,"prev_variant":"U_B_QU","variant":"U_T_QU",
+//    "switched":true,"ts_us":1234.5,"seq":17}
+#pragma once
+
+#include <string>
+
+#include "trace/trace_sink.h"
+
+namespace trace {
+
+class JsonlDecisionSink : public TraceSink {
+ public:
+  // `path` empty = in-memory only; otherwise flush() writes the lines there.
+  explicit JsonlDecisionSink(std::string path = "");
+
+  void decision(const DecisionEvent& ev) override;
+  void flush() override;
+
+  const std::string& data() const { return lines_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  std::string path_;
+  std::string lines_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace trace

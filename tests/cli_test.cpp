@@ -139,4 +139,61 @@ TEST_F(CliTest, MissingFileFails) {
   EXPECT_NE(rc, 0);
 }
 
+TEST_F(CliTest, ProfileFlagOnEveryAlgorithm) {
+  const auto g = path("g.agg");
+  ASSERT_EQ(run("generate p2p --nodes=3000 --weights --out=" + g).first, 0);
+  for (const char* cmd : {"sssp", "cc", "pagerank", "mst"}) {
+    SCOPED_TRACE(cmd);
+    const auto [rc, out] = run(std::string(cmd) + " " + g + " --profile");
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.find("bound by"), std::string::npos) << out;
+    EXPECT_NE(out.find("total kernel time"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, ChromeTraceAndMetricsFilesWritten) {
+  const auto g = path("g.agg");
+  const auto trace_file = path("trace.json");
+  const auto metrics_file = path("metrics.json");
+  ASSERT_EQ(run("generate er --nodes=3000 --out=" + g).first, 0);
+  const auto [rc, out] = run("bfs " + g + " --trace-out=" + trace_file +
+                             " --trace-format=chrome --metrics-out=" +
+                             metrics_file);
+  ASSERT_EQ(rc, 0) << out;
+  ASSERT_TRUE(fs::exists(trace_file));
+  ASSERT_TRUE(fs::exists(metrics_file));
+
+  std::stringstream tss, mss;
+  tss << std::ifstream(trace_file).rdbuf();
+  mss << std::ifstream(metrics_file).rdbuf();
+  EXPECT_NE(tss.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tss.str().find("memcpy.h2d"), std::string::npos);
+  EXPECT_NE(tss.str().find("bfs.iteration"), std::string::npos);
+  EXPECT_NE(mss.str().find("simt.kernels"), std::string::npos);
+  EXPECT_NE(mss.str().find("engine.iterations"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonlDecisionTraceWritten) {
+  const auto g = path("g.agg");
+  const auto trace_file = path("decisions.jsonl");
+  ASSERT_EQ(run("generate er --nodes=3000 --out=" + g).first, 0);
+  const auto [rc, out] =
+      run("bfs " + g + " --trace-out=" + trace_file + " --trace-format=jsonl");
+  ASSERT_EQ(rc, 0) << out;
+  ASSERT_TRUE(fs::exists(trace_file));
+  std::stringstream ss;
+  ss << std::ifstream(trace_file).rdbuf();
+  EXPECT_NE(ss.str().find("\"kind\":\"decision\""), std::string::npos);
+  EXPECT_NE(ss.str().find("\"t1\":"), std::string::npos);
+}
+
+TEST_F(CliTest, BadTraceFormatFails) {
+  const auto g = path("g.agg");
+  ASSERT_EQ(run("generate er --nodes=500 --out=" + g).first, 0);
+  const auto [rc, out] =
+      run("bfs " + g + " --trace-out=" + path("t.json") + " --trace-format=xml");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("unknown --trace-format"), std::string::npos);
+}
+
 }  // namespace

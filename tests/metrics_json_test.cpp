@@ -1,0 +1,79 @@
+// TraversalMetrics reporting: summary(), max_ws_size(), and the JSON
+// exporter round-tripped through the in-tree parser.
+#include <gtest/gtest.h>
+
+#include "gpu_graph/metrics.h"
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+#include "simt/device.h"
+#include "trace/json_writer.h"
+
+namespace {
+
+gg::TraversalMetrics sample_metrics() {
+  gg::TraversalMetrics m;
+  m.total_us = 1500.25;
+  m.kernel_us = 900;
+  m.transfer_us = 400;
+  m.kernels = 7;
+  m.simd_efficiency = 0.875;
+  m.edges_processed = 123456;
+  m.switches = 2;
+  m.decisions = 4;
+  m.iterations.push_back({0, 1, gg::parse_variant("U_B_QU"), 100.5, false});
+  m.iterations.push_back({1, 950, gg::parse_variant("U_T_QU"), 700.25, false});
+  m.iterations.push_back({2, 12, gg::parse_variant("U_B_QU"), 99.5, true});
+  return m;
+}
+
+TEST(TraversalMetrics, MaxWsSizeAndSummary) {
+  const auto m = sample_metrics();
+  EXPECT_EQ(m.max_ws_size(), 950u);
+  EXPECT_EQ(gg::TraversalMetrics{}.max_ws_size(), 0u);
+
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("3 iterations"), std::string::npos);
+  EXPECT_NE(s.find("1.500 ms"), std::string::npos);
+  EXPECT_NE(s.find("2 switches"), std::string::npos);
+  // No switches -> the clause is omitted entirely.
+  EXPECT_EQ(gg::TraversalMetrics{}.summary().find("switches"), std::string::npos);
+}
+
+TEST(TraversalMetrics, JsonRoundTrip) {
+  const auto m = sample_metrics();
+  const auto doc = trace::json_parse(m.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("total_us")->num_or(0), 1500.25);
+  EXPECT_EQ(doc->find("kernels")->num_or(0), 7);
+  EXPECT_EQ(doc->find("simd_efficiency")->num_or(0), 0.875);
+  EXPECT_EQ(doc->find("edges_processed")->num_or(0), 123456);
+  EXPECT_EQ(doc->find("switches")->num_or(0), 2);
+  EXPECT_EQ(doc->find("decisions")->num_or(0), 4);
+  EXPECT_EQ(doc->find("max_ws_size")->num_or(0), 950);
+
+  const auto* iters = doc->find("iterations");
+  ASSERT_NE(iters, nullptr);
+  ASSERT_TRUE(iters->is_array());
+  ASSERT_EQ(iters->items.size(), 3u);
+  const auto& it1 = iters->items[1];
+  EXPECT_EQ(it1.find("iteration")->num_or(-1), 1);
+  EXPECT_EQ(it1.find("ws_size")->num_or(0), 950);
+  EXPECT_EQ(it1.find("variant")->str_or(""), "U_T_QU");
+  EXPECT_EQ(it1.find("time_us")->num_or(0), 700.25);
+  EXPECT_FALSE(it1.find("on_cpu")->boolean);
+  EXPECT_TRUE(iters->items[2].find("on_cpu")->boolean);
+}
+
+TEST(TraversalMetrics, JsonFromRealTraversal) {
+  const graph::Csr g = graph::gen::erdos_renyi(3000, 24000, 4);
+  simt::Device dev;
+  const auto r = rt::adaptive_bfs(dev, g, 0);
+  const auto doc = trace::json_parse(r.metrics.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("iterations")->items.size(), r.metrics.iterations.size());
+  EXPECT_EQ(doc->find("total_us")->num_or(-1), r.metrics.total_us);
+  EXPECT_EQ(doc->find("edges_processed")->num_or(-1),
+            static_cast<double>(r.metrics.edges_processed));
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Profiler behavior under the pooled launch path: the observer fires on the
+// launching thread after block reduction, so the aggregated report must be
+// identical for any worker count; stacked observers chain and restore.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+#include "simt/device.h"
+#include "simt/exec_pool.h"
+#include "simt/launch.h"
+#include "simt/profiler.h"
+
+namespace {
+
+constexpr simt::Site kOut{0, "out"};
+constexpr simt::Site kOps{1, "ops"};
+
+void expect_same_entries(const std::map<std::string, simt::Profiler::Entry>& a,
+                         const std::map<std::string, simt::Profiler::Entry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, ea] : a) {
+    SCOPED_TRACE(name);
+    const auto it = b.find(name);
+    ASSERT_NE(it, b.end());
+    const auto& eb = it->second;
+    EXPECT_EQ(ea.launches, eb.launches);
+    EXPECT_EQ(ea.time_us, eb.time_us);
+    EXPECT_EQ(ea.sm_time_us, eb.sm_time_us);
+    EXPECT_EQ(ea.bw_time_us, eb.bw_time_us);
+    EXPECT_EQ(ea.atomic_time_us, eb.atomic_time_us);
+    EXPECT_EQ(ea.transactions, eb.transactions);
+    EXPECT_EQ(ea.atomics, eb.atomics);
+    EXPECT_EQ(ea.lane_work, eb.lane_work);
+    EXPECT_EQ(ea.lockstep_work, eb.lockstep_work);
+    EXPECT_EQ(ea.warps_executed, eb.warps_executed);
+  }
+}
+
+std::map<std::string, simt::Profiler::Entry> profile_run(int threads) {
+  simt::ExecPool::set_threads(threads);
+  const graph::Csr g = graph::gen::rmat({.scale = 12, .seed = 21});
+  simt::Device dev;
+  simt::Profiler prof(dev);
+  (void)rt::adaptive_bfs(dev, g, 0);
+  auto entries = prof.entries();
+  simt::ExecPool::set_threads(1);
+  return entries;
+}
+
+TEST(ProfilerPool, EntriesAreWorkerCountInvariant) {
+  const auto serial = profile_run(1);
+  const auto pooled = profile_run(8);
+  EXPECT_FALSE(serial.empty());
+  expect_same_entries(serial, pooled);
+}
+
+TEST(ProfilerPool, PooledLaunchesAggregateOnLaunchThread) {
+  simt::ExecPool::set_threads(8);
+  simt::Device dev;
+  simt::Profiler prof(dev);
+  const std::uint64_t n = 1 << 14;
+  auto out = dev.alloc<std::uint32_t>(n, "out");
+  for (int rep = 0; rep < 4; ++rep) {
+    simt::launch(dev, "pool.work",
+                 simt::GridSpec::dense(n, 256).with(simt::LaunchPolicy::parallel),
+                 [&](simt::ThreadCtx& ctx) {
+                   const std::uint64_t gid = ctx.global_id();
+                   ctx.compute(1 + gid % 5, kOps);
+                   ctx.store(out, gid, static_cast<std::uint32_t>(gid), kOut);
+                 });
+  }
+  const auto entries = prof.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at("pool.work").launches, 4u);
+  EXPECT_GT(prof.total_time_us(), 0);
+  EXPECT_NE(prof.report().find("pool.work"), std::string::npos);
+  simt::ExecPool::set_threads(1);
+}
+
+TEST(ProfilerPool, ObserversChainAndRestore) {
+  simt::Device dev;
+  std::vector<std::string> outer_seen;
+  dev.set_kernel_observer([&](const simt::KernelStats& ks) {
+    outer_seen.emplace_back(ks.name);
+  });
+
+  auto buf = dev.alloc<std::uint32_t>(512, "buf");
+  {
+    simt::Profiler prof(dev);
+    dev.fill(buf, 1u);
+    // Both the profiler and the pre-existing observer saw the launch.
+    EXPECT_EQ(prof.entries().count("fill"), 1u);
+    ASSERT_EQ(outer_seen.size(), 1u);
+    EXPECT_EQ(outer_seen[0], "fill");
+  }
+  // Profiler destroyed: the original observer is restored, not dropped.
+  dev.fill(buf, 2u);
+  ASSERT_EQ(outer_seen.size(), 2u);
+
+  dev.set_kernel_observer({});
+  dev.fill(buf, 3u);
+  EXPECT_EQ(outer_seen.size(), 2u);
+}
+
+TEST(ProfilerPool, StackedProfilersBothObserve) {
+  simt::Device dev;
+  auto buf = dev.alloc<std::uint32_t>(256, "buf");
+  simt::Profiler outer(dev);
+  dev.fill(buf, 1u);
+  {
+    simt::Profiler inner(dev);
+    dev.fill(buf, 2u);
+    EXPECT_EQ(inner.entries().at("fill").launches, 1u);
+    EXPECT_EQ(outer.entries().at("fill").launches, 2u);
+  }
+  dev.fill(buf, 3u);
+  EXPECT_EQ(outer.entries().at("fill").launches, 3u);
+}
+
+}  // namespace

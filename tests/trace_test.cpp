@@ -1,0 +1,241 @@
+// The tracing subsystem: JSON writer/parser round trips, the counter
+// registry, the Chrome trace_event and decision-JSONL sinks, and the
+// end-to-end instrumentation of the engines and the adaptive runtime.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/gen/generators.h"
+#include "runtime/adaptive_engine.h"
+#include "simt/device.h"
+#include "trace/chrome_trace.h"
+#include "trace/counters.h"
+#include "trace/json_writer.h"
+#include "trace/jsonl_trace.h"
+#include "trace/trace_sink.h"
+
+namespace {
+
+// Every test leaves the global tracer/registry the way it found them.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    trace::Tracer::instance().clear();
+    trace::CounterRegistry::instance().set_enabled(false);
+    trace::CounterRegistry::instance().reset();
+    EXPECT_FALSE(trace::active());
+  }
+};
+
+TEST_F(TraceTest, InactiveByDefault) { EXPECT_FALSE(trace::active()); }
+
+TEST_F(TraceTest, ActiveFollowsSinksAndRegistry) {
+  trace::Tracer::instance().attach(std::make_unique<trace::TraceSink>());
+  EXPECT_TRUE(trace::active());
+  trace::Tracer::instance().clear();
+  EXPECT_FALSE(trace::active());
+  trace::CounterRegistry::instance().set_enabled(true);
+  EXPECT_TRUE(trace::active());
+  trace::CounterRegistry::instance().set_enabled(false);
+  EXPECT_FALSE(trace::active());
+}
+
+TEST_F(TraceTest, JsonWriterRendersDeterministicNumbers) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.field("int", 42);
+  w.field("whole", 1288.0);
+  w.field("frac", 0.5);
+  w.field("neg", std::int64_t{-7});
+  w.field("str", "a\"b\\c\n");
+  w.field("flag", true);
+  w.end_object();
+  const std::string doc = w.take();
+  EXPECT_NE(doc.find("\"int\":42"), std::string::npos);
+  EXPECT_NE(doc.find("\"whole\":1288"), std::string::npos);  // no trailing .0
+  EXPECT_NE(doc.find("\"frac\":0.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"str\":\"a\\\"b\\\\c\\n\""), std::string::npos);
+
+  const auto parsed = trace::json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("int")->num_or(-1), 42);
+  EXPECT_EQ(parsed->find("frac")->num_or(-1), 0.5);
+  EXPECT_EQ(parsed->find("neg")->num_or(0), -7);
+  EXPECT_EQ(parsed->find("str")->str_or(""), "a\"b\\c\n");
+  EXPECT_TRUE(parsed->find("flag")->boolean);
+}
+
+TEST_F(TraceTest, JsonParserRejectsMalformedInput) {
+  EXPECT_FALSE(trace::json_parse("{").has_value());
+  EXPECT_FALSE(trace::json_parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(trace::json_parse("[1,2] trailing").has_value());
+  EXPECT_FALSE(trace::json_parse("").has_value());
+  EXPECT_TRUE(trace::json_parse("{\"a\":[1,2,{\"b\":null}]}").has_value());
+}
+
+TEST_F(TraceTest, CounterRegistryAccumulatesAndResets) {
+  auto& reg = trace::CounterRegistry::instance();
+  reg.set_enabled(true);
+  reg.counter("t.count").add();
+  reg.counter("t.count").add(2.5);
+  reg.gauge("t.peak").set_max(5);
+  reg.gauge("t.peak").set_max(3);  // lower: ignored
+  EXPECT_EQ(reg.counter_value("t.count"), 3.5);
+  EXPECT_EQ(reg.gauge_value("t.peak"), 5);
+  EXPECT_EQ(reg.counter_value("t.never_touched"), 0);
+
+  const auto parsed = trace::json_parse(reg.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const auto* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("t.count")->num_or(-1), 3.5);
+
+  // Handles survive reset (values zeroed, entries kept).
+  trace::Counter& handle = reg.counter("t.count");
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("t.count"), 0);
+  handle.add(7);
+  EXPECT_EQ(reg.counter_value("t.count"), 7);
+}
+
+TEST_F(TraceTest, DeviceEventsReachChromeSink) {
+  auto* sink = static_cast<trace::ChromeTraceSink*>(trace::Tracer::instance().attach(
+      std::make_unique<trace::ChromeTraceSink>("", /*kernel_lanes=*/3)));
+  simt::Device dev;
+  auto buf = dev.alloc<std::uint32_t>(1024, "buf");
+  dev.fill(buf, 1u);  // one kernel
+  std::vector<std::uint32_t> host(1024, 0);
+  dev.memcpy_d2h(std::span<std::uint32_t>(host), buf);  // one transfer
+  dev.account_host_compute(12.5);                       // one host phase
+
+  const auto parsed = trace::json_parse(sink->json());
+  ASSERT_TRUE(parsed.has_value());
+  const auto* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int kernels = 0, transfers = 0, hosts = 0;
+  for (const auto& e : events->items) {
+    const auto name = e.find("name")->str_or("");
+    if (name == "fill") ++kernels;
+    if (name == "memcpy.d2h") ++transfers;
+    if (name == "host.compute") ++hosts;
+  }
+  EXPECT_EQ(kernels, 1);
+  EXPECT_EQ(transfers, 1);
+  EXPECT_EQ(hosts, 1);
+}
+
+TEST_F(TraceTest, AdaptiveRunEmitsIterationAndDecisionEvents) {
+  auto* sink = static_cast<trace::ChromeTraceSink*>(trace::Tracer::instance().attach(
+      std::make_unique<trace::ChromeTraceSink>()));
+  trace::CounterRegistry::instance().set_enabled(true);
+
+  const graph::Csr g = graph::gen::rmat({.scale = 12, .seed = 5});
+  simt::Device dev;
+  rt::AdaptiveOptions opts;
+  opts.monitor_interval = 1;
+  const auto r = rt::adaptive_bfs(dev, g, 0, opts);
+
+  const auto parsed = trace::json_parse(sink->json());
+  ASSERT_TRUE(parsed.has_value());
+  int iterations = 0, decisions = 0;
+  for (const auto& e : parsed->find("traceEvents")->items) {
+    const auto name = e.find("name")->str_or("");
+    if (name == "bfs.iteration") ++iterations;
+    if (name == "bfs.decision") {
+      ++decisions;
+      const auto* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_GT(args->find("t1")->num_or(0), 0);
+      EXPECT_GT(args->find("t2")->num_or(0), 0);
+      EXPECT_GT(args->find("t3")->num_or(0), 0);
+      EXPECT_EQ(args->find("interval")->num_or(0), 1);
+      EXPECT_FALSE(args->find("variant")->str_or("").empty());
+    }
+  }
+  EXPECT_EQ(iterations, static_cast<int>(r.metrics.iterations.size()));
+  EXPECT_GE(decisions, 1);
+
+  auto& reg = trace::CounterRegistry::instance();
+  EXPECT_EQ(reg.counter_value("engine.iterations"),
+            static_cast<double>(r.metrics.iterations.size()));
+  EXPECT_EQ(reg.counter_value("engine.edges_processed"),
+            static_cast<double>(r.metrics.edges_processed));
+  EXPECT_EQ(reg.counter_value("rt.switches"),
+            static_cast<double>(r.metrics.switches));
+  EXPECT_GT(reg.counter_value("simt.kernels"), 0);
+  EXPECT_GT(reg.counter_value("simt.transactions"), 0);
+}
+
+TEST_F(TraceTest, ThresholdSweepRecordsVariantSwitch) {
+  // Thresholds pinned so the RMAT traversal crosses T2/T3 boundaries as the
+  // frontier grows and shrinks: at least one switch must be recorded with
+  // its inputs.
+  auto* sink = static_cast<trace::JsonlDecisionSink*>(trace::Tracer::instance().attach(
+      std::make_unique<trace::JsonlDecisionSink>()));
+
+  const graph::Csr g = graph::gen::rmat({.scale = 13, .seed = 3});
+  simt::Device dev;
+  rt::AdaptiveOptions opts;
+  opts.thresholds_overridden = true;
+  opts.thresholds.t1_avg_outdegree = 32;
+  opts.thresholds.t2_ws_size = 64;
+  opts.thresholds.t3_fraction = 0.05;
+  opts.monitor_interval = 1;
+  (void)rt::adaptive_bfs(dev, g, 0, opts);
+
+  EXPECT_GE(sink->decisions(), 2u);
+  EXPECT_GE(sink->switches(), 1u);
+
+  // Every line is a complete JSON object carrying the decision inputs.
+  std::size_t lines = 0;
+  bool saw_switch = false;
+  const std::string& data = sink->data();
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    const auto line = trace::json_parse(data.substr(pos, nl - pos));
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->find("kind")->str_or(""), "decision");
+    EXPECT_EQ(line->find("t1")->num_or(0), 32);
+    EXPECT_EQ(line->find("t2")->num_or(0), 64);
+    EXPECT_EQ(line->find("num_nodes")->num_or(0), g.num_nodes);
+    if (line->find("switched")->boolean) {
+      saw_switch = true;
+      EXPECT_FALSE(line->find("prev_variant")->str_or("").empty());
+      EXPECT_NE(line->find("prev_variant")->str_or(""),
+                line->find("variant")->str_or(""));
+    }
+    ++lines;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(lines, sink->decisions());
+  EXPECT_TRUE(saw_switch);
+}
+
+TEST_F(TraceTest, SequenceNumbersAreMonotonic) {
+  struct SeqSink : trace::TraceSink {
+    std::vector<std::uint64_t> seqs;
+    void kernel(const trace::KernelEvent& ev) override { seqs.push_back(ev.seq); }
+    void transfer(const trace::TransferEvent& ev) override {
+      seqs.push_back(ev.seq);
+    }
+  };
+  auto* sink = static_cast<SeqSink*>(
+      trace::Tracer::instance().attach(std::make_unique<SeqSink>()));
+  simt::Device dev;
+  auto buf = dev.alloc<std::uint32_t>(256, "buf");
+  dev.fill(buf, 0u);
+  dev.write_scalar(buf, 0, 1u);
+  dev.fill(buf, 2u);
+  ASSERT_EQ(sink->seqs.size(), 3u);
+  for (std::size_t i = 1; i < sink->seqs.size(); ++i) {
+    EXPECT_EQ(sink->seqs[i], sink->seqs[i - 1] + 1);
+  }
+}
+
+}  // namespace

@@ -15,6 +15,8 @@
 // .txt (SNAP edge list), .agg (binary).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -28,6 +30,10 @@
 #include "runtime/tuner.h"
 #include "simt/exec_pool.h"
 #include "simt/profiler.h"
+#include "trace/chrome_trace.h"
+#include "trace/counters.h"
+#include "trace/jsonl_trace.h"
+#include "trace/trace_sink.h"
 
 namespace {
 
@@ -125,8 +131,12 @@ int cmd_sssp(const agg::Cli& cli) {
   }
   const auto source = static_cast<graph::NodeId>(
       cli.get_int("source", g.default_source()));
+  simt::Device dev;
+  std::optional<simt::Profiler> prof;
+  if (cli.get_bool("profile", false)) prof.emplace(dev);
   const auto out =
-      adaptive::sssp(g, source, parse_policy(cli.get("policy", "adaptive")));
+      adaptive::sssp(dev, g, source, parse_policy(cli.get("policy", "adaptive")));
+  if (prof) std::printf("%s", prof->report().c_str());
   std::uint64_t reached = 0;
   std::uint64_t total = 0;
   for (const auto d : out.dist) {
@@ -143,8 +153,12 @@ int cmd_sssp(const agg::Cli& cli) {
 
 int cmd_cc(const agg::Cli& cli) {
   const auto g = load_any(cli.positional()[1]);
-  const auto out = adaptive::cc(g, parse_policy(cli.get("policy", "adaptive")),
+  simt::Device dev;
+  std::optional<simt::Profiler> prof;
+  if (cli.get_bool("profile", false)) prof.emplace(dev);
+  const auto out = adaptive::cc(dev, g, parse_policy(cli.get("policy", "adaptive")),
                                 !cli.get_bool("no-symmetrize", false));
+  if (prof) std::printf("%s", prof->report().c_str());
   std::printf("%s weakly-connected components\n",
               agg::Table::fmt_int(out.num_components).c_str());
   print_metrics(out.metrics, out.cpu_wall_ms);
@@ -154,8 +168,12 @@ int cmd_cc(const agg::Cli& cli) {
 int cmd_pagerank(const agg::Cli& cli) {
   const auto g = load_any(cli.positional()[1]);
   const double damping = cli.get_double("damping", 0.85);
-  const auto out = adaptive::pagerank(g, damping,
+  simt::Device dev;
+  std::optional<simt::Profiler> prof;
+  if (cli.get_bool("profile", false)) prof.emplace(dev);
+  const auto out = adaptive::pagerank(dev, g, damping,
                                       parse_policy(cli.get("policy", "adaptive")));
+  if (prof) std::printf("%s", prof->report().c_str());
   std::vector<std::uint32_t> order(g.num_nodes());
   for (std::uint32_t v = 0; v < g.num_nodes(); ++v) order[v] = v;
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
@@ -177,8 +195,12 @@ int cmd_mst(const agg::Cli& cli) {
     std::printf("(unweighted input: assigning uniform weights 1..1000)\n");
     g.set_uniform_weights(1, 1000);
   }
-  const auto out = adaptive::mst(g, parse_policy(cli.get("policy", "adaptive")),
+  simt::Device dev;
+  std::optional<simt::Profiler> prof;
+  if (cli.get_bool("profile", false)) prof.emplace(dev);
+  const auto out = adaptive::mst(dev, g, parse_policy(cli.get("policy", "adaptive")),
                                  !cli.get_bool("no-symmetrize", false));
+  if (prof) std::printf("%s", prof->report().c_str());
   std::printf("minimum spanning forest: weight %llu, %s trees, %s edges\n",
               static_cast<unsigned long long>(out.total_weight),
               agg::Table::fmt_int(out.num_trees).c_str(),
@@ -265,6 +287,68 @@ int cmd_tune(const agg::Cli& cli) {
   return 0;
 }
 
+// Attaches the sink selected by --trace-out/--trace-format and enables the
+// counter registry for --metrics-out. Returns false on a bad format name.
+bool setup_tracing(const agg::Cli& cli) {
+  const std::string trace_out = cli.get("trace-out", "");
+  if (!trace_out.empty()) {
+    const std::string format = cli.get("trace-format", "chrome");
+    if (format == "chrome") {
+      const int lanes =
+          static_cast<int>(simt::DeviceProps::fermi_c2070().num_sms);
+      trace::Tracer::instance().attach(
+          std::make_unique<trace::ChromeTraceSink>(trace_out, lanes));
+    } else if (format == "jsonl") {
+      trace::Tracer::instance().attach(
+          std::make_unique<trace::JsonlDecisionSink>(trace_out));
+    } else {
+      std::fprintf(stderr,
+                   "unknown --trace-format '%s' (expect chrome|jsonl)\n",
+                   format.c_str());
+      return false;
+    }
+  }
+  if (cli.has("metrics-out")) {
+    trace::CounterRegistry::instance().set_enabled(true);
+  }
+  return true;
+}
+
+// Flushes trace files and writes the metrics JSON after the command ran.
+void finish_tracing(const agg::Cli& cli) {
+  trace::Tracer::instance().clear();
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream f(metrics_out, std::ios::binary | std::ios::trunc);
+    if (f) {
+      f << trace::CounterRegistry::instance().to_json() << '\n';
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    }
+  }
+}
+
+int dispatch(const agg::Cli& cli) {
+  const std::string cmd = cli.positional()[0];
+  auto need = [&](std::size_t n) {
+    if (cli.positional().size() < n + 1) {
+      std::fprintf(stderr, "%s: missing argument(s)\n", cmd.c_str());
+      std::exit(2);
+    }
+  };
+  if (cmd == "stats") { need(1); return cmd_stats(cli); }
+  if (cmd == "bfs") { need(1); return cmd_bfs(cli); }
+  if (cmd == "sssp") { need(1); return cmd_sssp(cli); }
+  if (cmd == "cc") { need(1); return cmd_cc(cli); }
+  if (cmd == "pagerank") { need(1); return cmd_pagerank(cli); }
+  if (cmd == "mst") { need(1); return cmd_mst(cli); }
+  if (cmd == "generate") { need(1); return cmd_generate(cli); }
+  if (cmd == "convert") { need(2); return cmd_convert(cli); }
+  if (cmd == "tune") { need(1); return cmd_tune(cli); }
+  std::fprintf(stderr, "unknown command '%s' (try --help)\n", cmd.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,27 +370,20 @@ int main(int argc, char** argv) {
         "  agg convert  <in> <out>\n"
         "  agg tune     <graph> [--algo=bfs|sssp]\n\n"
         "global flags:\n"
-        "  --sim-threads=N  host worker threads for the simulator's parallel\n"
-        "                   launch path (overrides SIMT_THREADS; default:\n"
-        "                   hardware concurrency; 1 = serial)\n");
+        "  --sim-threads=N       host worker threads for the simulator's\n"
+        "                        parallel launch path (overrides SIMT_THREADS;\n"
+        "                        default: hardware concurrency; 1 = serial)\n"
+        "  --profile             per-kernel profile table after bfs/sssp/cc/\n"
+        "                        pagerank/mst\n"
+        "  --trace-out=FILE      write a trace of the run; with chrome format\n"
+        "                        load the file in chrome://tracing or Perfetto\n"
+        "  --trace-format=F      chrome (kernel/transfer/iteration timeline,\n"
+        "                        default) | jsonl (adaptive decision log)\n"
+        "  --metrics-out=FILE    write the metrics-counter registry as JSON\n");
     return cli.has("help") ? 0 : 2;
   }
-  const std::string cmd = cli.positional()[0];
-  auto need = [&](std::size_t n) {
-    if (cli.positional().size() < n + 1) {
-      std::fprintf(stderr, "%s: missing argument(s)\n", cmd.c_str());
-      std::exit(2);
-    }
-  };
-  if (cmd == "stats") { need(1); return cmd_stats(cli); }
-  if (cmd == "bfs") { need(1); return cmd_bfs(cli); }
-  if (cmd == "sssp") { need(1); return cmd_sssp(cli); }
-  if (cmd == "cc") { need(1); return cmd_cc(cli); }
-  if (cmd == "pagerank") { need(1); return cmd_pagerank(cli); }
-  if (cmd == "mst") { need(1); return cmd_mst(cli); }
-  if (cmd == "generate") { need(1); return cmd_generate(cli); }
-  if (cmd == "convert") { need(2); return cmd_convert(cli); }
-  if (cmd == "tune") { need(1); return cmd_tune(cli); }
-  std::fprintf(stderr, "unknown command '%s' (try --help)\n", cmd.c_str());
-  return 2;
+  if (!setup_tracing(cli)) return 2;
+  const int rc = dispatch(cli);
+  finish_tracing(cli);
+  return rc;
 }
