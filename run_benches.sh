@@ -23,6 +23,10 @@ mkdir -p results
         "$b" --trace-out=results/TRACE_table4_adaptive.jsonl \
              --trace-format=jsonl \
              --metrics-out=results/METRICS_table4_adaptive.json
+      elif [ "$(basename "$b")" = ext_service ]; then
+        # Archive the serving-layer acceptance numbers (fused MS-BFS
+        # throughput, concurrency makespans) as a diffable artifact.
+        "$b" | tee results/BENCH_service.txt
       else
         "$b"
       fi

@@ -1,5 +1,6 @@
 #include "api/algorithms.h"
 
+#include "api/session.h"
 #include "cpu/bfs_serial.h"
 #include "cpu/cc_serial.h"
 #include "cpu/mst_serial.h"
@@ -13,10 +14,15 @@
 
 namespace adaptive {
 
-BfsOutput bfs(simt::Device& dev, const Graph& g, NodeId source,
+namespace detail {
+// Defined in session.cpp; shared symmetrize-policy resolution.
+const graph::Csr& resolve_symmetric_csr(const Graph& g, const Policy& policy);
+}  // namespace detail
+
+BfsResult bfs(simt::Device& dev, const Graph& g, NodeId source,
               const Policy& policy) {
   AGG_CHECK(source < g.num_nodes());
-  BfsOutput out;
+  BfsResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
       cpu::BfsResult r = cpu::bfs(g.csr(), source);
@@ -42,11 +48,11 @@ BfsOutput bfs(simt::Device& dev, const Graph& g, NodeId source,
   return out;
 }
 
-SsspOutput sssp(simt::Device& dev, const Graph& g, NodeId source,
+SsspResult sssp(simt::Device& dev, const Graph& g, NodeId source,
                 const Policy& policy) {
   AGG_CHECK(source < g.num_nodes());
   AGG_CHECK_MSG(g.is_weighted(), "call set_uniform_weights() or load weights first");
-  SsspOutput out;
+  SsspResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
       cpu::SsspResult r = cpu::dijkstra(g.csr(), source);
@@ -72,25 +78,19 @@ SsspOutput sssp(simt::Device& dev, const Graph& g, NodeId source,
   return out;
 }
 
-CcOutput cc(simt::Device& dev, const Graph& g, const Policy& policy,
-            bool symmetrize) {
-  CcOutput out;
-  const graph::Csr* csr = &g.csr();
-  graph::Csr symmetric;
-  if (symmetrize) {
-    symmetric = graph::symmetrize(g.csr());
-    csr = &symmetric;
-  }
+CcResult cc(simt::Device& dev, const Graph& g, const Policy& policy) {
+  CcResult out;
+  const graph::Csr& csr = detail::resolve_symmetric_csr(g, policy);
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
-      cpu::CcResult r = cpu::connected_components(*csr);
+      cpu::CcResult r = cpu::connected_components(csr);
       out.component = std::move(r.component);
       out.num_components = r.num_components;
       out.cpu_wall_ms = r.wall_ms;
       return out;
     }
     case Policy::Mode::fixed_variant: {
-      gg::GpuCcResult r = gg::run_cc(dev, *csr, policy.variant,
+      gg::GpuCcResult r = gg::run_cc(dev, csr, policy.variant,
                                      policy.options.engine);
       out.component = std::move(r.component);
       out.num_components = r.num_components;
@@ -98,7 +98,7 @@ CcOutput cc(simt::Device& dev, const Graph& g, const Policy& policy,
       return out;
     }
     case Policy::Mode::adaptive: {
-      gg::GpuCcResult r = rt::adaptive_cc(dev, *csr, policy.options);
+      gg::GpuCcResult r = rt::adaptive_cc(dev, csr, policy.options);
       out.component = std::move(r.component);
       out.num_components = r.num_components;
       out.metrics = std::move(r.metrics);
@@ -109,19 +109,13 @@ CcOutput cc(simt::Device& dev, const Graph& g, const Policy& policy,
   return out;
 }
 
-MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy,
-              bool symmetrize) {
+MstResult mst(simt::Device& dev, const Graph& g, const Policy& policy) {
   AGG_CHECK_MSG(g.is_weighted(), "MST requires edge weights");
-  MstOutput out;
-  const graph::Csr* csr = &g.csr();
-  graph::Csr symmetric;
-  if (symmetrize) {
-    symmetric = graph::symmetrize(g.csr());
-    csr = &symmetric;
-  }
+  MstResult out;
+  const graph::Csr& csr = detail::resolve_symmetric_csr(g, policy);
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
-      cpu::MstResult r = cpu::minimum_spanning_forest(*csr);
+      cpu::MstResult r = cpu::minimum_spanning_forest(csr);
       out.total_weight = r.total_weight;
       out.num_trees = r.num_trees;
       out.edges_in_forest = r.edges_in_forest;
@@ -129,7 +123,7 @@ MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy,
       return out;
     }
     case Policy::Mode::fixed_variant: {
-      gg::GpuMstResult r = gg::run_mst(dev, *csr, policy.variant,
+      gg::GpuMstResult r = gg::run_mst(dev, csr, policy.variant,
                                        policy.options.engine);
       out.total_weight = r.total_weight;
       out.num_trees = r.num_trees;
@@ -138,7 +132,7 @@ MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy,
       return out;
     }
     case Policy::Mode::adaptive: {
-      gg::GpuMstResult r = rt::adaptive_mst(dev, *csr, policy.options);
+      gg::GpuMstResult r = rt::adaptive_mst(dev, csr, policy.options);
       out.total_weight = r.total_weight;
       out.num_trees = r.num_trees;
       out.edges_in_forest = r.edges_in_forest;
@@ -150,14 +144,9 @@ MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy,
   return out;
 }
 
-MstOutput mst(const Graph& g, const Policy& policy, bool symmetrize) {
-  simt::Device dev;
-  return mst(dev, g, policy, symmetrize);
-}
-
-PageRankOutput pagerank(simt::Device& dev, const Graph& g, double damping,
+PageRankResult pagerank(simt::Device& dev, const Graph& g, double damping,
                         const Policy& policy) {
-  PageRankOutput out;
+  PageRankResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
       cpu::PageRankOptions po;
@@ -190,24 +179,26 @@ PageRankOutput pagerank(simt::Device& dev, const Graph& g, double damping,
   return out;
 }
 
-BfsOutput bfs(const Graph& g, NodeId source, const Policy& policy) {
-  simt::Device dev;
-  return bfs(dev, g, source, policy);
+// Device-less convenience overloads: route through the thread's default
+// Session so repeated calls share one device (api/session.h).
+BfsResult bfs(const Graph& g, NodeId source, const Policy& policy) {
+  return Session::default_session().bfs(g, source, policy);
 }
 
-PageRankOutput pagerank(const Graph& g, double damping, const Policy& policy) {
-  simt::Device dev;
-  return pagerank(dev, g, damping, policy);
+SsspResult sssp(const Graph& g, NodeId source, const Policy& policy) {
+  return Session::default_session().sssp(g, source, policy);
 }
 
-CcOutput cc(const Graph& g, const Policy& policy, bool symmetrize) {
-  simt::Device dev;
-  return cc(dev, g, policy, symmetrize);
+CcResult cc(const Graph& g, const Policy& policy) {
+  return Session::default_session().cc(g, policy);
 }
 
-SsspOutput sssp(const Graph& g, NodeId source, const Policy& policy) {
-  simt::Device dev;
-  return sssp(dev, g, source, policy);
+MstResult mst(const Graph& g, const Policy& policy) {
+  return Session::default_session().mst(g, policy);
+}
+
+PageRankResult pagerank(const Graph& g, double damping, const Policy& policy) {
+  return Session::default_session().pagerank(g, damping, policy);
 }
 
 }  // namespace adaptive

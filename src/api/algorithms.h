@@ -1,8 +1,12 @@
 // Algorithm entry points of the public API. Each call runs on a simulated
 // GPU device: either one you pass in (sharing a device across calls keeps a
-// cumulative clock and statistics) or a fresh default Tesla C2070.
+// cumulative clock and statistics), or — for the device-less convenience
+// overloads — the calling thread's default Session (api/session.h), which
+// keeps one device alive across calls. Prefer constructing a Session
+// explicitly: it also keeps graphs resident on the device between queries.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "api/graph_api.h"
@@ -13,11 +17,19 @@
 
 namespace adaptive {
 
+// Symmetrization policy for algorithms that require both arcs of every edge
+// (cc, mst). auto_detect checks the graph (cached on adaptive::Graph) and
+// symmetrizes only when needed; always/never skip the check and force the
+// respective behavior. With `never`, the caller asserts the graph already
+// stores both arcs — the result is otherwise arc-direction components.
+enum class Symmetrize { auto_detect, always, never };
+
 struct Policy {
   enum class Mode { adaptive, fixed_variant, cpu_serial };
   Mode mode = Mode::adaptive;
   gg::Variant variant{};          // used by fixed_variant
   rt::AdaptiveOptions options{};  // used by adaptive
+  Symmetrize symmetrize = Symmetrize::auto_detect;  // cc()/mst() only
 
   static Policy adapt(rt::AdaptiveOptions opts = {}) {
     Policy p;
@@ -40,66 +52,89 @@ struct Policy {
     p.mode = Mode::cpu_serial;
     return p;
   }
+  Policy with_symmetrize(Symmetrize s) const {
+    Policy p = *this;
+    p.symmetrize = s;
+    return p;
+  }
 };
 
-struct BfsOutput {
+enum class Status {
+  ok,
+  rejected,   // serving layer: admission control refused the query
+  timed_out,  // serving layer: deadline exceeded (payload dropped)
+  error,      // see Result::error
+};
+
+// Every algorithm returns its payload plus this uniform envelope. The
+// payload's fields are inherited, so result.level / result.dist /
+// result.component read exactly as they did with the per-algorithm *Output
+// structs (kept as aliases below for source compatibility).
+template <typename Payload>
+struct Result : Payload {
+  gg::TraversalMetrics metrics;  // empty for cpu_serial runs
+  double cpu_wall_ms = 0;        // only for cpu_serial runs
+  Status status = Status::ok;
+  std::string error;             // non-empty iff status == Status::error
+
+  bool ok() const { return status == Status::ok; }
+};
+
+struct BfsPayload {
   std::vector<std::uint32_t> level;  // kUnreachable where not reached
-  gg::TraversalMetrics metrics;      // empty for cpu_serial runs
-  double cpu_wall_ms = 0;            // only for cpu_serial runs
 };
-
-struct SsspOutput {
+struct SsspPayload {
   std::vector<std::uint32_t> dist;
-  gg::TraversalMetrics metrics;
-  double cpu_wall_ms = 0;
 };
-
-struct CcOutput {
+struct CcPayload {
   std::vector<std::uint32_t> component;  // smallest node id per component
   std::uint32_t num_components = 0;
-  gg::TraversalMetrics metrics;
-  double cpu_wall_ms = 0;
 };
-
-BfsOutput bfs(simt::Device& dev, const Graph& g, NodeId source,
-              const Policy& policy = {});
-SsspOutput sssp(simt::Device& dev, const Graph& g, NodeId source,
-                const Policy& policy = {});
-// Weakly-connected components. `symmetrize` adds reverse arcs first (needed
-// for directed graphs); pass false when the graph already stores both arcs.
-CcOutput cc(simt::Device& dev, const Graph& g, const Policy& policy = {},
-            bool symmetrize = true);
-
-struct MstOutput {
+struct MstPayload {
   std::uint64_t total_weight = 0;
   std::uint32_t num_trees = 0;
   std::uint32_t edges_in_forest = 0;
-  gg::TraversalMetrics metrics;
-  double cpu_wall_ms = 0;
 };
-
-// Minimum spanning forest (Boruvka on the device, Kruskal on the CPU
-// policy). `symmetrize` as in cc().
-MstOutput mst(simt::Device& dev, const Graph& g, const Policy& policy = {},
-              bool symmetrize = true);
-
-struct PageRankOutput {
+struct PageRankPayload {
   std::vector<double> rank;
-  gg::TraversalMetrics metrics;
-  double cpu_wall_ms = 0;
 };
 
-// PageRank with damping/tolerance knobs; dangling mass absorbed (see
+using BfsResult = Result<BfsPayload>;
+using SsspResult = Result<SsspPayload>;
+using CcResult = Result<CcPayload>;
+using MstResult = Result<MstPayload>;
+using PageRankResult = Result<PageRankPayload>;
+
+// Pre-Result<> spelling; prefer the *Result names in new code.
+using BfsOutput = BfsResult;
+using SsspOutput = SsspResult;
+using CcOutput = CcResult;
+using MstOutput = MstResult;
+using PageRankOutput = PageRankResult;
+
+BfsResult bfs(simt::Device& dev, const Graph& g, NodeId source,
+              const Policy& policy = {});
+SsspResult sssp(simt::Device& dev, const Graph& g, NodeId source,
+                const Policy& policy = {});
+// Weakly-connected components; policy.symmetrize controls reverse-arc
+// closure (auto_detect by default — directed graphs are symmetrized first).
+CcResult cc(simt::Device& dev, const Graph& g, const Policy& policy = {});
+// Minimum spanning forest (Boruvka on the device, Kruskal on the CPU
+// policy); policy.symmetrize as in cc().
+MstResult mst(simt::Device& dev, const Graph& g, const Policy& policy = {});
+// PageRank with damping knob; dangling mass absorbed (see
 // cpu/pagerank_serial.h for the exact fixpoint).
-PageRankOutput pagerank(simt::Device& dev, const Graph& g,
+PageRankResult pagerank(simt::Device& dev, const Graph& g,
                         double damping = 0.85, const Policy& policy = {});
 
-// Convenience overloads running on a fresh default device.
-BfsOutput bfs(const Graph& g, NodeId source, const Policy& policy = {});
-SsspOutput sssp(const Graph& g, NodeId source, const Policy& policy = {});
-CcOutput cc(const Graph& g, const Policy& policy = {}, bool symmetrize = true);
-PageRankOutput pagerank(const Graph& g, double damping = 0.85,
+// Device-less convenience overloads: thin wrappers over the calling thread's
+// default Session (api/session.h). The session's device — and therefore its
+// modeled clock and cumulative stats — persists across calls on the thread.
+BfsResult bfs(const Graph& g, NodeId source, const Policy& policy = {});
+SsspResult sssp(const Graph& g, NodeId source, const Policy& policy = {});
+CcResult cc(const Graph& g, const Policy& policy = {});
+PageRankResult pagerank(const Graph& g, double damping = 0.85,
                         const Policy& policy = {});
-MstOutput mst(const Graph& g, const Policy& policy = {}, bool symmetrize = true);
+MstResult mst(const Graph& g, const Policy& policy = {});
 
 }  // namespace adaptive

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/io.h"
+#include "graph/transform.h"
 
 namespace adaptive {
 
@@ -38,10 +39,24 @@ const graph::GraphStats& Graph::stats() const {
   return *stats_;
 }
 
+bool Graph::is_symmetric() const {
+  if (!symmetric_) symmetric_ = graph::is_symmetric(csr_);
+  return *symmetric_;
+}
+
+const graph::Csr& Graph::symmetrized() const {
+  if (is_symmetric()) return csr_;
+  if (!symmetrized_) symmetrized_ = graph::symmetrize(csr_);
+  return *symmetrized_;
+}
+
 void Graph::set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
                                 std::uint64_t seed) {
   graph::assign_uniform_weights(csr_, lo, hi, seed);
+  ++version_;
   stats_.reset();
+  symmetric_.reset();
+  symmetrized_.reset();
 }
 
 void Graph::save_binary(const std::string& path) const {

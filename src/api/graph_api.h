@@ -42,8 +42,18 @@ class Graph {
   const graph::Csr& csr() const { return csr_; }
   // Computed lazily on first use and cached.
   const graph::GraphStats& stats() const;
+  // True iff every arc has its reverse arc stored (the precondition of
+  // cc()/mst()); computed lazily and cached alongside stats().
+  bool is_symmetric() const;
+  // The symmetrized CSR (both arcs per edge), computed lazily on first use
+  // and cached — repeated cc()/mst() calls pay the O(m) closure once. When
+  // the graph is already symmetric this returns csr() itself (no copy).
+  const graph::Csr& symmetrized() const;
   // A deterministic well-connected source (max outdegree).
   NodeId default_source() const { return graph::suggest_source(csr_); }
+  // Bumped on every mutation; lets device-resident uploads (Session, the
+  // serving layer) detect a stale registration.
+  std::uint64_t version() const { return version_; }
 
   // ---- mutation ----
   // Assigns pseudo-random integer edge weights (needed before sssp()).
@@ -55,7 +65,10 @@ class Graph {
  private:
   explicit Graph(graph::Csr csr);
   graph::Csr csr_;
+  std::uint64_t version_ = 0;
   mutable std::optional<graph::GraphStats> stats_;
+  mutable std::optional<bool> symmetric_;
+  mutable std::optional<graph::Csr> symmetrized_;  // empty when symmetric
 };
 
 }  // namespace adaptive

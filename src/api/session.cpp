@@ -1,0 +1,186 @@
+#include "api/session.h"
+
+namespace adaptive {
+namespace {
+
+// Shared by Session and the free cc()/mst() in algorithms.cpp: resolve the
+// CSR an arc-closure algorithm should run on under `policy.symmetrize`.
+const graph::Csr& resolve_symmetric(const Graph& g, const Policy& policy) {
+  switch (policy.symmetrize) {
+    case Symmetrize::never:
+      return g.csr();
+    case Symmetrize::always:
+      return g.symmetrized();
+    case Symmetrize::auto_detect:
+      return g.is_symmetric() ? g.csr() : g.symmetrized();
+  }
+  AGG_CHECK(false);
+  return g.csr();
+}
+
+}  // namespace
+
+namespace detail {
+const graph::Csr& resolve_symmetric_csr(const Graph& g, const Policy& policy) {
+  return resolve_symmetric(g, policy);
+}
+}  // namespace detail
+
+Session::Session(const simt::DeviceProps& props, simt::TimingModel tm)
+    : dev_(props, tm) {}
+
+Session::~Session() {
+  for (auto& [key, pin] : pins_) pin.dg.release(dev_);
+}
+
+Session::Pin* Session::ensure_fresh(const graph::Csr* key, const graph::Csr& csr,
+                                    bool with_weights, std::uint64_t version) {
+  auto it = pins_.find(key);
+  if (it == pins_.end()) return nullptr;
+  Pin& pin = it->second;
+  if (pin.version != version || (with_weights && !pin.with_weights)) {
+    // Stale upload (graph mutated since registration) or weights appeared:
+    // refresh transparently, charged to the current query's stream.
+    pin.dg.release(dev_);
+    pin.dg = gg::DeviceGraph::upload(dev_, csr, with_weights || csr.has_weights());
+    pin.with_weights = with_weights || csr.has_weights();
+    pin.version = version;
+  }
+  return &pin;
+}
+
+void Session::register_graph(const Graph& g) {
+  const graph::Csr* key = &g.csr();
+  if (ensure_fresh(key, g.csr(), g.is_weighted(), g.version())) return;
+  Pin pin;
+  pin.dg = gg::DeviceGraph::upload(dev_, g.csr(), g.is_weighted());
+  pin.with_weights = g.is_weighted();
+  pin.version = g.version();
+  pins_.emplace(key, std::move(pin));
+}
+
+void Session::unregister_graph(const Graph& g) {
+  auto drop = [this](const graph::Csr* key) {
+    auto it = pins_.find(key);
+    if (it != pins_.end()) {
+      it->second.dg.release(dev_);
+      pins_.erase(it);
+    }
+  };
+  // Drop any derived (symmetrized-CSR) pin first, then the base pin.
+  auto d = derived_.find(&g.csr());
+  if (d != derived_.end()) {
+    drop(d->second);
+    derived_.erase(d);
+  }
+  drop(&g.csr());
+}
+
+bool Session::is_registered(const Graph& g) const {
+  return pins_.count(&g.csr()) > 0;
+}
+
+BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
+  if (policy.mode != Policy::Mode::cpu_serial) {
+    if (Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version())) {
+      AGG_CHECK(source < g.num_nodes());
+      BfsResult out;
+      gg::GpuBfsResult r =
+          policy.mode == Policy::Mode::fixed_variant
+              ? gg::run_bfs(dev_, pin->dg, g.csr(), source,
+                            gg::fixed_variant(policy.variant),
+                            policy.options.engine)
+              : rt::adaptive_bfs(dev_, pin->dg, g.csr(), source, policy.options);
+      out.level = std::move(r.level);
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  return adaptive::bfs(dev_, g, source, policy);
+}
+
+SsspResult Session::sssp(const Graph& g, NodeId source, const Policy& policy) {
+  if (policy.mode != Policy::Mode::cpu_serial) {
+    if (Pin* pin = ensure_fresh(&g.csr(), g.csr(), true, g.version())) {
+      AGG_CHECK(source < g.num_nodes());
+      AGG_CHECK_MSG(g.is_weighted(),
+                    "call set_uniform_weights() or load weights first");
+      SsspResult out;
+      gg::GpuSsspResult r =
+          policy.mode == Policy::Mode::fixed_variant
+              ? gg::run_sssp(dev_, pin->dg, g.csr(), source,
+                             gg::fixed_variant(policy.variant),
+                             policy.options.engine)
+              : rt::adaptive_sssp(dev_, pin->dg, g.csr(), source, policy.options);
+      out.dist = std::move(r.dist);
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  return adaptive::sssp(dev_, g, source, policy);
+}
+
+CcResult Session::cc(const Graph& g, const Policy& policy) {
+  if (policy.mode != Policy::Mode::cpu_serial && is_registered(g)) {
+    const graph::Csr& target = resolve_symmetric(g, policy);
+    Pin* pin = ensure_fresh(&target, target, false, g.version());
+    if (!pin && &target != &g.csr()) {
+      // First cc() on a registered directed graph: keep the symmetrized CSR
+      // resident too, so repeat queries skip the upload.
+      Pin derived;
+      derived.dg = gg::DeviceGraph::upload(dev_, target, false);
+      derived.with_weights = false;
+      derived.version = g.version();
+      pin = &pins_.emplace(&target, std::move(derived)).first->second;
+      derived_[&g.csr()] = &target;
+    }
+    if (pin) {
+      CcResult out;
+      gg::GpuCcResult r =
+          policy.mode == Policy::Mode::fixed_variant
+              ? gg::run_cc(dev_, pin->dg, target,
+                           gg::fixed_variant(policy.variant),
+                           policy.options.engine)
+              : rt::adaptive_cc(dev_, pin->dg, target, policy.options);
+      out.component = std::move(r.component);
+      out.num_components = r.num_components;
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  return adaptive::cc(dev_, g, policy);
+}
+
+MstResult Session::mst(const Graph& g, const Policy& policy) {
+  return adaptive::mst(dev_, g, policy);
+}
+
+PageRankResult Session::pagerank(const Graph& g, double damping,
+                                 const Policy& policy) {
+  if (policy.mode != Policy::Mode::cpu_serial) {
+    if (Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version())) {
+      PageRankResult out;
+      gg::PageRankOptions po;
+      po.damping = damping;
+      gg::GpuPageRankResult r;
+      if (policy.mode == Policy::Mode::fixed_variant) {
+        po.engine = policy.options.engine;
+        r = gg::run_pagerank(dev_, pin->dg, g.csr(),
+                             gg::fixed_variant(policy.variant), po);
+      } else {
+        r = rt::adaptive_pagerank(dev_, pin->dg, g.csr(), po, policy.options);
+      }
+      out.rank.assign(r.rank.begin(), r.rank.end());
+      out.metrics = std::move(r.metrics);
+      return out;
+    }
+  }
+  return adaptive::pagerank(dev_, g, damping, policy);
+}
+
+Session& Session::default_session() {
+  thread_local Session session;
+  return session;
+}
+
+}  // namespace adaptive

@@ -1,0 +1,87 @@
+// adaptive::Session — the primary entry point of the public API: one
+// simulated device shared across calls, with graphs kept device-resident
+// between queries.
+//
+//   adaptive::Session session;
+//   adaptive::Graph g = adaptive::Graph::from_edges(4, {{0,1},{1,2},{2,3}});
+//   session.register_graph(g);          // uploaded once
+//   auto a = session.bfs(g, 0);         // no upload: graph is resident
+//   auto b = session.sssp(g, 0);        // same resident CSR
+//
+// Registration is keyed by the graph's CSR storage address, so the Graph
+// object must stay alive (and un-moved) while registered; mutating a
+// registered graph (set_uniform_weights) is detected via Graph::version()
+// and triggers a transparent re-upload on the next query. Queries on
+// unregistered graphs work too — they upload/release per call, exactly like
+// the free functions in api/algorithms.h.
+//
+// The device-less convenience overloads (adaptive::bfs(g, s) etc.) are thin
+// wrappers over Session::default_session(), a thread-local instance — so
+// legacy call sites now share one device per thread instead of constructing
+// a fresh one per call.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "api/algorithms.h"
+#include "gpu_graph/device_graph.h"
+#include "simt/device.h"
+
+namespace adaptive {
+
+class Session {
+ public:
+  explicit Session(const simt::DeviceProps& props = simt::DeviceProps::fermi_c2070(),
+                   simt::TimingModel tm = simt::TimingModel::fermi_default());
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  simt::Device& device() { return dev_; }
+  const simt::Device& device() const { return dev_; }
+
+  // ---- residency ----
+  // Uploads the graph's CSR (with weights when present) and keeps it
+  // resident until unregister_graph() or destruction. Idempotent.
+  void register_graph(const Graph& g);
+  void unregister_graph(const Graph& g);
+  bool is_registered(const Graph& g) const;
+  std::size_t num_registered() const { return pins_.size(); }
+
+  // ---- queries ----
+  // Same semantics as the free functions (api/algorithms.h); registered
+  // graphs skip the per-query upload, so metrics cover the traversal only.
+  BfsResult bfs(const Graph& g, NodeId source, const Policy& policy = {});
+  SsspResult sssp(const Graph& g, NodeId source, const Policy& policy = {});
+  // cc on a registered directed graph lazily uploads (and keeps) the
+  // symmetrized CSR as well, so repeat queries stay resident.
+  CcResult cc(const Graph& g, const Policy& policy = {});
+  // MST contracts the graph in place on the device, so it has no resident
+  // form; registration does not change its cost.
+  MstResult mst(const Graph& g, const Policy& policy = {});
+  PageRankResult pagerank(const Graph& g, double damping = 0.85,
+                          const Policy& policy = {});
+
+  // The calling thread's default session (constructed on first use).
+  static Session& default_session();
+
+ private:
+  struct Pin {
+    gg::DeviceGraph dg;
+    bool with_weights = false;
+    std::uint64_t version = 0;
+  };
+
+  // Returns the pin for `key` (uploading or refreshing a stale one) when
+  // `key` belongs to a registered graph; nullptr when unregistered.
+  Pin* ensure_fresh(const graph::Csr* key, const graph::Csr& csr,
+                    bool with_weights, std::uint64_t version);
+
+  simt::Device dev_;
+  std::map<const graph::Csr*, Pin> pins_;
+  // base-graph key -> key of its lazily pinned symmetrized CSR (cc()).
+  std::map<const graph::Csr*, const graph::Csr*> derived_;
+};
+
+}  // namespace adaptive

@@ -146,14 +146,31 @@ std::uint32_t derive_block_tpb(double avg_outdegree) {
 
 GpuBfsResult run_bfs(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
                      const VariantSelector& selector, const EngineOptions& opts) {
+  // Fig. 8 lines 1-3: create data structures, initialize, transfer. The
+  // one-shot upload (and its PCIe cost) belongs to this query, so it is
+  // folded into the reported totals on top of the resident-form metrics.
+  simt::StreamGuard sguard(dev, opts.stream);
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
+  GpuBfsResult result = run_bfs(dev, dg, g, source, selector, opts);
+  dg.release(dev);
+  result.metrics.total_us = dev.now_us() - t_begin;
+  result.metrics.transfer_us =
+      dev.stats().transfer_time_us - stats_before.transfer_time_us;
+  return result;
+}
+
+GpuBfsResult run_bfs(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
+                     graph::NodeId source, const VariantSelector& selector,
+                     const EngineOptions& opts) {
   AGG_CHECK(source < g.num_nodes);
+  simt::StreamGuard sguard(dev, opts.stream);
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
 
   GpuBfsResult result;
 
-  // Fig. 8 lines 1-3: create data structures, initialize, transfer.
-  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
   const std::uint32_t block_tpb =
       opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
   auto level = dev.alloc<std::uint32_t>(g.num_nodes, "bfs.level");
@@ -290,7 +307,6 @@ GpuBfsResult run_bfs(simt::Device& dev, const graph::Csr& g, graph::NodeId sourc
 
   ws.release(dev);
   dev.free(level);
-  dg.release(dev);
 
   fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
                          dev.now_us());

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "gpu_graph/device_graph.h"
 #include "gpu_graph/engine_common.h"
 #include "gpu_graph/metrics.h"
 #include "graph/csr.h"
@@ -25,6 +26,14 @@ struct GpuBfsResult {
 // check (Fig. 4 line 8 vs 8'); both are level-synchronous.
 GpuBfsResult run_bfs(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
                      const VariantSelector& selector, const EngineOptions& opts = {});
+
+// Resident-graph form: the caller owns an already-uploaded DeviceGraph (the
+// serving layer keeps registered graphs resident across queries), so the
+// metrics cover only the traversal itself — no upload is charged. `dg` must
+// have been uploaded from `g` on `dev`.
+GpuBfsResult run_bfs(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
+                     graph::NodeId source, const VariantSelector& selector,
+                     const EngineOptions& opts = {});
 
 inline GpuBfsResult run_bfs(simt::Device& dev, const graph::Csr& g,
                             graph::NodeId source, Variant variant,

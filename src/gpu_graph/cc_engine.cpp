@@ -128,11 +128,25 @@ void launch_cc(simt::Device& dev, CcState& st, Variant v,
 
 GpuCcResult run_cc(simt::Device& dev, const graph::Csr& g,
                    const VariantSelector& selector, const EngineOptions& opts) {
+  simt::StreamGuard sguard(dev, opts.stream);
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
+  GpuCcResult result = run_cc(dev, dg, g, selector, opts);
+  dg.release(dev);
+  result.metrics.total_us = dev.now_us() - t_begin;
+  result.metrics.transfer_us =
+      dev.stats().transfer_time_us - stats_before.transfer_time_us;
+  return result;
+}
+
+GpuCcResult run_cc(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
+                   const VariantSelector& selector, const EngineOptions& opts) {
+  simt::StreamGuard sguard(dev, opts.stream);
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
 
   GpuCcResult result;
-  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
   const std::uint32_t block_tpb =
       opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
 
@@ -227,7 +241,6 @@ GpuCcResult run_cc(simt::Device& dev, const graph::Csr& g,
 
   ws.release(dev);
   dev.free(label);
-  dg.release(dev);
   fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
                          dev.now_us());
   return result;

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "gpu_graph/device_graph.h"
 #include "gpu_graph/engine_common.h"
 #include "gpu_graph/metrics.h"
 #include "graph/csr.h"
@@ -33,6 +34,11 @@ struct GpuCcResult {
 // Ordering is ignored (label propagation is inherently unordered); mapping
 // and representation follow the selector per decision point.
 GpuCcResult run_cc(simt::Device& dev, const graph::Csr& g,
+                   const VariantSelector& selector, const EngineOptions& opts = {});
+
+// Resident-graph form (see bfs_engine.h): `dg` must have been uploaded from
+// `g` (a symmetric graph); no upload is charged to the metrics.
+GpuCcResult run_cc(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
                    const VariantSelector& selector, const EngineOptions& opts = {});
 
 inline GpuCcResult run_cc(simt::Device& dev, const graph::Csr& g, Variant variant,

@@ -8,10 +8,16 @@
 #include <functional>
 
 #include "gpu_graph/variant.h"
+#include "simt/stream.h"
 
 namespace gg {
 
 struct EngineOptions {
+  // Stream context (simt/stream.h): every kernel, transfer and host phase of
+  // the traversal is issued on this stream, so traversals on different
+  // streams of one device interleave on the modeled clock. 0 = the default
+  // serialized stream (legacy single-query behavior).
+  simt::StreamId stream = 0;
   // Paper Sec. VII.A: "the best results can be achieved with 192 threads per
   // block" for thread-based mapping.
   std::uint32_t thread_tpb = 192;

@@ -219,6 +219,9 @@ void charge_aux_kernel(simt::Device& dev, const char* name, std::uint64_t thread
 GpuMstResult run_mst(simt::Device& dev, const graph::Csr& g,
                      const VariantSelector& selector, const EngineOptions& opts) {
   AGG_CHECK_MSG(g.has_weights(), "MST requires edge weights");
+  // MST contracts the graph as it runs, so there is no resident-graph form;
+  // the stream context still applies (the whole run issues on opts.stream).
+  simt::StreamGuard sguard(dev, opts.stream);
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
 

@@ -155,13 +155,29 @@ void launch_pr(simt::Device& dev, PrState& st, Variant v,
 GpuPageRankResult run_pagerank(simt::Device& dev, const graph::Csr& g,
                                const VariantSelector& selector,
                                const PageRankOptions& opts) {
+  simt::StreamGuard sguard(dev, opts.engine.stream);
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
+  GpuPageRankResult result = run_pagerank(dev, dg, g, selector, opts);
+  dg.release(dev);
+  result.metrics.total_us = dev.now_us() - t_begin;
+  result.metrics.transfer_us =
+      dev.stats().transfer_time_us - stats_before.transfer_time_us;
+  return result;
+}
+
+GpuPageRankResult run_pagerank(simt::Device& dev, DeviceGraph& dg,
+                               const graph::Csr& g,
+                               const VariantSelector& selector,
+                               const PageRankOptions& opts) {
   AGG_CHECK(g.num_nodes > 0);
   AGG_CHECK(opts.damping > 0.0 && opts.damping < 1.0);
+  simt::StreamGuard sguard(dev, opts.engine.stream);
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
 
   GpuPageRankResult result;
-  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/false);
   const std::uint32_t block_tpb = opts.engine.block_tpb
                                       ? opts.engine.block_tpb
                                       : derive_block_tpb(dg.avg_outdegree);
@@ -265,7 +281,6 @@ GpuPageRankResult run_pagerank(simt::Device& dev, const graph::Csr& g,
   ws.release(dev);
   dev.free(rank);
   dev.free(residual);
-  dg.release(dev);
   fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
                          dev.now_us());
   return result;

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "gpu_graph/device_graph.h"
 #include "gpu_graph/engine_common.h"
 #include "gpu_graph/metrics.h"
 #include "graph/csr.h"
@@ -30,6 +31,13 @@ struct GpuPageRankResult {
 };
 
 GpuPageRankResult run_pagerank(simt::Device& dev, const graph::Csr& g,
+                               const VariantSelector& selector,
+                               const PageRankOptions& opts = {});
+
+// Resident-graph form (see bfs_engine.h): `dg` must have been uploaded from
+// `g`; no upload is charged to the metrics.
+GpuPageRankResult run_pagerank(simt::Device& dev, DeviceGraph& dg,
+                               const graph::Csr& g,
                                const VariantSelector& selector,
                                const PageRankOptions& opts = {});
 

@@ -133,15 +133,14 @@ void launch_unordered(simt::Device& dev, UnorderedState& st, Variant v,
   }
 }
 
-GpuSsspResult run_unordered(simt::Device& dev, const graph::Csr& g,
-                            graph::NodeId source, Variant variant,
-                            const VariantSelector& selector,
+GpuSsspResult run_unordered(simt::Device& dev, DeviceGraph& dg,
+                            const graph::Csr& g, graph::NodeId source,
+                            Variant variant, const VariantSelector& selector,
                             const EngineOptions& opts) {
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
 
   GpuSsspResult result;
-  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/true);
   const std::uint32_t block_tpb =
       opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
   auto dist = dev.alloc<std::uint32_t>(g.num_nodes, "sssp.dist");
@@ -266,7 +265,6 @@ GpuSsspResult run_unordered(simt::Device& dev, const graph::Csr& g,
 
   ws.release(dev);
   dev.free(dist);
-  dg.release(dev);
   fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
                          dev.now_us());
   return result;
@@ -324,14 +322,13 @@ void settle_element(simt::ThreadCtx& ctx, OrderedState& st, std::uint32_t id,
   }
 }
 
-GpuSsspResult run_ordered(simt::Device& dev, const graph::Csr& g,
-                          graph::NodeId source, Variant variant,
-                          const EngineOptions& opts) {
+GpuSsspResult run_ordered(simt::Device& dev, DeviceGraph& dg,
+                          const graph::Csr& g, graph::NodeId source,
+                          Variant variant, const EngineOptions& opts) {
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
 
   GpuSsspResult result;
-  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/true);
   const std::uint32_t block_tpb =
       opts.block_tpb ? opts.block_tpb : derive_block_tpb(dg.avg_outdegree);
   auto dist = dev.alloc<std::uint32_t>(g.num_nodes, "osssp.dist");
@@ -460,7 +457,6 @@ GpuSsspResult run_ordered(simt::Device& dev, const graph::Csr& g,
   dev.free(cand);
   dev.free(cand_tail);
   dev.free(fqueue);
-  dg.release(dev);
   fill_from_device_delta(result.metrics, stats_before, dev.stats(), t_begin,
                          dev.now_us());
   return result;
@@ -470,30 +466,37 @@ GpuSsspResult run_ordered(simt::Device& dev, const graph::Csr& g,
 
 GpuSsspResult run_sssp(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
                        const VariantSelector& selector, const EngineOptions& opts) {
+  AGG_CHECK_MSG(g.has_weights(), "SSSP requires edge weights");
+  simt::StreamGuard sguard(dev, opts.stream);
+  const simt::DeviceStats stats_before = dev.stats();
+  const double t_begin = dev.now_us();
+  DeviceGraph dg = DeviceGraph::upload(dev, g, /*with_weights=*/true);
+  GpuSsspResult result = run_sssp(dev, dg, g, source, selector, opts);
+  dg.release(dev);
+  result.metrics.total_us = dev.now_us() - t_begin;
+  result.metrics.transfer_us =
+      dev.stats().transfer_time_us - stats_before.transfer_time_us;
+  return result;
+}
+
+GpuSsspResult run_sssp(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
+                       graph::NodeId source, const VariantSelector& selector,
+                       const EngineOptions& opts) {
   AGG_CHECK(source < g.num_nodes);
   AGG_CHECK_MSG(g.has_weights(), "SSSP requires edge weights");
+  simt::StreamGuard sguard(dev, opts.stream);
   SelectorInput sel;
   sel.ws_size = 1;
-  sel.avg_outdegree = g.num_nodes > 0 ? static_cast<double>(g.num_edges()) /
-                                            static_cast<double>(g.num_nodes)
-                                      : 0;
-  {
-    double sq = 0.0;
-    for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
-      const double d = static_cast<double>(g.degree(v)) - sel.avg_outdegree;
-      sq += d * d;
-    }
-    sel.outdeg_stddev =
-        g.num_nodes > 0 ? std::sqrt(sq / static_cast<double>(g.num_nodes)) : 0.0;
-  }
+  sel.avg_outdegree = dg.avg_outdegree;
+  sel.outdeg_stddev = dg.outdeg_stddev;
   sel.num_nodes = g.num_nodes;
   const Variant initial = selector(sel);
   if (initial.ordering == Ordering::ordered) {
     AGG_CHECK_MSG(initial.mapping != Mapping::warp,
                   "warp-centric mapping is an unordered-only extension");
-    return run_ordered(dev, g, source, initial, opts);
+    return run_ordered(dev, dg, g, source, initial, opts);
   }
-  return run_unordered(dev, g, source, initial, selector, opts);
+  return run_unordered(dev, dg, g, source, initial, selector, opts);
 }
 
 }  // namespace gg

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "gpu_graph/device_graph.h"
 #include "gpu_graph/engine_common.h"
 #include "gpu_graph/metrics.h"
 #include "graph/csr.h"
@@ -29,6 +30,12 @@ struct GpuSsspResult {
 // point (unordered only — the ordered engine honors the initial variant).
 GpuSsspResult run_sssp(simt::Device& dev, const graph::Csr& g, graph::NodeId source,
                        const VariantSelector& selector, const EngineOptions& opts = {});
+
+// Resident-graph form (see bfs_engine.h): `dg` must have been uploaded from
+// `g` with weights; no upload is charged to the metrics.
+GpuSsspResult run_sssp(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
+                       graph::NodeId source, const VariantSelector& selector,
+                       const EngineOptions& opts = {});
 
 inline GpuSsspResult run_sssp(simt::Device& dev, const graph::Csr& g,
                               graph::NodeId source, Variant variant,

@@ -117,4 +117,54 @@ gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, const graph::Csr& g,
       options);
 }
 
+gg::GpuBfsResult adaptive_bfs(simt::Device& dev, gg::DeviceGraph& dg,
+                              const graph::Csr& g, graph::NodeId source,
+                              const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_bfs(dev, dg, g, source,
+                     make_adaptive_selector(t, eo.monitor_interval, "bfs"), eo);
+}
+
+gg::GpuSsspResult adaptive_sssp(simt::Device& dev, gg::DeviceGraph& dg,
+                                const graph::Csr& g, graph::NodeId source,
+                                const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_sssp(dev, dg, g, source,
+                      make_adaptive_selector(t, eo.monitor_interval, "sssp"), eo);
+}
+
+gg::GpuCcResult adaptive_cc(simt::Device& dev, gg::DeviceGraph& dg,
+                            const graph::Csr& g, const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_cc(dev, dg, g,
+                    make_adaptive_selector(t, eo.monitor_interval, "cc"), eo);
+}
+
+gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, gg::DeviceGraph& dg,
+                                        const graph::Csr& g,
+                                        const gg::PageRankOptions& pr,
+                                        const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  gg::PageRankOptions options = pr;
+  options.engine = engine_opts(opts);
+  return gg::run_pagerank(
+      dev, dg, g,
+      make_adaptive_selector(t, options.engine.monitor_interval, "pagerank"),
+      options);
+}
+
+gg::GpuBfsMultiResult adaptive_bfs_multi(simt::Device& dev, gg::DeviceGraph& dg,
+                                         const graph::Csr& g,
+                                         std::span<const graph::NodeId> sources,
+                                         const AdaptiveOptions& opts) {
+  const Thresholds t = effective_thresholds(dev, opts);
+  const gg::EngineOptions eo = engine_opts(opts);
+  return gg::run_bfs_multi(
+      dev, dg, g, sources,
+      make_adaptive_selector(t, eo.monitor_interval, "msbfs"), eo);
+}
+
 }  // namespace rt

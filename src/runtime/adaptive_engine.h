@@ -6,6 +6,7 @@
 #pragma once
 
 #include "gpu_graph/bfs_engine.h"
+#include "gpu_graph/bfs_multi_engine.h"
 #include "gpu_graph/cc_engine.h"
 #include "gpu_graph/mst_engine.h"
 #include "gpu_graph/pagerank_engine.h"
@@ -56,5 +57,29 @@ gg::GpuMstResult adaptive_mst(simt::Device& dev, const graph::Csr& g,
 gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, const graph::Csr& g,
                                         const gg::PageRankOptions& pr = {},
                                         const AdaptiveOptions& opts = {});
+
+// Resident-graph forms (see bfs_engine.h): the caller keeps `dg` uploaded
+// across queries (Session / the serving layer), so no upload is charged and
+// opts.engine.stream places the whole traversal on a simt stream.
+gg::GpuBfsResult adaptive_bfs(simt::Device& dev, gg::DeviceGraph& dg,
+                              const graph::Csr& g, graph::NodeId source,
+                              const AdaptiveOptions& opts = {});
+gg::GpuSsspResult adaptive_sssp(simt::Device& dev, gg::DeviceGraph& dg,
+                                const graph::Csr& g, graph::NodeId source,
+                                const AdaptiveOptions& opts = {});
+gg::GpuCcResult adaptive_cc(simt::Device& dev, gg::DeviceGraph& dg,
+                            const graph::Csr& g,
+                            const AdaptiveOptions& opts = {});
+gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, gg::DeviceGraph& dg,
+                                        const graph::Csr& g,
+                                        const gg::PageRankOptions& pr = {},
+                                        const AdaptiveOptions& opts = {});
+
+// Batched multi-source BFS with adaptive selection over the fused traversal
+// (the serving layer's coalesced same-graph BFS path).
+gg::GpuBfsMultiResult adaptive_bfs_multi(simt::Device& dev, gg::DeviceGraph& dg,
+                                         const graph::Csr& g,
+                                         std::span<const graph::NodeId> sources,
+                                         const AdaptiveOptions& opts = {});
 
 }  // namespace rt

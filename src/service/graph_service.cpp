@@ -1,0 +1,392 @@
+#include "service/graph_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/csr.h"
+#include "runtime/adaptive_engine.h"
+#include "trace/counters.h"
+#include "trace/trace_sink.h"
+
+namespace svc {
+
+namespace {
+
+void bump(const char* name, double d = 1) {
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) reg.counter(name).add(d);
+}
+
+void gauge_max(const char* name, double v) {
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) reg.gauge(name).set_max(v);
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::bfs:
+      return "bfs";
+    case Algo::sssp:
+      return "sssp";
+    case Algo::cc:
+      return "cc";
+    case Algo::pagerank:
+      return "pagerank";
+  }
+  return "?";
+}
+
+GraphService::GraphService(ServiceOptions opts, const simt::DeviceProps& props,
+                           simt::TimingModel tm)
+    : opts_(opts), dev_(props, tm) {
+  if (opts_.concurrency == 0) opts_.concurrency = 1;
+  opts_.max_batch = std::clamp<std::uint32_t>(opts_.max_batch, 1,
+                                              gg::kMaxBatchedSources);
+  streams_.reserve(opts_.concurrency);
+  for (std::uint32_t i = 0; i < opts_.concurrency; ++i) {
+    streams_.push_back(dev_.create_stream("svc" + std::to_string(i)));
+  }
+}
+
+GraphService::~GraphService() {
+  for (auto& entry : graphs_) {
+    entry->dg.release(dev_);
+    if (entry->sym_dg) entry->sym_dg->release(dev_);
+  }
+}
+
+GraphId GraphService::add_graph(adaptive::Graph g) {
+  auto entry = std::make_unique<GraphEntry>(std::move(g));
+  entry->dg = gg::DeviceGraph::upload(dev_, entry->g.csr(),
+                                      entry->g.is_weighted());
+  graphs_.push_back(std::move(entry));
+  return static_cast<GraphId>(graphs_.size() - 1);
+}
+
+const adaptive::Graph& GraphService::graph(GraphId id) const {
+  AGG_CHECK(id < graphs_.size());
+  return graphs_[id]->g;
+}
+
+std::optional<QueryId> GraphService::submit(const QueryRequest& req) {
+  AGG_CHECK(req.graph < graphs_.size());
+  if (queue_.size() >= opts_.queue_capacity) {
+    QueryOutcome out;
+    out.id = next_id_++;
+    out.algo = req.algo;
+    out.graph = req.graph;
+    out.status = adaptive::Status::rejected;
+    out.error = "queue full";
+    out.submit_us = dev_.makespan_us();
+    done_.push_back(std::move(out));
+    bump("svc.rejected");
+    return std::nullopt;
+  }
+  PendingQuery q;
+  q.id = next_id_++;
+  q.req = req;
+  q.submit_us = dev_.makespan_us();
+  queue_.push_back(std::move(q));
+  bump("svc.queued");
+  return queue_.back().id;
+}
+
+simt::StreamId GraphService::pick_stream() const {
+  simt::StreamId best = streams_.front();
+  double best_ready = dev_.stream_ready_us(best);
+  for (std::size_t i = 1; i < streams_.size(); ++i) {
+    const double r = dev_.stream_ready_us(streams_[i]);
+    if (r < best_ready) {
+      best_ready = r;
+      best = streams_[i];
+    }
+  }
+  return best;
+}
+
+bool GraphService::batchable(const PendingQuery& a, const PendingQuery& b) const {
+  return a.req.algo == Algo::bfs && b.req.algo == Algo::bfs &&
+         a.req.graph == b.req.graph &&
+         a.req.policy.mode == b.req.policy.mode &&
+         a.req.policy.mode != adaptive::Policy::Mode::cpu_serial &&
+         a.req.policy.variant == b.req.policy.variant;
+}
+
+QueryOutcome GraphService::make_outcome(const PendingQuery& q) const {
+  QueryOutcome out;
+  out.id = q.id;
+  out.algo = q.req.algo;
+  out.graph = q.req.graph;
+  out.submit_us = q.submit_us;
+  return out;
+}
+
+std::vector<QueryOutcome> GraphService::drain() {
+  while (!queue_.empty()) {
+    if (opts_.batch_bfs && queue_.front().req.algo == Algo::bfs &&
+        queue_.front().req.policy.mode != adaptive::Policy::Mode::cpu_serial) {
+      // Collect the longest batchable FIFO prefix (dispatch order preserved).
+      std::vector<PendingQuery> batch;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      while (!queue_.empty() && batch.size() < opts_.max_batch &&
+             batchable(batch.front(), queue_.front())) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.size() > 1) {
+        execute_bfs_batch(batch);
+      } else {
+        execute_single(batch.front());
+      }
+    } else {
+      PendingQuery q = std::move(queue_.front());
+      queue_.pop_front();
+      execute_single(q);
+    }
+  }
+  return std::exchange(done_, {});
+}
+
+void GraphService::finish_outcome(QueryOutcome& out, simt::StreamId stream,
+                                  double start) {
+  out.stream = stream;
+  out.start_us = start;
+  out.finish_us = dev_.stream_ready_us(stream);
+  // Modeled concurrency at this point in the schedule: streams still busy
+  // past this query's start.
+  std::uint32_t inflight = 0;
+  for (const simt::StreamId s : streams_) {
+    if (dev_.stream_ready_us(s) > start) ++inflight;
+  }
+  gauge_max("svc.running", inflight);
+}
+
+void GraphService::execute_single(const PendingQuery& q) {
+  QueryOutcome out = make_outcome(q);
+  GraphEntry& entry = *graphs_[q.req.graph];
+  const adaptive::Graph& g = entry.g;
+
+  if (q.req.policy.mode == adaptive::Policy::Mode::cpu_serial) {
+    out.status = adaptive::Status::error;
+    out.error = "cpu_serial policies are not servable (wall-clock timing)";
+    done_.push_back(std::move(out));
+    bump("svc.completed");
+    return;
+  }
+  if ((q.req.algo == Algo::sssp) && !g.is_weighted()) {
+    out.status = adaptive::Status::error;
+    out.error = "sssp requires edge weights";
+    done_.push_back(std::move(out));
+    bump("svc.completed");
+    return;
+  }
+  if ((q.req.algo == Algo::bfs || q.req.algo == Algo::sssp) &&
+      q.req.source >= g.num_nodes()) {
+    out.status = adaptive::Status::error;
+    out.error = "source out of range";
+    done_.push_back(std::move(out));
+    bump("svc.completed");
+    return;
+  }
+
+  const simt::StreamId stream = pick_stream();
+  const double ready = dev_.stream_ready_us(stream);
+  if (q.req.deadline_us > 0 && ready > q.submit_us + q.req.deadline_us) {
+    // The earliest slot already misses the deadline: time out without
+    // spending device time.
+    out.status = adaptive::Status::timed_out;
+    out.stream = stream;
+    out.start_us = ready;
+    done_.push_back(std::move(out));
+    bump("svc.timeout");
+    return;
+  }
+
+  adaptive::Policy policy = q.req.policy;
+  policy.options.engine.stream = stream;
+  const bool fixed = policy.mode == adaptive::Policy::Mode::fixed_variant;
+
+  switch (q.req.algo) {
+    case Algo::bfs: {
+      adaptive::BfsResult r;
+      gg::GpuBfsResult gr =
+          fixed ? gg::run_bfs(dev_, entry.dg, g.csr(), q.req.source,
+                              gg::fixed_variant(policy.variant),
+                              policy.options.engine)
+                : rt::adaptive_bfs(dev_, entry.dg, g.csr(), q.req.source,
+                                   policy.options);
+      r.level = std::move(gr.level);
+      r.metrics = std::move(gr.metrics);
+      out.payload = std::move(r);
+      break;
+    }
+    case Algo::sssp: {
+      adaptive::SsspResult r;
+      gg::GpuSsspResult gr =
+          fixed ? gg::run_sssp(dev_, entry.dg, g.csr(), q.req.source,
+                               gg::fixed_variant(policy.variant),
+                               policy.options.engine)
+                : rt::adaptive_sssp(dev_, entry.dg, g.csr(), q.req.source,
+                                    policy.options);
+      r.dist = std::move(gr.dist);
+      r.metrics = std::move(gr.metrics);
+      out.payload = std::move(r);
+      break;
+    }
+    case Algo::cc: {
+      // cc needs both arcs; lazily upload the symmetrized closure once.
+      const bool needs_sym =
+          policy.symmetrize == adaptive::Symmetrize::always ||
+          (policy.symmetrize == adaptive::Symmetrize::auto_detect &&
+           !g.is_symmetric());
+      gg::DeviceGraph* dg = &entry.dg;
+      const graph::Csr* csr = &g.csr();
+      if (needs_sym) {
+        csr = &g.symmetrized();
+        if (!entry.sym_dg) {
+          simt::StreamGuard sguard(dev_, stream);
+          entry.sym_dg = gg::DeviceGraph::upload(dev_, *csr,
+                                                 /*with_weights=*/false);
+        }
+        dg = &*entry.sym_dg;
+      }
+      adaptive::CcResult r;
+      gg::GpuCcResult gr =
+          fixed ? gg::run_cc(dev_, *dg, *csr, gg::fixed_variant(policy.variant),
+                             policy.options.engine)
+                : rt::adaptive_cc(dev_, *dg, *csr, policy.options);
+      r.component = std::move(gr.component);
+      r.num_components = gr.num_components;
+      r.metrics = std::move(gr.metrics);
+      out.payload = std::move(r);
+      break;
+    }
+    case Algo::pagerank: {
+      gg::PageRankOptions po;
+      po.damping = q.req.damping;
+      po.engine = policy.options.engine;
+      adaptive::PageRankResult r;
+      gg::GpuPageRankResult gr =
+          fixed ? gg::run_pagerank(dev_, entry.dg, g.csr(),
+                                   gg::fixed_variant(policy.variant), po)
+                : rt::adaptive_pagerank(dev_, entry.dg, g.csr(), po,
+                                        policy.options);
+      r.rank.assign(gr.rank.begin(), gr.rank.end());
+      r.metrics = std::move(gr.metrics);
+      out.payload = std::move(r);
+      break;
+    }
+  }
+
+  finish_outcome(out, stream, ready);
+  if (q.req.deadline_us > 0 &&
+      out.finish_us > q.submit_us + q.req.deadline_us) {
+    out.status = adaptive::Status::timed_out;
+    out.payload = std::monostate{};
+    bump("svc.timeout");
+  } else {
+    bump("svc.completed");
+  }
+  done_.push_back(std::move(out));
+}
+
+void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
+  GraphEntry& entry = *graphs_[batch.front().req.graph];
+  const adaptive::Graph& g = entry.g;
+  const std::uint32_t k = static_cast<std::uint32_t>(batch.size());
+
+  // Per-query validity check first; invalid members are answered with an
+  // error outcome and excluded from the fused launch.
+  std::vector<const PendingQuery*> live;
+  std::vector<QueryOutcome> outs;
+  outs.reserve(k);
+  for (const PendingQuery& q : batch) {
+    QueryOutcome out = make_outcome(q);
+    if (q.req.source >= g.num_nodes()) {
+      out.status = adaptive::Status::error;
+      out.error = "source out of range";
+      bump("svc.completed");
+    } else {
+      live.push_back(&q);
+    }
+    outs.push_back(std::move(out));
+  }
+
+  if (!live.empty()) {
+    const simt::StreamId stream = pick_stream();
+    const double ready = dev_.stream_ready_us(stream);
+
+    // Pre-dispatch deadline check, as in the single-query path: members whose
+    // earliest slot already misses their deadline drop out of the launch.
+    for (std::size_t i = 0, s = 0; i < outs.size(); ++i) {
+      QueryOutcome& out = outs[i];
+      if (out.status != adaptive::Status::ok) continue;
+      const PendingQuery& q = *live[s];
+      if (q.req.deadline_us > 0 && ready > q.submit_us + q.req.deadline_us) {
+        out.status = adaptive::Status::timed_out;
+        out.stream = stream;
+        out.start_us = ready;
+        bump("svc.timeout");
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(s));
+      } else {
+        ++s;
+      }
+    }
+    if (live.empty()) {
+      for (QueryOutcome& out : outs) done_.push_back(std::move(out));
+      return;
+    }
+
+    std::vector<graph::NodeId> sources;
+    sources.reserve(live.size());
+    for (const PendingQuery* q : live) sources.push_back(q->req.source);
+
+    adaptive::Policy policy = live.front()->req.policy;
+    policy.options.engine.stream = stream;
+    gg::GpuBfsMultiResult mr =
+        policy.mode == adaptive::Policy::Mode::fixed_variant
+            ? gg::run_bfs_multi(dev_, entry.dg, g.csr(), sources,
+                                gg::fixed_variant(policy.variant),
+                                policy.options.engine)
+            : rt::adaptive_bfs_multi(dev_, entry.dg, g.csr(), sources,
+                                     policy.options);
+
+    // Scatter the fused result back to the member queries: query s's level
+    // of node v lives at levels[v*k + s].
+    const std::uint32_t nk = mr.num_sources;
+    const std::size_t n = g.num_nodes();
+    std::uint32_t s = 0;
+    for (QueryOutcome& out : outs) {
+      if (out.status != adaptive::Status::ok) continue;
+      const PendingQuery& q = *live[s];
+      adaptive::BfsResult r;
+      r.level.resize(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        r.level[v] = mr.levels[v * nk + s];
+      }
+      r.metrics = mr.metrics;  // shared batch metrics, one copy per member
+      out.payload = std::move(r);
+      out.batch_size = nk;
+      finish_outcome(out, stream, ready);
+      if (q.req.deadline_us > 0 &&
+          out.finish_us > q.submit_us + q.req.deadline_us) {
+        out.status = adaptive::Status::timed_out;
+        out.payload = std::monostate{};
+        bump("svc.timeout");
+      } else {
+        bump("svc.completed");
+      }
+      ++s;
+    }
+    bump("svc.batches");
+    bump("svc.batched", static_cast<double>(nk));
+  }
+
+  for (QueryOutcome& out : outs) done_.push_back(std::move(out));
+}
+
+}  // namespace svc

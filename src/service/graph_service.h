@@ -1,0 +1,171 @@
+// GraphService — the concurrent multi-query serving layer.
+//
+// The service owns one simulated device, keeps registered graphs resident
+// (uploaded once at add_graph), and executes submitted queries on a pool of
+// simt streams so their kernels and transfers interleave on the modeled
+// clock: compute backfills gaps in the single compute engine (kernel-
+// granularity round-robin across streams) and H<->D transfers overlap
+// compute on the copy engine (simt/stream.h).
+//
+// Scheduling: FIFO with a configurable concurrency limit (= stream count).
+// Each dispatch picks the stream that frees up earliest, so up to
+// `concurrency` queries are in flight on the modeled timeline at once.
+// Admission control rejects submissions when the pending queue is full;
+// per-query deadlines (modeled microseconds from submission) time out
+// queries either before dispatch (the chosen stream cannot start in time) or
+// after execution (the traversal finished past the deadline).
+//
+// Batching: consecutive same-graph BFS queries with the same policy are
+// coalesced — up to 32 at a time — into one fused multi-source traversal
+// (gpu_graph/bfs_multi_engine.h), which answers the whole batch in a single
+// pass over the shared frontier structure. Only a *contiguous* FIFO prefix
+// is batched, so dispatch order remains FIFO.
+//
+// Determinism: execution is entirely host-driven on modeled time (queries
+// with Policy::Mode::cpu_serial are refused — they report wall-clock time),
+// so outcomes, svc.* counters and traces are byte-identical at any
+// --sim-threads value.
+//
+// Observability: per-stream Chrome-trace lanes come from the stream tags the
+// device stamps on every event; the service additionally maintains the
+// svc.queued / svc.running / svc.completed / svc.rejected / svc.timeout /
+// svc.batched / svc.batches counters in the trace::CounterRegistry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/algorithms.h"
+#include "api/graph_api.h"
+#include "gpu_graph/device_graph.h"
+#include "simt/device.h"
+
+namespace svc {
+
+using GraphId = std::uint32_t;
+using QueryId = std::uint64_t;
+
+enum class Algo { bfs, sssp, cc, pagerank };
+const char* algo_name(Algo a);
+
+struct QueryRequest {
+  Algo algo = Algo::bfs;
+  GraphId graph = 0;
+  graph::NodeId source = 0;   // bfs / sssp
+  double damping = 0.85;      // pagerank
+  // adaptive (default) or fixed_variant; cpu_serial queries fail (their
+  // timing is host wall-clock, which would break service determinism).
+  adaptive::Policy policy{};
+  // Modeled-time budget from submission; 0 = none. A query whose stream
+  // cannot start it in time is timed out without running; one that finishes
+  // past the deadline is timed out after the fact (payload dropped).
+  double deadline_us = 0;
+};
+
+using Payload = std::variant<std::monostate, adaptive::BfsResult,
+                             adaptive::SsspResult, adaptive::CcResult,
+                             adaptive::PageRankResult>;
+
+struct QueryOutcome {
+  QueryId id = 0;
+  Algo algo = Algo::bfs;
+  GraphId graph = 0;
+  adaptive::Status status = adaptive::Status::ok;
+  std::string error;             // set when status == error
+  simt::StreamId stream = 0;     // stream it ran on; 0 = never dispatched
+  double submit_us = 0;          // modeled time of submission
+  double start_us = 0;           // stream time when dispatched
+  double finish_us = 0;          // stream time when complete
+  std::uint32_t batch_size = 1;  // > 1: answered by a fused MS-BFS launch
+  Payload payload;
+
+  bool ok() const { return status == adaptive::Status::ok; }
+  const adaptive::BfsResult& bfs() const {
+    return std::get<adaptive::BfsResult>(payload);
+  }
+  const adaptive::SsspResult& sssp() const {
+    return std::get<adaptive::SsspResult>(payload);
+  }
+  const adaptive::CcResult& cc() const {
+    return std::get<adaptive::CcResult>(payload);
+  }
+  const adaptive::PageRankResult& pagerank() const {
+    return std::get<adaptive::PageRankResult>(payload);
+  }
+};
+
+struct ServiceOptions {
+  std::uint32_t concurrency = 4;    // in-flight query slots (simt streams)
+  std::size_t queue_capacity = 64;  // pending submissions before rejection
+  bool batch_bfs = true;            // fuse same-graph BFS prefixes
+  std::uint32_t max_batch = 32;     // <= gg::kMaxBatchedSources
+};
+
+class GraphService {
+ public:
+  explicit GraphService(
+      ServiceOptions opts = {},
+      const simt::DeviceProps& props = simt::DeviceProps::fermi_c2070(),
+      simt::TimingModel tm = simt::TimingModel::fermi_default());
+  ~GraphService();
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  // Takes ownership and uploads the CSR once; all queries against the
+  // returned id run on the resident copy (no per-query upload).
+  GraphId add_graph(adaptive::Graph g);
+  const adaptive::Graph& graph(GraphId id) const;
+  std::size_t num_graphs() const { return graphs_.size(); }
+
+  simt::Device& device() { return dev_; }
+  const ServiceOptions& options() const { return opts_; }
+
+  // Admission: enqueues and returns the query id, or std::nullopt when the
+  // pending queue is full (a rejected outcome is still recorded for drain()).
+  std::optional<QueryId> submit(const QueryRequest& req);
+
+  // Runs every pending query to completion (FIFO dispatch, batching, stream
+  // placement) and returns all outcomes produced since the last drain —
+  // including immediate rejections — in dispatch/record order.
+  std::vector<QueryOutcome> drain();
+
+  std::size_t pending() const { return queue_.size(); }
+  // End of all issued work: the modeled makespan of the schedule so far.
+  double makespan_us() const { return dev_.makespan_us(); }
+
+ private:
+  struct PendingQuery {
+    QueryId id = 0;
+    QueryRequest req;
+    double submit_us = 0;
+  };
+  struct GraphEntry {
+    adaptive::Graph g;
+    gg::DeviceGraph dg;
+    // Lazily uploaded symmetrized CSR for cc() on directed graphs.
+    std::optional<gg::DeviceGraph> sym_dg;
+    GraphEntry(adaptive::Graph graph) : g(std::move(graph)) {}
+  };
+
+  simt::StreamId pick_stream() const;  // earliest-ready stream, lowest id wins
+  bool batchable(const PendingQuery& a, const PendingQuery& b) const;
+  void execute_single(const PendingQuery& q);
+  void execute_bfs_batch(const std::vector<PendingQuery>& batch);
+  QueryOutcome make_outcome(const PendingQuery& q) const;
+  void finish_outcome(QueryOutcome& out, simt::StreamId stream, double start);
+
+  ServiceOptions opts_;
+  simt::Device dev_;
+  std::vector<simt::StreamId> streams_;
+  std::vector<std::unique_ptr<GraphEntry>> graphs_;
+  std::deque<PendingQuery> queue_;
+  std::vector<QueryOutcome> done_;
+  QueryId next_id_ = 1;
+};
+
+}  // namespace svc

@@ -1,10 +1,33 @@
 #include "simt/device.h"
 
+#include <algorithm>
+
 #include "trace/counters.h"
 
 namespace simt {
 
 static_assert(kWarpSize == 32);
+
+StreamId Device::create_stream(std::string name) {
+  const StreamId id = num_streams();
+  StreamState st;
+  st.name = name.empty() ? "stream " + std::to_string(id) : std::move(name);
+  streams_.push_back(std::move(st));
+  return id;
+}
+
+const std::string& Device::stream_name(StreamId s) const {
+  AGG_CHECK(s >= 1 && s < num_streams());
+  return streams_[s - 1].name;
+}
+
+double Device::makespan_us() const {
+  double t = clock_us_;
+  for (const StreamState& st : streams_) t = std::max(t, st.ready_us);
+  t = std::max(t, compute_engine_.busy_until());
+  t = std::max(t, copy_engine_.busy_until());
+  return t;
+}
 
 // Cold continuations of the trace::active() branches in device.h: publish the
 // event to the Tracer and bump the counter registry. Kept out of line so the
@@ -12,7 +35,7 @@ static_assert(kWarpSize == 32);
 
 void Device::trace_kernel(const KernelStats& ks, double start_us) {
   auto& tracer = trace::Tracer::instance();
-  tracer.set_time_us(clock_us_);
+  tracer.set_time_us(now_us());
   if (tracer.has_sinks()) {
     trace::KernelEvent ev;
     ev.name = ks.name;
@@ -24,6 +47,7 @@ void Device::trace_kernel(const KernelStats& ks, double start_us) {
     ev.transactions = ks.transactions;
     ev.atomics = ks.atomics;
     ev.simd_efficiency = ks.simd_efficiency();
+    ev.stream = current_;
     tracer.kernel(ev);
   }
   auto& reg = trace::CounterRegistry::instance();
@@ -34,20 +58,21 @@ void Device::trace_kernel(const KernelStats& ks, double start_us) {
     reg.counter("simt.atomics").add(ks.atomics);
     reg.counter("simt.warps_executed")
         .add(static_cast<double>(ks.warps_executed));
-    reg.gauge("simt.clock_us").set_max(clock_us_);
+    reg.gauge("simt.clock_us").set_max(now_us());
   }
 }
 
 void Device::trace_transfer(std::uint64_t bytes, bool to_device, double dur_us,
                             double start_us) {
   auto& tracer = trace::Tracer::instance();
-  tracer.set_time_us(clock_us_);
+  tracer.set_time_us(now_us());
   if (tracer.has_sinks()) {
     trace::TransferEvent ev;
     ev.start_us = start_us;
     ev.dur_us = dur_us;
     ev.bytes = bytes;
     ev.to_device = to_device;
+    ev.stream = current_;
     tracer.transfer(ev);
   }
   auto& reg = trace::CounterRegistry::instance();
@@ -56,24 +81,25 @@ void Device::trace_transfer(std::uint64_t bytes, bool to_device, double dur_us,
     reg.counter("simt.transfer_time_us").add(dur_us);
     reg.counter(to_device ? "simt.bytes_h2d" : "simt.bytes_d2h")
         .add(static_cast<double>(bytes));
-    reg.gauge("simt.clock_us").set_max(clock_us_);
+    reg.gauge("simt.clock_us").set_max(now_us());
   }
 }
 
 void Device::trace_host(double dur_us, double start_us) {
   auto& tracer = trace::Tracer::instance();
-  tracer.set_time_us(clock_us_);
+  tracer.set_time_us(now_us());
   if (tracer.has_sinks()) {
     trace::HostEvent ev;
     ev.name = "host.compute";
     ev.start_us = start_us;
     ev.dur_us = dur_us;
+    ev.stream = current_;
     tracer.host(ev);
   }
   auto& reg = trace::CounterRegistry::instance();
   if (reg.enabled()) {
     reg.counter("simt.host_time_us").add(dur_us);
-    reg.gauge("simt.clock_us").set_max(clock_us_);
+    reg.gauge("simt.clock_us").set_max(now_us());
   }
 }
 

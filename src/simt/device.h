@@ -13,6 +13,7 @@
 #include "simt/device_props.h"
 #include "simt/kernel.h"
 #include "simt/memory.h"
+#include "simt/stream.h"
 #include "simt/timing_model.h"
 #include "simt/warp_trace.h"
 #include "trace/trace_sink.h"
@@ -108,9 +109,47 @@ class Device {
     account_kernel(estimate_uniform_kernel(props_, tm_, "fill", buf.size(), 256, cost));
   }
 
+  // ---- streams (see stream.h for the interleaving model) ----
+  // Creates an in-order operation queue whose ops interleave with other
+  // streams' on the modeled clock. The returned id stays valid for the
+  // device's lifetime. Stream 0 (always present) is the legacy serialized
+  // default stream.
+  StreamId create_stream(std::string name = "");
+  std::uint32_t num_streams() const {
+    return 1 + static_cast<std::uint32_t>(streams_.size());
+  }
+  const std::string& stream_name(StreamId s) const;
+
+  // Completion time of the stream's last op (modeled us).
+  double stream_ready_us(StreamId s) const {
+    AGG_CHECK(s < num_streams());
+    return s == 0 ? clock_us_ : streams_[s - 1].ready_us;
+  }
+  // End of all issued work across streams and engines: the makespan of a
+  // multi-stream schedule.
+  double makespan_us() const;
+
+  // Ops issued while a stream is current are accounted on that stream's
+  // timeline; use StreamGuard for scoped selection.
+  void set_current_stream(StreamId s) {
+    AGG_CHECK(s < num_streams());
+    current_ = s;
+  }
+  StreamId current_stream() const { return current_; }
+
   // ---- clock & accounting ----
-  double now_us() const { return clock_us_; }
-  void reset_clock() { clock_us_ = 0; }
+  // The current stream's notion of time: completion of its last op. For the
+  // default stream this is the legacy device clock.
+  double now_us() const {
+    return current_ == 0 ? clock_us_ : streams_[current_ - 1].ready_us;
+  }
+  void reset_clock() {
+    clock_us_ = 0;
+    current_ = 0;
+    streams_.clear();
+    compute_engine_.clear();
+    copy_engine_.clear();
+  }
   void reset_stats() { stats_ = DeviceStats{}; }
   const DeviceStats& stats() const { return stats_; }
 
@@ -122,8 +161,7 @@ class Device {
 
   void account_kernel(const KernelStats& ks) {
     if (observer_) observer_(ks);
-    const double start_us = clock_us_;
-    clock_us_ += ks.time_us;
+    const double start_us = begin_op(compute_engine_, ks.time_us);
     ++stats_.kernels_launched;
     stats_.kernel_time_us += ks.time_us;
     stats_.issue_cycles += ks.issue_cycles;
@@ -137,9 +175,17 @@ class Device {
   }
 
   // Host-side compute on the application timeline (hybrid CPU/GPU phases).
+  // Occupies neither device engine: it only extends the issuing stream.
   void account_host_compute(double us) {
-    const double start_us = clock_us_;
-    clock_us_ += us;
+    double start_us;
+    if (current_ == 0) {
+      start_us = clock_us_;
+      clock_us_ += us;
+    } else {
+      StreamState& st = streams_[current_ - 1];
+      start_us = st.ready_us;
+      st.ready_us += us;
+    }
     stats_.host_time_us += us;
     if (trace::active()) trace_host(us, start_us);
   }
@@ -147,8 +193,7 @@ class Device {
   void account_transfer(std::uint64_t bytes, bool to_device) {
     const double t =
         tm_.transfer_latency_us + static_cast<double>(bytes) / (props_.pcie_gbps * 1e3);
-    const double start_us = clock_us_;
-    clock_us_ += t;
+    const double start_us = begin_op(copy_engine_, t);
     ++stats_.transfers;
     stats_.transfer_time_us += t;
     (to_device ? stats_.bytes_h2d : stats_.bytes_d2h) += bytes;
@@ -156,6 +201,28 @@ class Device {
   }
 
  private:
+  struct StreamState {
+    std::string name;
+    double ready_us = 0;
+  };
+
+  // Places an op of duration `dur_us` on `engine` honoring the current
+  // stream's ordering; returns the modeled start time. Default stream: the
+  // op starts at the device clock and advances it (legacy semantics), while
+  // still occupying the engine so stream ops cannot backfill underneath.
+  double begin_op(EngineTimeline& engine, double dur_us) {
+    if (current_ == 0) {
+      const double start = clock_us_;
+      clock_us_ += dur_us;
+      engine.mark(start, clock_us_);
+      return start;
+    }
+    StreamState& st = streams_[current_ - 1];
+    const double start = engine.place(st.ready_us, dur_us);
+    st.ready_us = start + dur_us;
+    return start;
+  }
+
   // Cold paths of the trace::active() branches above (device.cpp): publish
   // the event to the Tracer and bump the counter registry.
   void trace_kernel(const KernelStats& ks, double start_us);
@@ -169,6 +236,25 @@ class Device {
   DeviceStats stats_;
   KernelObserver observer_;
   double clock_us_ = 0;
+  StreamId current_ = 0;
+  std::vector<StreamState> streams_;
+  EngineTimeline compute_engine_;
+  EngineTimeline copy_engine_;
+};
+
+// Scoped stream selection: ops accounted while the guard lives go to `s`.
+class StreamGuard {
+ public:
+  StreamGuard(Device& dev, StreamId s) : dev_(dev), prev_(dev.current_stream()) {
+    dev_.set_current_stream(s);
+  }
+  ~StreamGuard() { dev_.set_current_stream(prev_); }
+  StreamGuard(const StreamGuard&) = delete;
+  StreamGuard& operator=(const StreamGuard&) = delete;
+
+ private:
+  Device& dev_;
+  StreamId prev_;
 };
 
 }  // namespace simt

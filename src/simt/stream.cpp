@@ -1,0 +1,45 @@
+#include "simt/stream.h"
+
+#include <algorithm>
+
+namespace simt {
+
+double EngineTimeline::place(double t0, double dur) {
+  if (dur <= 0) return t0;
+  double t = t0;
+  for (const Interval& iv : busy_) {
+    if (iv.end <= t) continue;       // entirely in the past of the cursor
+    if (iv.start >= t + dur) break;  // gap before this interval fits
+    t = iv.end;                      // collide: try right after it
+  }
+  insert(t, t + dur);
+  return t;
+}
+
+void EngineTimeline::mark(double start, double end) {
+  if (end <= start) return;
+  insert(start, end);
+}
+
+void EngineTimeline::insert(double start, double end) {
+  // Find the first interval whose end reaches our start; everything that
+  // overlaps or touches [start, end) is merged into one interval.
+  auto first = std::lower_bound(
+      busy_.begin(), busy_.end(), start,
+      [](const Interval& iv, double s) { return iv.end < s; });
+  auto last = first;
+  while (last != busy_.end() && last->start <= end) {
+    start = std::min(start, last->start);
+    end = std::max(end, last->end);
+    ++last;
+  }
+  if (first == last) {
+    busy_.insert(first, Interval{start, end});
+  } else {
+    first->start = start;
+    first->end = end;
+    busy_.erase(first + 1, last);
+  }
+}
+
+}  // namespace simt

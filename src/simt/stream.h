@@ -1,0 +1,62 @@
+// Simulated streams (cf. CUDA streams): independent in-order operation
+// queues whose work interleaves on the modeled clock.
+//
+// Model (see DESIGN.md, "Serving layer"):
+//
+//  * The device owns two engine timelines — a *compute engine* (the SMs) and
+//    a *copy engine* (the PCIe DMA unit). A kernel occupies the compute
+//    engine for its modeled duration; a transfer occupies the copy engine.
+//    Kernels from different streams therefore time-share the SMs at kernel
+//    granularity (round-robin through the backfill scheduler below) while
+//    transfers overlap compute — the two overlap sources a real device with
+//    one copy engine offers.
+//  * Operations within one stream are totally ordered: an op starts no
+//    earlier than the completion of the stream's previous op.
+//  * Engine occupancy uses *backfill*: an op is placed into the earliest
+//    idle gap of its engine at or after the stream's ready time. Placement
+//    depends only on the (deterministic, host-sequential) issue order, never
+//    on host threads, so modeled timelines are identical for any
+//    --sim-threads value.
+//  * StreamId 0 is the default stream and keeps the legacy fully-serialized
+//    semantics: every op starts at the device clock and advances it. Code
+//    that never creates a stream behaves bit-identically to before streams
+//    existed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simt {
+
+// 0 = default stream (legacy serialized clock); 1.. = created streams.
+using StreamId = std::uint32_t;
+
+// Busy-interval timeline of one device engine. Intervals are kept sorted,
+// disjoint and merged-when-touching, so back-to-back placements collapse and
+// the vector stays short.
+class EngineTimeline {
+ public:
+  // Earliest start >= t0 such that [start, start + dur) fits into an idle
+  // gap; marks the chosen interval busy and returns the start time.
+  double place(double t0, double dur);
+
+  // Marks [start, end) busy unconditionally (default-stream ops, which are
+  // placed by the legacy serialized clock, still occupy their engine so
+  // stream ops cannot be backfilled underneath them).
+  void mark(double start, double end);
+
+  // End of the last busy interval (0 when idle forever).
+  double busy_until() const { return busy_.empty() ? 0.0 : busy_.back().end; }
+
+  void clear() { busy_.clear(); }
+
+ private:
+  struct Interval {
+    double start;
+    double end;
+  };
+  void insert(double start, double end);
+  std::vector<Interval> busy_;
+};
+
+}  // namespace simt

@@ -40,7 +40,13 @@ ChromeTraceSink::ChromeTraceSink(std::string path, int kernel_lanes)
     : path_(std::move(path)), kernel_lanes_(kernel_lanes < 1 ? 1 : kernel_lanes) {}
 
 void ChromeTraceSink::kernel(const KernelEvent& ev) {
-  const int tid = 1 + static_cast<int>(ev.seq % static_cast<std::uint64_t>(kernel_lanes_));
+  // Default-stream launches keep the round-robin "SM-ish" lanes; stream
+  // launches render on their stream's own lane.
+  const int tid =
+      ev.stream == 0
+          ? 1 + static_cast<int>(ev.seq % static_cast<std::uint64_t>(kernel_lanes_))
+          : stream_tid(ev.stream);
+  if (ev.stream > max_stream_) max_stream_ = ev.stream;
   EventBuilder e(events_, ev.name, "X", tid, ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
@@ -51,26 +57,33 @@ void ChromeTraceSink::kernel(const KernelEvent& ev) {
   w.field("transactions", ev.transactions);
   w.field("atomics", ev.atomics);
   w.field("simd_efficiency", ev.simd_efficiency);
+  if (ev.stream != 0) w.field("stream", ev.stream);
   w.field("seq", ev.seq);
   w.end_object();
 }
 
 void ChromeTraceSink::transfer(const TransferEvent& ev) {
+  const int tid = ev.stream == 0 ? transfer_tid() : stream_tid(ev.stream);
+  if (ev.stream > max_stream_) max_stream_ = ev.stream;
   EventBuilder e(events_, ev.to_device ? "memcpy.h2d" : "memcpy.d2h", "X",
-                 transfer_tid(), ev.start_us);
+                 tid, ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
   w.key("args").begin_object();
   w.field("bytes", ev.bytes);
+  if (ev.stream != 0) w.field("stream", ev.stream);
   w.field("seq", ev.seq);
   w.end_object();
 }
 
 void ChromeTraceSink::host(const HostEvent& ev) {
-  EventBuilder e(events_, ev.name, "X", 0, ev.start_us);
+  const int tid = ev.stream == 0 ? 0 : stream_tid(ev.stream);
+  if (ev.stream > max_stream_) max_stream_ = ev.stream;
+  EventBuilder e(events_, ev.name, "X", tid, ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
   w.key("args").begin_object();
+  if (ev.stream != 0) w.field("stream", ev.stream);
   w.field("seq", ev.seq);
   w.end_object();
 }
@@ -145,6 +158,9 @@ std::string ChromeTraceSink::json() const {
   }
   thread_name(transfer_tid(), "pcie transfers");
   thread_name(decision_tid(), "adaptive decisions");
+  for (std::uint32_t s = 1; s <= max_stream_; ++s) {
+    thread_name(stream_tid(s), "stream " + std::to_string(s));
+  }
 
   std::string out = "{\"traceEvents\":[\n" + meta;
   if (!events_.empty()) {

@@ -3,15 +3,19 @@
 //
 // Track layout (all under pid 0, the simulated device):
 //   tid 0                 host phases + engine iterations (X events)
-//   tid 1..kernel_lanes   kernel launches, round-robin by sequence number —
-//                         "SM-ish" lanes: the modeled device serializes
-//                         kernels on one clock, so the lanes are a reading
-//                         aid (consecutive launches alternate lanes), not an
-//                         occupancy claim; pass the device's SM count for a
-//                         familiar width
-//   tid kernel_lanes+1    H<->D transfers (PCIe)
+//   tid 1..kernel_lanes   default-stream kernel launches, round-robin by
+//                         sequence number — "SM-ish" lanes: the modeled
+//                         device serializes kernels on one clock, so the
+//                         lanes are a reading aid (consecutive launches
+//                         alternate lanes), not an occupancy claim; pass the
+//                         device's SM count for a familiar width
+//   tid kernel_lanes+1    default-stream H<->D transfers (PCIe)
 //   tid kernel_lanes+2    adaptive decisions (instant events with the full
 //                         T1/T2/T3 input snapshot in args)
+//   tid kernel_lanes+3+s  per-stream lanes (one per simt stream s >= 1): all
+//                         kernels, transfers and host phases the stream
+//                         issued, so a multi-query service schedule renders
+//                         one lane per concurrent query slot
 //
 // Timestamps are the simulator's modeled microseconds (Chrome's native ts
 // unit), so the timeline shows modeled time, not host wall time, and the
@@ -43,10 +47,14 @@ class ChromeTraceSink : public TraceSink {
  private:
   int transfer_tid() const { return kernel_lanes_ + 1; }
   int decision_tid() const { return kernel_lanes_ + 2; }
+  int stream_tid(std::uint32_t stream) const {
+    return kernel_lanes_ + 3 + static_cast<int>(stream);
+  }
 
   std::string path_;
   int kernel_lanes_;
-  std::string events_;  // comma-joined event objects
+  std::uint32_t max_stream_ = 0;  // highest stream id seen (lane naming)
+  std::string events_;            // comma-joined event objects
 };
 
 }  // namespace trace

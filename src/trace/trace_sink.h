@@ -38,6 +38,7 @@ struct KernelEvent {
   double transactions = 0;
   double atomics = 0;
   double simd_efficiency = 1.0;
+  std::uint32_t stream = 0;  // issuing simt stream; 0 = default stream
   std::uint64_t seq = 0;
 };
 
@@ -46,6 +47,7 @@ struct TransferEvent {
   double dur_us = 0;
   std::uint64_t bytes = 0;
   bool to_device = false;
+  std::uint32_t stream = 0;
   std::uint64_t seq = 0;
 };
 
@@ -53,6 +55,7 @@ struct HostEvent {
   const char* name = "";
   double start_us = 0;
   double dur_us = 0;
+  std::uint32_t stream = 0;
   std::uint64_t seq = 0;
 };
 

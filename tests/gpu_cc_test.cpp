@@ -138,7 +138,8 @@ TEST(ApiCc, SymmetrizeHandlesDirectedInput) {
 TEST(ApiCc, WithoutSymmetrizeLabelsFollowDirectedReachability) {
   // Without reverse arcs, min-label propagation only flows along edges.
   const auto g = adaptive::Graph::from_edges(3, {{0, 1}, {1, 2}});
-  const auto out = adaptive::cc(g, adaptive::Policy::adapt(), /*symmetrize=*/false);
+  const auto out = adaptive::cc(
+      g, adaptive::Policy::adapt().with_symmetrize(adaptive::Symmetrize::never));
   EXPECT_EQ(out.component[0], 0u);
   EXPECT_EQ(out.component[2], 0u);  // label 0 reaches 2 along the chain
 }
@@ -146,10 +147,13 @@ TEST(ApiCc, WithoutSymmetrizeLabelsFollowDirectedReachability) {
 TEST(ApiCc, AllPoliciesAgree) {
   auto csr = graph::symmetrize(graph::gen::erdos_renyi(1500, 2200, 8));
   const auto g = adaptive::Graph::from_csr(std::move(csr));
-  const auto cpu_out = adaptive::cc(g, adaptive::Policy::cpu(), false);
-  const auto adapt_out = adaptive::cc(g, adaptive::Policy::adapt(), false);
+  constexpr auto kNever = adaptive::Symmetrize::never;
+  const auto cpu_out =
+      adaptive::cc(g, adaptive::Policy::cpu().with_symmetrize(kNever));
+  const auto adapt_out =
+      adaptive::cc(g, adaptive::Policy::adapt().with_symmetrize(kNever));
   const auto fixed_out =
-      adaptive::cc(g, adaptive::Policy::fixed("U_W_QU"), false);
+      adaptive::cc(g, adaptive::Policy::fixed("U_W_QU").with_symmetrize(kNever));
   EXPECT_EQ(adapt_out.component, cpu_out.component);
   EXPECT_EQ(fixed_out.component, cpu_out.component);
   EXPECT_EQ(adapt_out.num_components, cpu_out.num_components);

@@ -1,0 +1,293 @@
+// GraphService: FIFO scheduling, admission control, deadlines, batched
+// multi-source BFS, and stream determinism (DESIGN.md "Serving layer").
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/bfs_serial.h"
+#include "cpu/sssp_serial.h"
+#include "graph/gen/generators.h"
+#include "service/graph_service.h"
+#include "simt/exec_pool.h"
+#include "trace/counters.h"
+
+namespace {
+
+adaptive::Graph make_graph(std::uint32_t n = 2000, std::uint32_t m = 6000,
+                           std::uint64_t seed = 5) {
+  return adaptive::Graph::from_csr(graph::gen::erdos_renyi(n, m, seed));
+}
+
+svc::QueryRequest bfs_req(svc::GraphId gid, graph::NodeId source) {
+  svc::QueryRequest req;
+  req.algo = svc::Algo::bfs;
+  req.graph = gid;
+  req.source = source;
+  return req;
+}
+
+TEST(GraphService, OutcomesArriveInFifoOrder) {
+  svc::GraphService service;
+  const auto gid = service.add_graph(make_graph());
+  std::vector<svc::QueryId> submitted;
+  for (graph::NodeId s = 0; s < 6; ++s) {
+    const auto id = service.submit(bfs_req(gid, s * 7));
+    ASSERT_TRUE(id.has_value());
+    submitted.push_back(*id);
+  }
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), submitted.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].id, submitted[i]);
+    EXPECT_TRUE(outcomes[i].ok());
+  }
+}
+
+TEST(GraphService, ResultsMatchSerialReference) {
+  svc::GraphService service;
+  auto g = make_graph();
+  g.set_uniform_weights(1, 100);
+  const graph::Csr csr = g.csr();  // copy before handing over
+  const auto gid = service.add_graph(std::move(g));
+
+  auto b = bfs_req(gid, 3);
+  service.submit(b);
+  svc::QueryRequest s;
+  s.algo = svc::Algo::sssp;
+  s.graph = gid;
+  s.source = 11;
+  service.submit(s);
+  svc::QueryRequest c;
+  c.algo = svc::Algo::cc;
+  c.graph = gid;
+  service.submit(c);
+
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].bfs().level, cpu::bfs(csr, 3).level);
+  EXPECT_EQ(outcomes[1].sssp().dist, cpu::dijkstra(csr, 11).dist);
+  EXPECT_TRUE(outcomes[2].ok());
+}
+
+TEST(GraphService, ConcurrencyCapBoundsStreamUse) {
+  svc::ServiceOptions opts;
+  opts.concurrency = 2;
+  opts.batch_bfs = false;
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+  for (graph::NodeId s = 0; s < 8; ++s) service.submit(bfs_req(gid, s));
+  const auto outcomes = service.drain();
+  std::set<simt::StreamId> used;
+  for (const auto& out : outcomes) used.insert(out.stream);
+  EXPECT_LE(used.size(), 2u);
+  EXPECT_GE(used.size(), 2u);  // 8 queries should exercise both streams
+}
+
+TEST(GraphService, ConcurrencyShrinksMakespan) {
+  auto run = [](std::uint32_t concurrency) {
+    svc::ServiceOptions opts;
+    opts.concurrency = concurrency;
+    opts.batch_bfs = false;
+    svc::GraphService service(opts);
+    auto g = make_graph(3000, 9000, 9);
+    g.set_uniform_weights(1, 50);
+    const auto gid = service.add_graph(std::move(g));
+    for (graph::NodeId i = 0; i < 12; ++i) {
+      svc::QueryRequest req = bfs_req(gid, i * 5);
+      if (i % 3 == 1) req.algo = svc::Algo::sssp;
+      service.submit(req);
+    }
+    const auto outcomes = service.drain();
+    for (const auto& out : outcomes) EXPECT_TRUE(out.ok());
+    return service.makespan_us();
+  };
+  EXPECT_LT(run(4), run(1));
+}
+
+TEST(GraphService, RejectsWhenQueueFull) {
+  svc::ServiceOptions opts;
+  opts.queue_capacity = 3;
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+  for (graph::NodeId s = 0; s < 3; ++s) {
+    EXPECT_TRUE(service.submit(bfs_req(gid, s)).has_value());
+  }
+  EXPECT_FALSE(service.submit(bfs_req(gid, 9)).has_value());
+  EXPECT_FALSE(service.submit(bfs_req(gid, 10)).has_value());
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), 5u);
+  std::size_t rejected = 0;
+  for (const auto& out : outcomes) {
+    if (out.status == adaptive::Status::rejected) ++rejected;
+  }
+  EXPECT_EQ(rejected, 2u);
+  // Rejections never consume device time.
+  EXPECT_EQ(service.pending(), 0u);
+}
+
+TEST(GraphService, DeadlineTimesOutLateQueries) {
+  svc::ServiceOptions opts;
+  opts.concurrency = 1;  // force queueing so later deadlines are missed
+  opts.batch_bfs = false;
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+
+  // Generous deadline: completes.
+  auto ok_req = bfs_req(gid, 1);
+  ok_req.deadline_us = 1e9;
+  service.submit(ok_req);
+  // Impossible deadline: the traversal itself overruns it.
+  auto tight = bfs_req(gid, 2);
+  tight.deadline_us = 1e-3;
+  service.submit(tight);
+  // After the first two queries the single stream is busy far past 1us, so
+  // this one times out before dispatch (no device time spent).
+  auto late = bfs_req(gid, 3);
+  late.deadline_us = 1.0;
+  service.submit(late);
+
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].status, adaptive::Status::ok);
+  EXPECT_EQ(outcomes[1].status, adaptive::Status::timed_out);
+  EXPECT_EQ(outcomes[2].status, adaptive::Status::timed_out);
+  // Timed-out queries carry no payload.
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(outcomes[1].payload));
+  // The pre-dispatch timeout never started: finish time is unset.
+  EXPECT_EQ(outcomes[2].finish_us, 0.0);
+}
+
+TEST(GraphService, BatchedBfsMatchesIndependentQueries) {
+  const auto csr = graph::gen::erdos_renyi(2500, 7000, 21);
+
+  // Batching on: one drain answers all queries via a fused launch.
+  svc::ServiceOptions opts;
+  opts.concurrency = 1;
+  svc::GraphService batched(opts);
+  const auto gid = batched.add_graph(adaptive::Graph::from_csr(graph::Csr(csr)));
+  for (graph::NodeId s = 0; s < 32; ++s) {
+    batched.submit(bfs_req(gid, (s * 67) % csr.num_nodes));
+  }
+  const auto fused = batched.drain();
+  ASSERT_EQ(fused.size(), 32u);
+
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_TRUE(fused[i].ok());
+    EXPECT_EQ(fused[i].batch_size, 32u);
+    const auto expected =
+        cpu::bfs(csr, static_cast<graph::NodeId>((i * 67) % csr.num_nodes));
+    ASSERT_EQ(fused[i].bfs().level, expected.level) << "query " << i;
+  }
+}
+
+TEST(GraphService, BatchedBfsIsFasterThanSerial) {
+  const auto csr = graph::gen::erdos_renyi(4000, 16000, 33);
+  auto run = [&](bool batch) {
+    svc::ServiceOptions opts;
+    opts.concurrency = 1;
+    opts.batch_bfs = batch;
+    svc::GraphService service(opts);
+    const auto gid =
+        service.add_graph(adaptive::Graph::from_csr(graph::Csr(csr)));
+    for (graph::NodeId s = 0; s < 32; ++s) {
+      service.submit(bfs_req(gid, (s * 101) % csr.num_nodes));
+    }
+    const auto outcomes = service.drain();
+    for (const auto& out : outcomes) EXPECT_TRUE(out.ok());
+    return service.makespan_us();
+  };
+  const double serial_us = run(false);
+  const double batched_us = run(true);
+  // Acceptance: the fused batch at least doubles modeled throughput.
+  EXPECT_LT(batched_us * 2, serial_us);
+}
+
+TEST(GraphService, MixedAlgosBreakBatchesButAllComplete) {
+  svc::GraphService service;
+  auto g = make_graph();
+  g.set_uniform_weights(1, 10);
+  const auto gid = service.add_graph(std::move(g));
+  for (graph::NodeId i = 0; i < 10; ++i) {
+    svc::QueryRequest req = bfs_req(gid, i);
+    if (i == 4) req.algo = svc::Algo::pagerank;
+    if (i == 7) req.algo = svc::Algo::cc;
+    service.submit(req);
+  }
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), 10u);
+  for (const auto& out : outcomes) EXPECT_TRUE(out.ok());
+  // Queries 0..3 form a batch; 5..6 and 8..9 are smaller batches.
+  EXPECT_EQ(outcomes[0].batch_size, 4u);
+  EXPECT_EQ(outcomes[4].batch_size, 1u);
+  EXPECT_EQ(outcomes[5].batch_size, 2u);
+}
+
+TEST(GraphService, CpuPolicyIsRefused) {
+  svc::GraphService service;
+  const auto gid = service.add_graph(make_graph());
+  auto req = bfs_req(gid, 0);
+  req.policy = adaptive::Policy::cpu();
+  service.submit(req);
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, adaptive::Status::error);
+  EXPECT_NE(outcomes[0].error.find("cpu_serial"), std::string::npos);
+}
+
+TEST(GraphService, CountersTrackLifecycle) {
+  auto& reg = trace::CounterRegistry::instance();
+  reg.set_enabled(true);
+  reg.reset();
+
+  svc::ServiceOptions opts;
+  opts.queue_capacity = 4;
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+  for (graph::NodeId s = 0; s < 6; ++s) service.submit(bfs_req(gid, s));
+  service.drain();
+
+  EXPECT_EQ(reg.counter_value("svc.queued"), 4);
+  EXPECT_EQ(reg.counter_value("svc.rejected"), 2);
+  EXPECT_EQ(reg.counter_value("svc.completed"), 4);
+  EXPECT_EQ(reg.counter_value("svc.batches"), 1);
+  EXPECT_EQ(reg.counter_value("svc.batched"), 4);
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+// The serving schedule is placed by host-sequential issue order, so modeled
+// times — and therefore every outcome — are identical for any host worker
+// count (the PR-1 determinism contract extended to streams).
+TEST(GraphService, DeterministicAcrossSimThreads) {
+  auto run = [] {
+    svc::ServiceOptions opts;
+    opts.concurrency = 3;
+    svc::GraphService service(opts);
+    auto g = make_graph(2200, 6600, 17);
+    g.set_uniform_weights(1, 30);
+    const auto gid = service.add_graph(std::move(g));
+    for (graph::NodeId i = 0; i < 14; ++i) {
+      svc::QueryRequest req = bfs_req(gid, i * 3);
+      if (i % 4 == 3) req.algo = svc::Algo::sssp;
+      service.submit(req);
+    }
+    return std::make_pair(service.drain(), service.makespan_us());
+  };
+
+  simt::ExecPool::set_threads(1);
+  const auto [a, makespan_a] = run();
+  simt::ExecPool::set_threads(8);
+  const auto [b, makespan_b] = run();
+  simt::ExecPool::set_threads(0);  // restore default
+
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(makespan_a, makespan_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream, b[i].stream);
+    EXPECT_DOUBLE_EQ(a[i].start_us, b[i].start_us);
+    EXPECT_DOUBLE_EQ(a[i].finish_us, b[i].finish_us);
+    EXPECT_EQ(a[i].payload.index(), b[i].payload.index());
+  }
+}
+
+}  // namespace

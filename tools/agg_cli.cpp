@@ -8,6 +8,7 @@
 //   agg mst      <graph> [--policy=...] [--no-symmetrize]
 //   agg generate <kind>  --out=FILE [--nodes=N] [--seed=S]
 //                kinds: road, amazon, citeseer, p2p, google, sns, rmat, er
+//   agg serve    <graph> [--queries=N] [--concurrency=C] [--mix=bfs|mixed]
 //   agg convert  <in> <out>                  between .gr / .txt / .agg
 //   agg tune     <graph> [--algo=bfs|sssp]   T3 + sampling-interval sweeps
 //
@@ -23,7 +24,9 @@
 #include "api/algorithms.h"
 #include "api/graph_api.h"
 #include "common/cli.h"
+#include "common/prng.h"
 #include "common/table.h"
+#include "service/graph_service.h"
 #include "graph/gen/datasets.h"
 #include "graph/gen/generators.h"
 #include "graph/io.h"
@@ -156,8 +159,11 @@ int cmd_cc(const agg::Cli& cli) {
   simt::Device dev;
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
-  const auto out = adaptive::cc(dev, g, parse_policy(cli.get("policy", "adaptive")),
-                                !cli.get_bool("no-symmetrize", false));
+  auto policy = parse_policy(cli.get("policy", "adaptive"));
+  if (cli.get_bool("no-symmetrize", false)) {
+    policy.symmetrize = adaptive::Symmetrize::never;
+  }
+  const auto out = adaptive::cc(dev, g, policy);
   if (prof) std::printf("%s", prof->report().c_str());
   std::printf("%s weakly-connected components\n",
               agg::Table::fmt_int(out.num_components).c_str());
@@ -198,8 +204,11 @@ int cmd_mst(const agg::Cli& cli) {
   simt::Device dev;
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
-  const auto out = adaptive::mst(dev, g, parse_policy(cli.get("policy", "adaptive")),
-                                 !cli.get_bool("no-symmetrize", false));
+  auto policy = parse_policy(cli.get("policy", "adaptive"));
+  if (cli.get_bool("no-symmetrize", false)) {
+    policy.symmetrize = adaptive::Symmetrize::never;
+  }
+  const auto out = adaptive::mst(dev, g, policy);
   if (prof) std::printf("%s", prof->report().c_str());
   std::printf("minimum spanning forest: weight %llu, %s trees, %s edges\n",
               static_cast<unsigned long long>(out.total_weight),
@@ -250,6 +259,63 @@ int cmd_generate(const agg::Cli& cli) {
   save_any(g, out_path);
   std::printf("wrote %s: %s\n", out_path.c_str(),
               graph::GraphStats::compute(g).summary().c_str());
+  return 0;
+}
+
+// Drives the serving layer with a deterministic synthetic workload: N queries
+// against the loaded graph, mixing BFS (and SSSP on weighted graphs) from
+// random sources, executed on `--concurrency` simulated streams.
+int cmd_serve(const agg::Cli& cli) {
+  auto g = load_any(cli.positional()[1]);
+  const auto n_queries = static_cast<std::size_t>(cli.get_int("queries", 64));
+  const bool mixed = cli.get("mix", "bfs") == "mixed";
+  if (mixed && !g.is_weighted()) g.set_uniform_weights(1, 1000);
+
+  svc::ServiceOptions sopts;
+  sopts.concurrency = static_cast<std::uint32_t>(cli.get_int("concurrency", 4));
+  sopts.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-cap", 1 << 20));
+  sopts.batch_bfs = !cli.get_bool("no-batch", false);
+  svc::GraphService service(sopts);
+  const svc::GraphId gid = service.add_graph(std::move(g));
+  const auto& graph = service.graph(gid);
+
+  agg::Prng prng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  const double deadline = cli.get_double("deadline-us", 0.0);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < n_queries; ++i) {
+    svc::QueryRequest req;
+    req.graph = gid;
+    req.algo = (mixed && i % 3 == 2) ? svc::Algo::sssp : svc::Algo::bfs;
+    req.source = static_cast<graph::NodeId>(prng.bounded(graph.num_nodes()));
+    req.deadline_us = deadline;
+    if (service.submit(req)) ++accepted;
+  }
+  const auto outcomes = service.drain();
+
+  std::size_t ok = 0, timed_out = 0, rejected = 0, errors = 0, batched = 0;
+  double sum_latency = 0;
+  for (const auto& out : outcomes) {
+    switch (out.status) {
+      case adaptive::Status::ok:
+        ++ok;
+        sum_latency += out.finish_us - out.submit_us;
+        if (out.batch_size > 1) ++batched;
+        break;
+      case adaptive::Status::timed_out: ++timed_out; break;
+      case adaptive::Status::rejected: ++rejected; break;
+      case adaptive::Status::error: ++errors; break;
+    }
+  }
+  std::printf("served %zu/%zu queries on %u streams (batching %s)\n", ok,
+              outcomes.size(), service.options().concurrency,
+              sopts.batch_bfs ? "on" : "off");
+  std::printf("  accepted %zu, rejected %zu, timed out %zu, errors %zu, "
+              "answered via fused MS-BFS %zu\n",
+              accepted, rejected, timed_out, errors, batched);
+  std::printf("  modeled makespan %.3f ms, mean latency %.3f ms\n",
+              service.makespan_us() / 1000.0,
+              ok ? sum_latency / static_cast<double>(ok) / 1000.0 : 0.0);
   return 0;
 }
 
@@ -343,6 +409,7 @@ int dispatch(const agg::Cli& cli) {
   if (cmd == "pagerank") { need(1); return cmd_pagerank(cli); }
   if (cmd == "mst") { need(1); return cmd_mst(cli); }
   if (cmd == "generate") { need(1); return cmd_generate(cli); }
+  if (cmd == "serve") { need(1); return cmd_serve(cli); }
   if (cmd == "convert") { need(2); return cmd_convert(cli); }
   if (cmd == "tune") { need(1); return cmd_tune(cli); }
   std::fprintf(stderr, "unknown command '%s' (try --help)\n", cmd.c_str());
@@ -367,6 +434,8 @@ int main(int argc, char** argv) {
         "  agg pagerank <graph> [--damping=0.85] [--policy=...] [--top=10]\n"
         "  agg mst      <graph> [--policy=...] [--no-symmetrize]\n"
         "  agg generate <kind> --out=FILE [--nodes=N] [--seed=S] [--weights]\n"
+        "  agg serve    <graph> [--queries=64] [--concurrency=4] [--mix=bfs|mixed]\n"
+        "               [--no-batch] [--deadline-us=T] [--queue-cap=N] [--seed=S]\n"
         "  agg convert  <in> <out>\n"
         "  agg tune     <graph> [--algo=bfs|sssp]\n\n"
         "global flags:\n"
