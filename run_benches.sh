@@ -27,6 +27,10 @@ mkdir -p results
         # Archive the serving-layer acceptance numbers (fused MS-BFS
         # throughput, concurrency makespans) as a diffable artifact.
         "$b" | tee results/BENCH_service.txt
+      elif [ "$(basename "$b")" = ext_resilience ]; then
+        # Archive the resilience acceptance numbers (fault overhead,
+        # dead-device degradation) as a diffable artifact.
+        "$b" | tee results/BENCH_resilience.txt
       else
         "$b"
       fi

@@ -17,11 +17,52 @@ namespace adaptive {
 namespace detail {
 // Defined in session.cpp; shared symmetrize-policy resolution.
 const graph::Csr& resolve_symmetric_csr(const Graph& g, const Policy& policy);
+
+ErrorCode fault_code(const simt::DeviceFault& f) {
+  if (f.permanent()) return ErrorCode::device_lost;
+  switch (f.kind()) {
+    case simt::FaultKind::alloc:
+      return ErrorCode::device_oom;
+    case simt::FaultKind::transfer:
+      return ErrorCode::transfer_failed;
+    case simt::FaultKind::kernel:
+      return ErrorCode::kernel_fault;
+  }
+  return ErrorCode::internal;
+}
+
 }  // namespace detail
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::none:
+      return "none";
+    case ErrorCode::device_oom:
+      return "device_oom";
+    case ErrorCode::transfer_failed:
+      return "transfer_failed";
+    case ErrorCode::kernel_fault:
+      return "kernel_fault";
+    case ErrorCode::device_lost:
+      return "device_lost";
+    case ErrorCode::deadline_exceeded:
+      return "deadline_exceeded";
+    case ErrorCode::queue_full:
+      return "queue_full";
+    case ErrorCode::invalid_argument:
+      return "invalid_argument";
+    case ErrorCode::io_error:
+      return "io_error";
+    case ErrorCode::internal:
+      return "internal";
+  }
+  return "?";
+}
 
 BfsResult bfs(simt::Device& dev, const Graph& g, NodeId source,
               const Policy& policy) {
   AGG_CHECK(source < g.num_nodes());
+  return detail::run_guarded<BfsResult>(dev, [&] {
   BfsResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
@@ -46,12 +87,14 @@ BfsResult bfs(simt::Device& dev, const Graph& g, NodeId source,
   }
   AGG_CHECK(false);
   return out;
+  });
 }
 
 SsspResult sssp(simt::Device& dev, const Graph& g, NodeId source,
                 const Policy& policy) {
   AGG_CHECK(source < g.num_nodes());
   AGG_CHECK_MSG(g.is_weighted(), "call set_uniform_weights() or load weights first");
+  return detail::run_guarded<SsspResult>(dev, [&] {
   SsspResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
@@ -76,11 +119,13 @@ SsspResult sssp(simt::Device& dev, const Graph& g, NodeId source,
   }
   AGG_CHECK(false);
   return out;
+  });
 }
 
 CcResult cc(simt::Device& dev, const Graph& g, const Policy& policy) {
-  CcResult out;
   const graph::Csr& csr = detail::resolve_symmetric_csr(g, policy);
+  return detail::run_guarded<CcResult>(dev, [&] {
+  CcResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
       cpu::CcResult r = cpu::connected_components(csr);
@@ -107,12 +152,14 @@ CcResult cc(simt::Device& dev, const Graph& g, const Policy& policy) {
   }
   AGG_CHECK(false);
   return out;
+  });
 }
 
 MstResult mst(simt::Device& dev, const Graph& g, const Policy& policy) {
   AGG_CHECK_MSG(g.is_weighted(), "MST requires edge weights");
-  MstResult out;
   const graph::Csr& csr = detail::resolve_symmetric_csr(g, policy);
+  return detail::run_guarded<MstResult>(dev, [&] {
+  MstResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
       cpu::MstResult r = cpu::minimum_spanning_forest(csr);
@@ -142,10 +189,12 @@ MstResult mst(simt::Device& dev, const Graph& g, const Policy& policy) {
   }
   AGG_CHECK(false);
   return out;
+  });
 }
 
 PageRankResult pagerank(simt::Device& dev, const Graph& g, double damping,
                         const Policy& policy) {
+  return detail::run_guarded<PageRankResult>(dev, [&] {
   PageRankResult out;
   switch (policy.mode) {
     case Policy::Mode::cpu_serial: {
@@ -177,6 +226,7 @@ PageRankResult pagerank(simt::Device& dev, const Graph& g, double damping,
   }
   AGG_CHECK(false);
   return out;
+  });
 }
 
 // Device-less convenience overloads: route through the thread's default

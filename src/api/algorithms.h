@@ -6,6 +6,7 @@
 // explicitly: it also keeps graphs resident on the device between queries.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,8 +64,26 @@ enum class Status {
   ok,
   rejected,   // serving layer: admission control refused the query
   timed_out,  // serving layer: deadline exceeded (payload dropped)
-  error,      // see Result::error
+  error,      // see Result::error / Result::code
 };
+
+// Typed error taxonomy. Failures that used to abort the process (device
+// memory exhaustion) or surface as ad-hoc strings (serving-layer rejections)
+// carry one of these so callers can branch without parsing messages.
+enum class ErrorCode : std::uint8_t {
+  none = 0,          // status != error (or error field unused)
+  device_oom,        // simulated global memory exhausted / injected alloc fault
+  transfer_failed,   // injected host<->device transfer fault
+  kernel_fault,      // injected kernel-launch fault
+  device_lost,       // permanent device death (fault plan dead.after)
+  deadline_exceeded, // serving layer: modeled finish time passed the deadline
+  queue_full,        // serving layer: admission control (bounded queue)
+  invalid_argument,  // bad source node, unweighted sssp, unservable policy
+  io_error,          // typed graph-loading failure (graph/io.h)
+  internal,          // catch-all; see the error string
+};
+
+const char* error_code_name(ErrorCode code);  // "device_oom", ...
 
 // Every algorithm returns its payload plus this uniform envelope. The
 // payload's fields are inherited, so result.level / result.dist /
@@ -76,6 +95,11 @@ struct Result : Payload {
   double cpu_wall_ms = 0;        // only for cpu_serial runs
   Status status = Status::ok;
   std::string error;             // non-empty iff status == Status::error
+  ErrorCode code = ErrorCode::none;  // typed cause when status != ok
+  // True when the query was answered by the serial CPU oracle because the
+  // device was unhealthy or deadline pressure ruled out a device run. The
+  // payload is exact; metrics are empty and cpu_wall_ms is modeled.
+  bool degraded = false;
 
   bool ok() const { return status == Status::ok; }
 };
@@ -136,5 +160,31 @@ CcResult cc(const Graph& g, const Policy& policy = {});
 PageRankResult pagerank(const Graph& g, double damping = 0.85,
                         const Policy& policy = {});
 MstResult mst(const Graph& g, const Policy& policy = {});
+
+namespace detail {
+
+// Maps a device fault to the public taxonomy; permanent faults (dead
+// device) collapse to device_lost regardless of the faulting op kind.
+ErrorCode fault_code(const simt::DeviceFault& f);
+
+// Runs a device-touching body, converting a DeviceFault into an error
+// Result. Snapshot/reclaim brackets the body so buffers orphaned by the
+// unwind do not leak simulated-memory accounting.
+template <typename ResultT, typename Fn>
+ResultT run_guarded(simt::Device& dev, Fn&& fn) {
+  const std::uint64_t mark = dev.mem_mark();
+  try {
+    return fn();
+  } catch (const simt::DeviceFault& f) {
+    dev.mem_reclaim(mark);
+    ResultT out;
+    out.status = Status::error;
+    out.code = fault_code(f);
+    out.error = f.what();
+    return out;
+  }
+}
+
+}  // namespace detail
 
 }  // namespace adaptive

@@ -42,7 +42,14 @@ Session::Pin* Session::ensure_fresh(const graph::Csr* key, const graph::Csr& csr
     // Stale upload (graph mutated since registration) or weights appeared:
     // refresh transparently, charged to the current query's stream.
     pin.dg.release(dev_);
-    pin.dg = gg::DeviceGraph::upload(dev_, csr, with_weights || csr.has_weights());
+    try {
+      pin.dg = gg::DeviceGraph::upload(dev_, csr, with_weights || csr.has_weights());
+    } catch (const simt::DeviceFault&) {
+      // The old upload is gone and the new one failed: drop the pin so a
+      // later query re-registers instead of double-releasing stale buffers.
+      pins_.erase(it);
+      throw;
+    }
     pin.with_weights = with_weights || csr.has_weights();
     pin.version = version;
   }
@@ -82,18 +89,27 @@ bool Session::is_registered(const Graph& g) const {
 
 BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
-    if (Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version())) {
-      AGG_CHECK(source < g.num_nodes());
-      BfsResult out;
-      gg::GpuBfsResult r =
-          policy.mode == Policy::Mode::fixed_variant
-              ? gg::run_bfs(dev_, pin->dg, g.csr(), source,
-                            gg::fixed_variant(policy.variant),
-                            policy.options.engine)
-              : rt::adaptive_bfs(dev_, pin->dg, g.csr(), source, policy.options);
-      out.level = std::move(r.level);
-      out.metrics = std::move(r.metrics);
+    if (!dev_.healthy()) {
+      BfsResult out = adaptive::bfs(dev_, g, source, Policy::cpu());
+      out.degraded = true;
       return out;
+    }
+    if (is_registered(g)) {
+      AGG_CHECK(source < g.num_nodes());
+      return detail::run_guarded<BfsResult>(dev_, [&] {
+        Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
+        BfsResult out;
+        gg::GpuBfsResult r =
+            policy.mode == Policy::Mode::fixed_variant
+                ? gg::run_bfs(dev_, pin->dg, g.csr(), source,
+                              gg::fixed_variant(policy.variant),
+                              policy.options.engine)
+                : rt::adaptive_bfs(dev_, pin->dg, g.csr(), source,
+                                   policy.options);
+        out.level = std::move(r.level);
+        out.metrics = std::move(r.metrics);
+        return out;
+      });
     }
   }
   return adaptive::bfs(dev_, g, source, policy);
@@ -101,78 +117,110 @@ BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
 
 SsspResult Session::sssp(const Graph& g, NodeId source, const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
-    if (Pin* pin = ensure_fresh(&g.csr(), g.csr(), true, g.version())) {
+    if (!dev_.healthy()) {
+      SsspResult out = adaptive::sssp(dev_, g, source, Policy::cpu());
+      out.degraded = true;
+      return out;
+    }
+    if (is_registered(g)) {
       AGG_CHECK(source < g.num_nodes());
       AGG_CHECK_MSG(g.is_weighted(),
                     "call set_uniform_weights() or load weights first");
-      SsspResult out;
-      gg::GpuSsspResult r =
-          policy.mode == Policy::Mode::fixed_variant
-              ? gg::run_sssp(dev_, pin->dg, g.csr(), source,
-                             gg::fixed_variant(policy.variant),
-                             policy.options.engine)
-              : rt::adaptive_sssp(dev_, pin->dg, g.csr(), source, policy.options);
-      out.dist = std::move(r.dist);
-      out.metrics = std::move(r.metrics);
-      return out;
+      return detail::run_guarded<SsspResult>(dev_, [&] {
+        Pin* pin = ensure_fresh(&g.csr(), g.csr(), true, g.version());
+        SsspResult out;
+        gg::GpuSsspResult r =
+            policy.mode == Policy::Mode::fixed_variant
+                ? gg::run_sssp(dev_, pin->dg, g.csr(), source,
+                               gg::fixed_variant(policy.variant),
+                               policy.options.engine)
+                : rt::adaptive_sssp(dev_, pin->dg, g.csr(), source,
+                                    policy.options);
+        out.dist = std::move(r.dist);
+        out.metrics = std::move(r.metrics);
+        return out;
+      });
     }
   }
   return adaptive::sssp(dev_, g, source, policy);
 }
 
 CcResult Session::cc(const Graph& g, const Policy& policy) {
-  if (policy.mode != Policy::Mode::cpu_serial && is_registered(g)) {
-    const graph::Csr& target = resolve_symmetric(g, policy);
-    Pin* pin = ensure_fresh(&target, target, false, g.version());
-    if (!pin && &target != &g.csr()) {
-      // First cc() on a registered directed graph: keep the symmetrized CSR
-      // resident too, so repeat queries skip the upload.
-      Pin derived;
-      derived.dg = gg::DeviceGraph::upload(dev_, target, false);
-      derived.with_weights = false;
-      derived.version = g.version();
-      pin = &pins_.emplace(&target, std::move(derived)).first->second;
-      derived_[&g.csr()] = &target;
-    }
-    if (pin) {
-      CcResult out;
-      gg::GpuCcResult r =
-          policy.mode == Policy::Mode::fixed_variant
-              ? gg::run_cc(dev_, pin->dg, target,
-                           gg::fixed_variant(policy.variant),
-                           policy.options.engine)
-              : rt::adaptive_cc(dev_, pin->dg, target, policy.options);
-      out.component = std::move(r.component);
-      out.num_components = r.num_components;
-      out.metrics = std::move(r.metrics);
+  if (policy.mode != Policy::Mode::cpu_serial) {
+    if (!dev_.healthy()) {
+      CcResult out = adaptive::cc(dev_, g, Policy::cpu().with_symmetrize(
+                                               policy.symmetrize));
+      out.degraded = true;
       return out;
+    }
+    if (is_registered(g)) {
+      const graph::Csr& target = resolve_symmetric(g, policy);
+      return detail::run_guarded<CcResult>(dev_, [&] {
+        Pin* pin = ensure_fresh(&target, target, false, g.version());
+        if (!pin && &target != &g.csr()) {
+          // First cc() on a registered directed graph: keep the symmetrized
+          // CSR resident too, so repeat queries skip the upload.
+          Pin derived;
+          derived.dg = gg::DeviceGraph::upload(dev_, target, false);
+          derived.with_weights = false;
+          derived.version = g.version();
+          pin = &pins_.emplace(&target, std::move(derived)).first->second;
+          derived_[&g.csr()] = &target;
+        }
+        if (!pin) return adaptive::cc(dev_, g, policy);
+        CcResult out;
+        gg::GpuCcResult r =
+            policy.mode == Policy::Mode::fixed_variant
+                ? gg::run_cc(dev_, pin->dg, target,
+                             gg::fixed_variant(policy.variant),
+                             policy.options.engine)
+                : rt::adaptive_cc(dev_, pin->dg, target, policy.options);
+        out.component = std::move(r.component);
+        out.num_components = r.num_components;
+        out.metrics = std::move(r.metrics);
+        return out;
+      });
     }
   }
   return adaptive::cc(dev_, g, policy);
 }
 
 MstResult Session::mst(const Graph& g, const Policy& policy) {
+  if (policy.mode != Policy::Mode::cpu_serial && !dev_.healthy()) {
+    MstResult out = adaptive::mst(dev_, g, Policy::cpu().with_symmetrize(
+                                               policy.symmetrize));
+    out.degraded = true;
+    return out;
+  }
   return adaptive::mst(dev_, g, policy);
 }
 
 PageRankResult Session::pagerank(const Graph& g, double damping,
                                  const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
-    if (Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version())) {
-      PageRankResult out;
-      gg::PageRankOptions po;
-      po.damping = damping;
-      gg::GpuPageRankResult r;
-      if (policy.mode == Policy::Mode::fixed_variant) {
-        po.engine = policy.options.engine;
-        r = gg::run_pagerank(dev_, pin->dg, g.csr(),
-                             gg::fixed_variant(policy.variant), po);
-      } else {
-        r = rt::adaptive_pagerank(dev_, pin->dg, g.csr(), po, policy.options);
-      }
-      out.rank.assign(r.rank.begin(), r.rank.end());
-      out.metrics = std::move(r.metrics);
+    if (!dev_.healthy()) {
+      PageRankResult out = adaptive::pagerank(dev_, g, damping, Policy::cpu());
+      out.degraded = true;
       return out;
+    }
+    if (is_registered(g)) {
+      return detail::run_guarded<PageRankResult>(dev_, [&] {
+        Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
+        PageRankResult out;
+        gg::PageRankOptions po;
+        po.damping = damping;
+        gg::GpuPageRankResult r;
+        if (policy.mode == Policy::Mode::fixed_variant) {
+          po.engine = policy.options.engine;
+          r = gg::run_pagerank(dev_, pin->dg, g.csr(),
+                               gg::fixed_variant(policy.variant), po);
+        } else {
+          r = rt::adaptive_pagerank(dev_, pin->dg, g.csr(), po, policy.options);
+        }
+        out.rank.assign(r.rank.begin(), r.rank.end());
+        out.metrics = std::move(r.metrics);
+        return out;
+      });
     }
   }
   return adaptive::pagerank(dev_, g, damping, policy);

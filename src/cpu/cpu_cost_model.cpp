@@ -36,6 +36,17 @@ double CpuModel::cc_time_us(const CcCounts& counts, std::uint32_t num_nodes) con
   return cycles / (clock_ghz * 1e3);
 }
 
+double CpuModel::pagerank_time_us(const PageRankCounts& counts,
+                                  std::uint32_t num_nodes) const {
+  const double state_bytes = 16.0 * num_nodes;  // rank + next (doubles)
+  const double per_edge =
+      pr_cycles_per_edge + miss_penalty_cycles * miss_fraction(state_bytes);
+  const double cycles =
+      per_edge * static_cast<double>(counts.edge_updates) +
+      pr_cycles_per_node * static_cast<double>(counts.iterations) * num_nodes;
+  return cycles / (clock_ghz * 1e3);
+}
+
 const CpuModel& CpuModel::core_i7() {
   static const CpuModel model{};
   return model;

@@ -15,6 +15,7 @@
 
 #include "cpu/bfs_serial.h"
 #include "cpu/cc_serial.h"
+#include "cpu/pagerank_serial.h"
 #include "cpu/sssp_serial.h"
 
 namespace cpu {
@@ -46,9 +47,16 @@ struct CpuModel {
   double cc_cycles_per_edge = 10.0;
   double cc_cycles_per_find_step = 4.0;
 
+  // PageRank power iteration: sequential edge sweep per iteration plus the
+  // per-node teleport/convergence update.
+  double pr_cycles_per_edge = 6.0;
+  double pr_cycles_per_node = 10.0;
+
   double bfs_time_us(const BfsCounts& counts, std::uint32_t num_nodes) const;
   double dijkstra_time_us(const SsspCounts& counts, std::uint32_t num_nodes) const;
   double cc_time_us(const CcCounts& counts, std::uint32_t num_nodes) const;
+  double pagerank_time_us(const PageRankCounts& counts,
+                          std::uint32_t num_nodes) const;
 
   static const CpuModel& core_i7();
 };

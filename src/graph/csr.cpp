@@ -8,16 +8,28 @@
 namespace graph {
 
 void Csr::validate() const {
-  AGG_CHECK(row_offsets.size() == static_cast<std::size_t>(num_nodes) + 1);
-  AGG_CHECK(row_offsets.front() == 0);
-  AGG_CHECK(row_offsets.back() == col_indices.size());
+  const std::string err = validate_error();
+  AGG_CHECK_MSG(err.empty(), err.c_str());
+}
+
+std::string Csr::validate_error() const {
+  if (row_offsets.size() != static_cast<std::size_t>(num_nodes) + 1) {
+    return "row_offsets must have num_nodes + 1 entries";
+  }
+  if (row_offsets.front() != 0) return "row_offsets must start at 0";
+  if (row_offsets.back() != col_indices.size()) {
+    return "row_offsets must end at the edge count";
+  }
   for (std::uint32_t v = 0; v < num_nodes; ++v) {
-    AGG_CHECK_MSG(row_offsets[v] <= row_offsets[v + 1], "offsets must be monotone");
+    if (row_offsets[v] > row_offsets[v + 1]) return "offsets must be monotone";
   }
   for (const NodeId t : col_indices) {
-    AGG_CHECK_MSG(t < num_nodes, "edge target out of range");
+    if (t >= num_nodes) return "edge target out of range";
   }
-  AGG_CHECK(weights.empty() || weights.size() == col_indices.size());
+  if (!weights.empty() && weights.size() != col_indices.size()) {
+    return "weights must be absent or parallel to the edge vector";
+  }
+  return {};
 }
 
 std::uint64_t Csr::memory_bytes() const {

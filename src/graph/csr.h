@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -45,6 +46,10 @@ struct Csr {
   // weights either absent or parallel to the edge vector. Aborts on
   // violation; used by tests and after deserialization.
   void validate() const;
+
+  // Non-aborting variant for untrusted input (the typed IO path): empty
+  // string when the invariants hold, else the first violation.
+  std::string validate_error() const;
 
   // Estimated bytes of the in-memory representation.
   std::uint64_t memory_bytes() const;

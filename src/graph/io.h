@@ -18,6 +18,43 @@
 
 namespace graph {
 
+// Typed loading failures. The try_read_* functions never abort on bad
+// input: every malformed, truncated or overflowing file maps to one of
+// these kinds with a descriptive message.
+enum class IoErrorKind : std::uint8_t {
+  none = 0,
+  open_failed,     // file missing / unreadable
+  bad_header,      // malformed or missing header line / record
+  bad_record,      // malformed arc/edge line or out-of-range endpoint
+  count_mismatch,  // header promised a different number of records
+  bad_magic,       // binary file does not start with the format magic
+  truncated,       // binary file shorter than its header implies
+  overflow,        // counts/ids exceed the format's 32-bit limits
+  invalid_graph,   // structurally invalid CSR after decode
+};
+const char* io_error_kind_name(IoErrorKind k);
+
+struct IoError {
+  IoErrorKind kind = IoErrorKind::none;
+  std::string message;  // detail; empty iff kind == none
+
+  bool ok() const { return kind == IoErrorKind::none; }
+};
+
+struct IoResult {
+  Csr graph;
+  IoError error;
+
+  bool ok() const { return error.ok(); }
+};
+
+// Non-aborting readers for untrusted input (fuzzing, user-supplied files).
+IoResult try_read_dimacs(const std::string& path);
+IoResult try_read_snap_edgelist(const std::string& path);
+IoResult try_read_binary(const std::string& path);
+
+// Aborting wrappers (AGG_CHECK with the IoError message) for trusted paths:
+// bench harnesses and tests that treat a bad file as a fatal setup error.
 Csr read_dimacs(const std::string& path);
 void write_dimacs(const Csr& g, const std::string& path);
 

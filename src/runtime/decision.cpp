@@ -33,4 +33,14 @@ gg::Variant decide(const Thresholds& t, std::uint64_t ws_size, double avg_outdeg
   return v;
 }
 
+bool choose_cpu_fallback(const FallbackInput& in) {
+  if (!in.device_healthy) return true;
+  if (in.deadline_us <= 0) return false;
+  const double deadline = in.submit_us + in.deadline_us;
+  if (in.gpu_start_us <= deadline) return false;
+  // The GPU cannot even start in time; the CPU is the only path that might
+  // still meet the deadline.
+  return in.cpu_start_us + in.cpu_estimate_us <= deadline;
+}
+
 }  // namespace rt

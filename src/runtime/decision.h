@@ -54,4 +54,21 @@ struct Thresholds {
 gg::Variant decide(const Thresholds& t, std::uint64_t ws_size, double avg_outdegree,
                    std::uint32_t num_nodes, double outdeg_stddev = 0.0);
 
+// CPU-fallback decision for the serving layer: answer a query with the
+// serial oracle instead of launching on the device. Complements the variant
+// decision above — it picks *whether* to use the GPU at all, on modeled
+// time alone, so the choice replays deterministically.
+struct FallbackInput {
+  bool device_healthy = true;  // false once a fault plan killed the device
+  double deadline_us = 0;      // modeled budget from submit; 0 = none
+  double submit_us = 0;        // modeled submission time
+  double gpu_start_us = 0;     // earliest slot on any device stream
+  double cpu_start_us = 0;     // host serial timeline ready time
+  double cpu_estimate_us = 0;  // modeled serial execution time (upper bound)
+};
+
+// True when the device is unhealthy, or the earliest device slot already
+// misses the deadline while the host can still answer in time.
+bool choose_cpu_fallback(const FallbackInput& in);
+
 }  // namespace rt

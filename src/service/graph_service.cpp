@@ -1,11 +1,18 @@
 #include "service/graph_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "cpu/bfs_serial.h"
+#include "cpu/cc_serial.h"
+#include "cpu/cpu_cost_model.h"
+#include "cpu/pagerank_serial.h"
+#include "cpu/sssp_serial.h"
 #include "graph/csr.h"
 #include "runtime/adaptive_engine.h"
+#include "runtime/decision.h"
 #include "trace/counters.h"
 #include "trace/trace_sink.h"
 
@@ -13,7 +20,7 @@ namespace svc {
 
 namespace {
 
-void bump(const char* name, double d = 1) {
+void bump(std::string_view name, double d = 1) {
   auto& reg = trace::CounterRegistry::instance();
   if (reg.enabled()) reg.counter(name).add(d);
 }
@@ -80,6 +87,7 @@ std::optional<QueryId> GraphService::submit(const QueryRequest& req) {
     out.graph = req.graph;
     out.status = adaptive::Status::rejected;
     out.error = "queue full";
+    out.code = adaptive::ErrorCode::queue_full;
     out.submit_us = dev_.makespan_us();
     done_.push_back(std::move(out));
     bump("svc.rejected");
@@ -173,6 +181,7 @@ void GraphService::execute_single(const PendingQuery& q) {
   if (q.req.policy.mode == adaptive::Policy::Mode::cpu_serial) {
     out.status = adaptive::Status::error;
     out.error = "cpu_serial policies are not servable (wall-clock timing)";
+    out.code = adaptive::ErrorCode::invalid_argument;
     done_.push_back(std::move(out));
     bump("svc.completed");
     return;
@@ -180,6 +189,7 @@ void GraphService::execute_single(const PendingQuery& q) {
   if ((q.req.algo == Algo::sssp) && !g.is_weighted()) {
     out.status = adaptive::Status::error;
     out.error = "sssp requires edge weights";
+    out.code = adaptive::ErrorCode::invalid_argument;
     done_.push_back(std::move(out));
     bump("svc.completed");
     return;
@@ -188,17 +198,53 @@ void GraphService::execute_single(const PendingQuery& q) {
       q.req.source >= g.num_nodes()) {
     out.status = adaptive::Status::error;
     out.error = "source out of range";
+    out.code = adaptive::ErrorCode::invalid_argument;
     done_.push_back(std::move(out));
     bump("svc.completed");
+    return;
+  }
+
+  if (!dev_.healthy()) {
+    // Dead device: every attempt would fail permanently, so skip straight to
+    // degradation (or report the loss when degradation is off).
+    if (opts_.resilience.degrade_to_cpu) {
+      run_degraded(q, g, out);
+      bump("svc.degraded");
+      bump("svc.degraded.dead");
+      bump("svc.completed");
+    } else {
+      out.status = adaptive::Status::error;
+      out.error = "device lost";
+      out.code = adaptive::ErrorCode::device_lost;
+      bump("svc.failed");
+    }
+    done_.push_back(std::move(out));
     return;
   }
 
   const simt::StreamId stream = pick_stream();
   const double ready = dev_.stream_ready_us(stream);
   if (q.req.deadline_us > 0 && ready > q.submit_us + q.req.deadline_us) {
-    // The earliest slot already misses the deadline: time out without
-    // spending device time.
+    // The earliest slot already misses the deadline. The CPU may still make
+    // it: its timeline is independent of the congested streams.
+    rt::FallbackInput fi;
+    fi.device_healthy = true;
+    fi.deadline_us = q.req.deadline_us;
+    fi.submit_us = q.submit_us;
+    fi.gpu_start_us = ready;
+    fi.cpu_start_us = std::max(host_ready_us_, q.submit_us);
+    fi.cpu_estimate_us = estimate_cpu_us(q.req.algo, g);
+    if (opts_.resilience.degrade_to_cpu && rt::choose_cpu_fallback(fi)) {
+      run_degraded(q, g, out);
+      bump("svc.degraded");
+      bump("svc.degraded.deadline");
+      bump("svc.completed");
+      done_.push_back(std::move(out));
+      return;
+    }
+    // Time out without spending device time.
     out.status = adaptive::Status::timed_out;
+    out.code = adaptive::ErrorCode::deadline_exceeded;
     out.stream = stream;
     out.start_us = ready;
     done_.push_back(std::move(out));
@@ -206,6 +252,73 @@ void GraphService::execute_single(const PendingQuery& q) {
     return;
   }
 
+  // Resilient execution: retry transient faults with modeled-time backoff,
+  // then degrade to the CPU oracle (or fail) per the resilience policy.
+  int attempts = 0;
+  for (;;) {
+    const std::uint64_t mark = dev_.mem_mark();
+    const bool had_sym = entry.sym_dg.has_value();
+    try {
+      run_device_query(q, entry, stream, out);
+      break;
+    } catch (const simt::DeviceFault& f) {
+      dev_.mem_reclaim(mark);
+      if (!had_sym && entry.sym_dg) {
+        // The symmetrized upload of this attempt died with the fault; its
+        // accounting was just reclaimed, so drop the handle without release.
+        entry.sym_dg.reset();
+      }
+      ++attempts;
+      bump("svc.fault");
+      bump(std::string("svc.fault.") + simt::fault_kind_name(f.kind()));
+      const FaultAction action = next_action(opts_.resilience, attempts,
+                                             f.permanent(), dev_.healthy());
+      if (action == FaultAction::retry) {
+        const double delay = backoff_us(opts_.resilience, attempts);
+        {
+          simt::StreamGuard sguard(dev_, stream);
+          dev_.account_host_compute(delay);
+        }
+        ++out.retries;
+        bump("svc.retry");
+        bump("svc.retry.backoff_us", delay);
+        continue;
+      }
+      if (action == FaultAction::degrade) {
+        run_degraded(q, g, out);
+        bump("svc.degraded");
+        bump(f.permanent() ? "svc.degraded.dead" : "svc.degraded.fault");
+        bump("svc.completed");
+        done_.push_back(std::move(out));
+        return;
+      }
+      out.status = adaptive::Status::error;
+      out.error = f.what();
+      out.code = adaptive::detail::fault_code(f);
+      out.stream = stream;
+      out.start_us = ready;
+      done_.push_back(std::move(out));
+      bump("svc.failed");
+      return;
+    }
+  }
+
+  finish_outcome(out, stream, ready);
+  if (q.req.deadline_us > 0 &&
+      out.finish_us > q.submit_us + q.req.deadline_us) {
+    out.status = adaptive::Status::timed_out;
+    out.code = adaptive::ErrorCode::deadline_exceeded;
+    out.payload = std::monostate{};
+    bump("svc.timeout");
+  } else {
+    bump("svc.completed");
+  }
+  done_.push_back(std::move(out));
+}
+
+void GraphService::run_device_query(const PendingQuery& q, GraphEntry& entry,
+                                    simt::StreamId stream, QueryOutcome& out) {
+  const adaptive::Graph& g = entry.g;
   adaptive::Policy policy = q.req.policy;
   policy.options.engine.stream = stream;
   const bool fixed = policy.mode == adaptive::Policy::Mode::fixed_variant;
@@ -281,17 +394,102 @@ void GraphService::execute_single(const PendingQuery& q) {
       break;
     }
   }
+}
 
-  finish_outcome(out, stream, ready);
-  if (q.req.deadline_us > 0 &&
-      out.finish_us > q.submit_us + q.req.deadline_us) {
-    out.status = adaptive::Status::timed_out;
-    out.payload = std::monostate{};
-    bump("svc.timeout");
-  } else {
-    bump("svc.completed");
+void GraphService::run_degraded(const PendingQuery& q, const adaptive::Graph& g,
+                                QueryOutcome& out) {
+  const cpu::CpuModel& model = cpu::CpuModel::core_i7();
+  const double start = std::max(host_ready_us_, q.submit_us);
+  double dur_us = 0;
+  switch (q.req.algo) {
+    case Algo::bfs: {
+      cpu::BfsResult r = cpu::bfs(g.csr(), q.req.source);
+      dur_us = model.bfs_time_us(r.counts, g.num_nodes());
+      adaptive::BfsResult ar;
+      ar.level = std::move(r.level);
+      ar.cpu_wall_ms = r.wall_ms;
+      ar.degraded = true;
+      out.payload = std::move(ar);
+      break;
+    }
+    case Algo::sssp: {
+      cpu::SsspResult r = cpu::dijkstra(g.csr(), q.req.source);
+      dur_us = model.dijkstra_time_us(r.counts, g.num_nodes());
+      adaptive::SsspResult ar;
+      ar.dist = std::move(r.dist);
+      ar.cpu_wall_ms = r.wall_ms;
+      ar.degraded = true;
+      out.payload = std::move(ar);
+      break;
+    }
+    case Algo::cc: {
+      const bool needs_sym =
+          q.req.policy.symmetrize == adaptive::Symmetrize::always ||
+          (q.req.policy.symmetrize == adaptive::Symmetrize::auto_detect &&
+           !g.is_symmetric());
+      cpu::CcResult r =
+          cpu::connected_components(needs_sym ? g.symmetrized() : g.csr());
+      dur_us = model.cc_time_us(r.counts, g.num_nodes());
+      adaptive::CcResult ar;
+      ar.component = std::move(r.component);
+      ar.num_components = r.num_components;
+      ar.cpu_wall_ms = r.wall_ms;
+      ar.degraded = true;
+      out.payload = std::move(ar);
+      break;
+    }
+    case Algo::pagerank: {
+      cpu::PageRankOptions po;
+      po.damping = q.req.damping;
+      cpu::PageRankResult r = cpu::pagerank(g.csr(), po);
+      dur_us = model.pagerank_time_us(r.counts, g.num_nodes());
+      adaptive::PageRankResult ar;
+      ar.rank = std::move(r.rank);
+      ar.cpu_wall_ms = r.wall_ms;
+      ar.degraded = true;
+      out.payload = std::move(ar);
+      break;
+    }
   }
-  done_.push_back(std::move(out));
+  host_ready_us_ = start + dur_us;
+  out.degraded = true;
+  out.stream = 0;  // never dispatched to a device stream
+  out.start_us = start;
+  out.finish_us = host_ready_us_;
+}
+
+double GraphService::estimate_cpu_us(Algo algo, const adaptive::Graph& g) const {
+  const cpu::CpuModel& model = cpu::CpuModel::core_i7();
+  const std::uint32_t n = g.num_nodes();
+  const auto m = static_cast<std::uint64_t>(g.num_edges());
+  switch (algo) {
+    case Algo::bfs: {
+      cpu::BfsCounts c;
+      c.nodes_popped = n;
+      c.edges_scanned = m;
+      return model.bfs_time_us(c, n);
+    }
+    case Algo::sssp: {
+      cpu::SsspCounts c;
+      c.heap_pops = n;
+      c.heap_pushes = m;
+      c.edges_relaxed = m;
+      return model.dijkstra_time_us(c, n);
+    }
+    case Algo::cc: {
+      cpu::CcCounts c;
+      c.edges_scanned = m;
+      c.find_steps = 2 * m;
+      return model.cc_time_us(c, n);
+    }
+    case Algo::pagerank: {
+      cpu::PageRankCounts c;
+      c.iterations = 20;  // typical convergence at the default tolerance
+      c.edge_updates = 20 * m;
+      return model.pagerank_time_us(c, n);
+    }
+  }
+  return 0;
 }
 
 void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
@@ -309,6 +507,7 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
     if (q.req.source >= g.num_nodes()) {
       out.status = adaptive::Status::error;
       out.error = "source out of range";
+      out.code = adaptive::ErrorCode::invalid_argument;
       bump("svc.completed");
     } else {
       live.push_back(&q);
@@ -328,6 +527,7 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
       const PendingQuery& q = *live[s];
       if (q.req.deadline_us > 0 && ready > q.submit_us + q.req.deadline_us) {
         out.status = adaptive::Status::timed_out;
+        out.code = adaptive::ErrorCode::deadline_exceeded;
         out.stream = stream;
         out.start_us = ready;
         bump("svc.timeout");
@@ -347,13 +547,29 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
 
     adaptive::Policy policy = live.front()->req.policy;
     policy.options.engine.stream = stream;
-    gg::GpuBfsMultiResult mr =
-        policy.mode == adaptive::Policy::Mode::fixed_variant
-            ? gg::run_bfs_multi(dev_, entry.dg, g.csr(), sources,
-                                gg::fixed_variant(policy.variant),
-                                policy.options.engine)
-            : rt::adaptive_bfs_multi(dev_, entry.dg, g.csr(), sources,
-                                     policy.options);
+    gg::GpuBfsMultiResult mr;
+    const std::uint64_t mark = dev_.mem_mark();
+    try {
+      mr = policy.mode == adaptive::Policy::Mode::fixed_variant
+               ? gg::run_bfs_multi(dev_, entry.dg, g.csr(), sources,
+                                   gg::fixed_variant(policy.variant),
+                                   policy.options.engine)
+               : rt::adaptive_bfs_multi(dev_, entry.dg, g.csr(), sources,
+                                        policy.options);
+    } catch (const simt::DeviceFault& f) {
+      // Fused launch died: unbatch. Record the members already answered
+      // (invalid / timed out), then route each live member through the
+      // single-query path, whose retry/degradation policy applies per query.
+      dev_.mem_reclaim(mark);
+      bump("svc.fault");
+      bump(std::string("svc.fault.") + simt::fault_kind_name(f.kind()));
+      bump("svc.batch_aborted");
+      for (QueryOutcome& out : outs) {
+        if (out.status != adaptive::Status::ok) done_.push_back(std::move(out));
+      }
+      for (const PendingQuery* q : live) execute_single(*q);
+      return;
+    }
 
     // Scatter the fused result back to the member queries: query s's level
     // of node v lives at levels[v*k + s].
@@ -375,6 +591,7 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
       if (q.req.deadline_us > 0 &&
           out.finish_us > q.submit_us + q.req.deadline_us) {
         out.status = adaptive::Status::timed_out;
+        out.code = adaptive::ErrorCode::deadline_exceeded;
         out.payload = std::monostate{};
         bump("svc.timeout");
       } else {

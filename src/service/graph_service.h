@@ -26,6 +26,15 @@
 // so outcomes, svc.* counters and traces are byte-identical at any
 // --sim-threads value.
 //
+// Resilience: an installed FaultPlan (set_fault_plan) makes device ops fail
+// deterministically. A faulted query is retried with modeled-time
+// exponential backoff (ServiceOptions::resilience); when retries are
+// exhausted, the device is dead, or deadline pressure rules out a device
+// launch entirely, the query degrades to the serial CPU oracle on a modeled
+// single-core host timeline — exact payload, outcome marked degraded. Fault
+// decisions hash (seed, kind, op index) only, so outcomes, retry schedules
+// and traces still replay bit-identically at any --sim-threads value.
+//
 // Observability: per-stream Chrome-trace lanes come from the stream tags the
 // device stamps on every event; the service additionally maintains the
 // svc.queued / svc.running / svc.completed / svc.rejected / svc.timeout /
@@ -43,7 +52,9 @@
 #include "api/algorithms.h"
 #include "api/graph_api.h"
 #include "gpu_graph/device_graph.h"
+#include "service/resilience.h"
 #include "simt/device.h"
+#include "simt/fault.h"
 
 namespace svc {
 
@@ -77,6 +88,9 @@ struct QueryOutcome {
   GraphId graph = 0;
   adaptive::Status status = adaptive::Status::ok;
   std::string error;             // set when status == error
+  adaptive::ErrorCode code = adaptive::ErrorCode::none;  // typed cause
+  std::uint32_t retries = 0;     // on-device re-executions after faults
+  bool degraded = false;         // answered by the serial CPU oracle
   simt::StreamId stream = 0;     // stream it ran on; 0 = never dispatched
   double submit_us = 0;          // modeled time of submission
   double start_us = 0;           // stream time when dispatched
@@ -104,6 +118,9 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64;  // pending submissions before rejection
   bool batch_bfs = true;            // fuse same-graph BFS prefixes
   std::uint32_t max_batch = 32;     // <= gg::kMaxBatchedSources
+  // Retry / degradation behavior for injected or genuine device faults
+  // (service/resilience.h).
+  ResiliencePolicy resilience{};
 };
 
 class GraphService {
@@ -124,6 +141,14 @@ class GraphService {
 
   simt::Device& device() { return dev_; }
   const ServiceOptions& options() const { return opts_; }
+
+  // Arms deterministic fault injection on the service device. Install after
+  // add_graph() so the resident uploads are not subject to the plan; the
+  // plan then applies to every query until replaced by an empty plan.
+  void set_fault_plan(const simt::FaultPlan& plan) { dev_.set_fault_plan(plan); }
+  // False once a permanent fault killed the device; every later query is
+  // answered by CPU degradation (or failed, when degradation is off).
+  bool device_healthy() const { return dev_.healthy(); }
 
   // Admission: enqueues and returns the query id, or std::nullopt when the
   // pending queue is full (a rejected outcome is still recorded for drain()).
@@ -158,6 +183,14 @@ class GraphService {
   void execute_bfs_batch(const std::vector<PendingQuery>& batch);
   QueryOutcome make_outcome(const PendingQuery& q) const;
   void finish_outcome(QueryOutcome& out, simt::StreamId stream, double start);
+  // One device attempt of q on `stream` (may throw simt::DeviceFault).
+  void run_device_query(const PendingQuery& q, GraphEntry& entry,
+                        simt::StreamId stream, QueryOutcome& out);
+  // Serial-oracle execution on the modeled single-core host timeline.
+  void run_degraded(const PendingQuery& q, const adaptive::Graph& g,
+                    QueryOutcome& out);
+  // Modeled upper bound of the serial execution time (full-scan counts).
+  double estimate_cpu_us(Algo algo, const adaptive::Graph& g) const;
 
   ServiceOptions opts_;
   simt::Device dev_;
@@ -166,6 +199,9 @@ class GraphService {
   std::deque<PendingQuery> queue_;
   std::vector<QueryOutcome> done_;
   QueryId next_id_ = 1;
+  // Ready time of the modeled serial CPU used for degraded queries: one
+  // core, so degraded executions serialize on this timeline.
+  double host_ready_us_ = 0;
 };
 
 }  // namespace svc

@@ -1,0 +1,48 @@
+#include "service/resilience.h"
+
+#include <algorithm>
+
+namespace svc {
+
+double backoff_us(const ResiliencePolicy& policy, int attempt) {
+  if (attempt < 1) return 0;
+  double d = policy.backoff_base_us;
+  for (int i = 1; i < attempt && d < policy.backoff_cap_us; ++i) d *= 2;
+  return std::min(d, policy.backoff_cap_us);
+}
+
+adaptive::ErrorCode fault_error_code(const simt::DeviceFault& f) {
+  switch (f.kind()) {
+    case simt::FaultKind::alloc:
+      return adaptive::ErrorCode::device_oom;
+    case simt::FaultKind::transfer:
+      return adaptive::ErrorCode::transfer_failed;
+    case simt::FaultKind::kernel:
+      return adaptive::ErrorCode::kernel_fault;
+  }
+  return adaptive::ErrorCode::internal;
+}
+
+bool retryable(const simt::DeviceFault& f) { return !f.permanent(); }
+
+FaultAction next_action(const ResiliencePolicy& policy, int attempts_done,
+                        bool permanent, bool device_healthy) {
+  if (!permanent && device_healthy && attempts_done <= policy.max_retries) {
+    return FaultAction::retry;
+  }
+  return policy.degrade_to_cpu ? FaultAction::degrade : FaultAction::fail;
+}
+
+const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::retry:
+      return "retry";
+    case FaultAction::degrade:
+      return "degrade";
+    case FaultAction::fail:
+      return "fail";
+  }
+  return "?";
+}
+
+}  // namespace svc

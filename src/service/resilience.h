@@ -1,0 +1,49 @@
+// Resilience policy for GraphService: bounded retry with modeled-time
+// exponential backoff for transient device faults, and graceful degradation
+// to the serial CPU oracles when the device is unhealthy (or a permanent
+// fault killed it) or a query's deadline leaves no room for a device run.
+//
+// The policy layer is pure decision logic over modeled time — it never
+// consults the wall clock — so a given fault plan yields the same retry /
+// degrade schedule at any --sim-threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/algorithms.h"
+#include "simt/fault.h"
+
+namespace svc {
+
+struct ResiliencePolicy {
+  // Maximum *re*-executions after the first attempt. 0 disables retry.
+  int max_retries = 2;
+  // Backoff charged to the query's stream before retry k (1-based) is
+  // backoff_base_us * 2^(k-1), capped at backoff_cap_us.
+  double backoff_base_us = 50.0;
+  double backoff_cap_us = 5000.0;
+  // Degrade to the CPU oracle instead of failing when retries are exhausted
+  // or the device is dead. Off = exhausted queries report their fault.
+  bool degrade_to_cpu = true;
+};
+
+// Backoff delay before retry `attempt` (1-based), in modeled microseconds.
+double backoff_us(const ResiliencePolicy& policy, int attempt);
+
+// Maps a device fault to the typed taxonomy: alloc -> device_oom,
+// transfer -> transfer_failed, kernel -> kernel_fault.
+adaptive::ErrorCode fault_error_code(const simt::DeviceFault& f);
+
+// Whether a fault is worth retrying on-device (a permanent fault is not).
+bool retryable(const simt::DeviceFault& f);
+
+// Decision for one faulted attempt: retry on-device, degrade to CPU, or
+// give up and report the fault.
+enum class FaultAction : std::uint8_t { retry, degrade, fail };
+FaultAction next_action(const ResiliencePolicy& policy, int attempts_done,
+                        bool permanent, bool device_healthy);
+
+const char* fault_action_name(FaultAction a);
+
+}  // namespace svc

@@ -85,6 +85,42 @@ void Device::trace_transfer(std::uint64_t bytes, bool to_device, double dur_us,
   }
 }
 
+void Device::check_fault(FaultKind kind, const char* op) {
+  const FaultInjector::Decision d = injector_.next(kind);
+  if (!d.fail) return;
+  if (trace::active()) {
+    auto& tracer = trace::Tracer::instance();
+    if (tracer.has_sinks()) {
+      trace::FaultEvent ev;
+      ev.kind = fault_kind_name(kind);
+      ev.op = op;
+      ev.op_index = d.op_index;
+      ev.permanent = d.permanent;
+      ev.stream = current_;
+      ev.ts_us = now_us();
+      tracer.fault(ev);
+    }
+    auto& reg = trace::CounterRegistry::instance();
+    if (reg.enabled()) {
+      reg.counter("simt.fault.injected").add();
+      reg.counter(std::string("simt.fault.") + fault_kind_name(kind)).add();
+      if (d.permanent) reg.counter("simt.fault.permanent").add();
+    }
+  }
+  throw DeviceFault(kind, op, d.op_index, d.permanent);
+}
+
+void Device::throw_oom(const char* name) {
+  // Genuine capacity exhaustion (not plan-scheduled): surfaced with the same
+  // typed taxonomy so callers handle both identically.
+  if (trace::active()) {
+    auto& reg = trace::CounterRegistry::instance();
+    if (reg.enabled()) reg.counter("simt.oom").add();
+  }
+  throw DeviceFault(FaultKind::alloc, name, /*op_index=*/0,
+                    /*permanent=*/false);
+}
+
 void Device::trace_host(double dur_us, double start_us) {
   auto& tracer = trace::Tracer::instance();
   tracer.set_time_us(now_us());

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "simt/device_props.h"
+#include "simt/fault.h"
 #include "simt/kernel.h"
 #include "simt/memory.h"
 #include "simt/stream.h"
@@ -50,9 +51,31 @@ class Device {
   const DeviceProps& props() const { return props_; }
   const TimingModel& timing() const { return tm_; }
 
+  // ---- fault injection & health ----
+  // Installs a fault plan (simt/fault.h); subsequent allocations, transfers
+  // and kernel launches consult it and throw DeviceFault when scheduled to
+  // fail. An empty plan disarms injection.
+  void set_fault_plan(FaultPlan plan) {
+    injector_.install(std::move(plan));
+    fault_armed_ = injector_.armed();
+  }
+  const FaultPlan& fault_plan() const { return injector_.plan(); }
+  // False once a plan's dead.after threshold has been crossed: the device is
+  // permanently lost and every further op fails.
+  bool healthy() const { return !injector_.device_dead(); }
+
+  // Memory high-water handling for fault recovery: a DeviceFault thrown
+  // mid-engine unwinds past buffers that were never free()d, leaking their
+  // accounting. Callers snapshot mem_mark() before a faultable region and
+  // reclaim back to it after catching.
+  std::uint64_t mem_mark() const { return space_.bytes_in_use(); }
+  void mem_reclaim(std::uint64_t mark) { space_.reclaim_to(mark); }
+
   // ---- allocation ----
   template <typename T>
   DeviceBuffer<T> alloc(std::size_t n, std::string name) {
+    if (fault_armed_) check_fault(FaultKind::alloc, name.c_str());
+    if (!space_.can_allocate(n * sizeof(T))) throw_oom(name.c_str());
     const std::uint64_t base = space_.allocate(n * sizeof(T));
     return DeviceBufferFactory<T>::make(base, n, std::move(name));
   }
@@ -68,6 +91,7 @@ class Device {
   // ---- transfers (advance the simulated clock with the PCIe model) ----
   template <typename T>
   void memcpy_h2d(DeviceBuffer<T>& dst, std::span<const T> src) {
+    if (fault_armed_) check_fault(FaultKind::transfer, "memcpy.h2d");
     AGG_CHECK(src.size() <= dst.size());
     std::copy(src.begin(), src.end(), dst.host_view().begin());
     account_transfer(src.size_bytes(), /*to_device=*/true);
@@ -75,6 +99,7 @@ class Device {
 
   template <typename T>
   void memcpy_d2h(std::span<T> dst, const DeviceBuffer<T>& src) {
+    if (fault_armed_) check_fault(FaultKind::transfer, "memcpy.d2h");
     AGG_CHECK(dst.size() <= src.size());
     const auto view = src.host_view();
     std::copy(view.begin(), view.begin() + static_cast<std::ptrdiff_t>(dst.size()),
@@ -85,6 +110,7 @@ class Device {
   // Single-value download, the per-iteration termination check of the engine.
   template <typename T>
   T read_scalar(const DeviceBuffer<T>& src, std::size_t i = 0) {
+    if (fault_armed_) check_fault(FaultKind::transfer, "read_scalar");
     AGG_CHECK(i < src.size());
     account_transfer(sizeof(T), /*to_device=*/false);
     return src.host_view()[i];
@@ -93,6 +119,7 @@ class Device {
   // Single-value upload (e.g. source-node initialization, counter reset).
   template <typename T>
   void write_scalar(DeviceBuffer<T>& dst, std::size_t i, T value) {
+    if (fault_armed_) check_fault(FaultKind::transfer, "write_scalar");
     AGG_CHECK(i < dst.size());
     dst.host_view()[i] = value;
     account_transfer(sizeof(T), /*to_device=*/true);
@@ -160,6 +187,7 @@ class Device {
   const KernelObserver& kernel_observer() const { return observer_; }
 
   void account_kernel(const KernelStats& ks) {
+    if (fault_armed_) check_fault(FaultKind::kernel, ks.name);
     if (observer_) observer_(ks);
     const double start_us = begin_op(compute_engine_, ks.time_us);
     ++stats_.kernels_launched;
@@ -230,6 +258,13 @@ class Device {
                       double start_us);
   void trace_host(double dur_us, double start_us);
 
+  // Fault cold paths (device.cpp). check_fault consults the injector and, on
+  // a scheduled failure, publishes a FaultEvent and throws DeviceFault.
+  // Decisions depend only on (plan seed, kind, per-kind op index), so replay
+  // is bit-identical regardless of ExecPool worker count.
+  void check_fault(FaultKind kind, const char* op);
+  [[noreturn]] void throw_oom(const char* name);
+
   DeviceProps props_;
   TimingModel tm_;
   AddressSpace space_;
@@ -240,6 +275,8 @@ class Device {
   std::vector<StreamState> streams_;
   EngineTimeline compute_engine_;
   EngineTimeline copy_engine_;
+  FaultInjector injector_;
+  bool fault_armed_ = false;
 };
 
 // Scoped stream selection: ops accounted while the guard lives go to `s`.

@@ -1,0 +1,156 @@
+#include "simt/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace simt {
+namespace {
+
+// splitmix64: the per-op decision hash. Uniform enough for probability
+// thresholds and fully determined by its input.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double op_roll(std::uint64_t seed, FaultKind kind, std::uint64_t index) {
+  const std::uint64_t h =
+      mix64(seed ^ mix64(static_cast<std::uint64_t>(kind) + 1) ^ mix64(index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::alloc:
+      return "alloc";
+    case FaultKind::transfer:
+      return "transfer";
+    case FaultKind::kernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+DeviceFault::DeviceFault(FaultKind kind, std::string op, std::uint64_t op_index,
+                         bool permanent)
+    : kind_(kind), op_(std::move(op)), op_index_(op_index), permanent_(permanent) {
+  message_ = std::string("device fault: ") + fault_kind_name(kind_) + " '" +
+             op_ + "' at op " + std::to_string(op_index_) +
+             (permanent_ ? " (device dead)" : "");
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  const auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string();
+    return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+  };
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = trim(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    AGG_CHECK_MSG(eq != std::string::npos, "fault-plan items are key=value");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    char* tail = nullptr;
+    if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), &tail, 10);
+    } else if (key == "alloc.p") {
+      plan.p_alloc = std::strtod(value.c_str(), &tail);
+    } else if (key == "transfer.p") {
+      plan.p_transfer = std::strtod(value.c_str(), &tail);
+    } else if (key == "kernel.p") {
+      plan.p_kernel = std::strtod(value.c_str(), &tail);
+    } else if (key == "alloc.at") {
+      plan.alloc_at.push_back(std::strtoull(value.c_str(), &tail, 10));
+    } else if (key == "transfer.at") {
+      plan.transfer_at.push_back(std::strtoull(value.c_str(), &tail, 10));
+    } else if (key == "kernel.at") {
+      plan.kernel_at.push_back(std::strtoull(value.c_str(), &tail, 10));
+    } else if (key == "dead.after") {
+      plan.dead_after = std::strtoull(value.c_str(), &tail, 10);
+    } else {
+      AGG_CHECK_MSG(false, "unknown fault-plan key");
+    }
+    AGG_CHECK_MSG(tail && *tail == '\0', "malformed fault-plan value");
+  }
+  AGG_CHECK_MSG(plan.p_alloc >= 0 && plan.p_alloc <= 1 && plan.p_transfer >= 0 &&
+                    plan.p_transfer <= 1 && plan.p_kernel >= 0 && plan.p_kernel <= 1,
+                "fault probabilities must be in [0, 1]");
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  if (empty()) return "none";
+  std::string out = "seed=" + std::to_string(seed);
+  char buf[64];
+  auto prob = [&](const char* name, double p) {
+    if (p > 0) {
+      std::snprintf(buf, sizeof buf, ",%s.p=%g", name, p);
+      out += buf;
+    }
+  };
+  prob("alloc", p_alloc);
+  prob("transfer", p_transfer);
+  prob("kernel", p_kernel);
+  auto indices = [&](const char* name, const std::vector<std::uint64_t>& at) {
+    for (const auto i : at) {
+      out += ",";
+      out += name;
+      out += ".at=" + std::to_string(i);
+    }
+  };
+  indices("alloc", alloc_at);
+  indices("transfer", transfer_at);
+  indices("kernel", kernel_at);
+  if (dead_after > 0) out += ",dead.after=" + std::to_string(dead_after);
+  return out;
+}
+
+FaultInjector::Decision FaultInjector::next(FaultKind kind) {
+  Decision d;
+  d.op_index = counts_[static_cast<std::size_t>(kind)]++;
+  ++total_;
+  if (plan_.dead_after > 0 && total_ > plan_.dead_after) dead_ = true;
+  if (dead_) {
+    d.fail = true;
+    d.permanent = true;
+    return d;
+  }
+  const std::vector<std::uint64_t>* at = nullptr;
+  double p = 0;
+  switch (kind) {
+    case FaultKind::alloc:
+      at = &plan_.alloc_at;
+      p = plan_.p_alloc;
+      break;
+    case FaultKind::transfer:
+      at = &plan_.transfer_at;
+      p = plan_.p_transfer;
+      break;
+    case FaultKind::kernel:
+      at = &plan_.kernel_at;
+      p = plan_.p_kernel;
+      break;
+  }
+  if (std::find(at->begin(), at->end(), d.op_index) != at->end()) {
+    d.fail = true;
+  } else if (p > 0 && op_roll(plan_.seed, kind, d.op_index) < p) {
+    d.fail = true;
+  }
+  return d;
+}
+
+}  // namespace simt

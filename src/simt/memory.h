@@ -24,6 +24,22 @@ class AddressSpace {
   std::uint64_t allocate(std::uint64_t bytes);
   void release(std::uint64_t bytes);  // accounting only; addresses not reused
 
+  // Whether `bytes` more would fit; Device uses this to surface exhaustion
+  // as a typed DeviceFault instead of tripping allocate()'s hard check.
+  bool can_allocate(std::uint64_t bytes) const {
+    const std::uint64_t aligned = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    return in_use_ + aligned <= capacity_;
+  }
+
+  // Rolls the in-use accounting back to at most an earlier mark. Recovery
+  // path for buffers orphaned by a DeviceFault unwinding through an engine
+  // (their destructors free host storage but cannot reach the address
+  // space). A no-op when in-use is already below the mark — legitimate
+  // releases may have landed since it was taken.
+  void reclaim_to(std::uint64_t bytes_in_use) {
+    if (bytes_in_use < in_use_) in_use_ = bytes_in_use;
+  }
+
   std::uint64_t bytes_in_use() const { return in_use_; }
   std::uint64_t capacity() const { return capacity_; }
 

@@ -126,6 +126,24 @@ void ChromeTraceSink::decision(const DecisionEvent& ev) {
   w.end_object();
 }
 
+void ChromeTraceSink::fault(const FaultEvent& ev) {
+  // Instant event on the faulting stream's lane (default stream: host lane),
+  // so failed queries are visually attributable to their slot.
+  const int tid = ev.stream == 0 ? 0 : stream_tid(ev.stream);
+  if (ev.stream > max_stream_) max_stream_ = ev.stream;
+  const std::string name = std::string("fault.") + ev.kind;
+  EventBuilder e(events_, name, "i", tid, ev.ts_us);
+  auto& w = e.writer();
+  w.field("s", "t");
+  w.key("args").begin_object();
+  w.field("op", ev.op);
+  w.field("op_index", ev.op_index);
+  w.field("permanent", ev.permanent);
+  if (ev.stream != 0) w.field("stream", ev.stream);
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
 std::string ChromeTraceSink::json() const {
   // Metadata events name the tracks; rendered fresh so lane count is final.
   std::string meta;

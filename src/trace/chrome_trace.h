@@ -39,6 +39,7 @@ class ChromeTraceSink : public TraceSink {
   void host(const HostEvent& ev) override;
   void iteration(const IterationEvent& ev) override;
   void decision(const DecisionEvent& ev) override;
+  void fault(const FaultEvent& ev) override;
   void flush() override;
 
   // The complete document ({"traceEvents":[...]}), renderable at any point.

@@ -36,6 +36,23 @@ void JsonlDecisionSink::decision(const DecisionEvent& ev) {
   switches_ += ev.switched;
 }
 
+void JsonlDecisionSink::fault(const FaultEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("kind", "fault");
+  w.field("fault", ev.kind);
+  w.field("op", ev.op);
+  w.field("op_index", ev.op_index);
+  w.field("permanent", ev.permanent);
+  w.field("stream", ev.stream);
+  w.field("ts_us", ev.ts_us);
+  w.field("seq", ev.seq);
+  w.end_object();
+  lines_ += w.str();
+  lines_ += '\n';
+  ++faults_;
+}
+
 void JsonlDecisionSink::flush() {
   if (path_.empty()) return;
   std::ofstream f(path_, std::ios::binary | std::ios::trunc);

@@ -1,15 +1,17 @@
-// JSONL decision-trace sink: one JSON object per adaptive decision point,
-// newline-delimited, answering "why did the runtime pick this variant on
-// iteration k?" with the full decision input (|WS|, avg outdegree, the
-// T1/T2/T3 thresholds, sampling interval R), the chosen variant, and whether
-// the choice switched the running implementation.
+// JSONL decision-trace sink: one JSON object per adaptive decision point
+// (and per injected device fault), newline-delimited, answering "why did the
+// runtime pick this variant on iteration k?" with the full decision input
+// (|WS|, avg outdegree, the T1/T2/T3 thresholds, sampling interval R), the
+// chosen variant, and whether the choice switched the running implementation.
 //
-// Line schema (stable field order):
+// Line schemas (stable field order):
 //   {"kind":"decision","algo":"bfs","iteration":3,"ws_size":412,
 //    "avg_outdegree":7.9,"outdeg_stddev":3.1,"num_nodes":100000,
 //    "t1":32,"t2":2688,"t3_fraction":0.3,"t3":30000,"skew_weight":0.5,
 //    "interval":1,"prev_variant":"U_B_QU","variant":"U_T_QU",
 //    "switched":true,"ts_us":1234.5,"seq":17}
+//   {"kind":"fault","fault":"transfer","op":"memcpy.h2d","op_index":12,
+//    "permanent":false,"stream":2,"ts_us":987.5,"seq":41}
 #pragma once
 
 #include <string>
@@ -24,17 +26,20 @@ class JsonlDecisionSink : public TraceSink {
   explicit JsonlDecisionSink(std::string path = "");
 
   void decision(const DecisionEvent& ev) override;
+  void fault(const FaultEvent& ev) override;
   void flush() override;
 
   const std::string& data() const { return lines_; }
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t switches() const { return switches_; }
+  std::uint64_t faults() const { return faults_; }
 
  private:
   std::string path_;
   std::string lines_;
   std::uint64_t decisions_ = 0;
   std::uint64_t switches_ = 0;
+  std::uint64_t faults_ = 0;
 };
 
 }  // namespace trace

@@ -61,4 +61,9 @@ void Tracer::decision(DecisionEvent ev) {
   for (const auto& s : sinks_) s->decision(ev);
 }
 
+void Tracer::fault(FaultEvent ev) {
+  ev.seq = next_seq();
+  for (const auto& s : sinks_) s->fault(ev);
+}
+
 }  // namespace trace

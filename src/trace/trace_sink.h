@@ -70,6 +70,19 @@ struct IterationEvent {
   std::uint64_t seq = 0;
 };
 
+// An injected (or genuine) device fault: which op kind failed, at which
+// per-kind op index, and whether the device is permanently dead. Emitted by
+// Device at the throw site, before the DeviceFault propagates.
+struct FaultEvent {
+  const char* kind = "";  // "alloc" | "transfer" | "kernel"
+  std::string op;         // kernel/buffer name or "memcpy.h2d" etc.
+  std::uint64_t op_index = 0;
+  bool permanent = false;
+  std::uint32_t stream = 0;
+  double ts_us = 0;
+  std::uint64_t seq = 0;
+};
+
 // One adaptive decision point: every input the decision maker saw, what it
 // chose, and whether that changed the running variant.
 struct DecisionEvent {
@@ -103,6 +116,7 @@ class TraceSink {
   virtual void host(const HostEvent&) {}
   virtual void iteration(const IterationEvent&) {}
   virtual void decision(const DecisionEvent&) {}
+  virtual void fault(const FaultEvent&) {}
   virtual void flush() {}
 };
 
@@ -147,6 +161,7 @@ class Tracer {
   void host(HostEvent ev);
   void iteration(IterationEvent ev);
   void decision(DecisionEvent ev);
+  void fault(FaultEvent ev);
 
  private:
   Tracer() = default;

@@ -1,0 +1,292 @@
+// Differential conformance harness: a randomized corpus of 56 graphs — all
+// five topology families the paper evaluates plus degenerate shapes — pushed
+// through every engine variant and the adaptive selector, with the serial
+// CPU implementations as the oracle. BFS, SSSP, CC and MST must agree
+// exactly; PageRank (float accumulation on the device path vs double on the
+// oracle) must agree to a tight relative L1 bound, the same tolerance the
+// engine tests use. A final round replays part of the corpus through the
+// serving layer under an injected-fault plan: every query must still return
+// the oracle answer, whether it was retried on-device or degraded to the
+// CPU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/algorithms.h"
+#include "cpu/bfs_serial.h"
+#include "cpu/cc_serial.h"
+#include "cpu/mst_serial.h"
+#include "cpu/pagerank_serial.h"
+#include "cpu/sssp_serial.h"
+#include "gpu_graph/variant.h"
+#include "graph/gen/generators.h"
+#include "service/graph_service.h"
+#include "simt/device.h"
+#include "simt/fault.h"
+
+namespace {
+
+struct GraphCase {
+  std::string name;
+  graph::Csr csr;
+};
+
+std::vector<GraphCase> corpus() {
+  std::vector<GraphCase> cases;
+  auto add = [&](std::string name, graph::Csr g) {
+    cases.push_back({std::move(name), std::move(g)});
+  };
+
+  // Five generator families, several seeds/sizes each.
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    add("er_small_" + std::to_string(s), graph::gen::erdos_renyi(200, 600, s));
+    add("er_dense_" + std::to_string(s),
+        graph::gen::erdos_renyi(400, 2000, 100 + s));
+    add("road_" + std::to_string(s), graph::gen::road_network(250, s));
+    add("road_big_" + std::to_string(s), graph::gen::road_network(450, 10 + s));
+    add("regular_" + std::to_string(s), graph::gen::regular_copurchase(250, s));
+    add("regular_big_" + std::to_string(s),
+        graph::gen::regular_copurchase(350, 20 + s));
+    graph::gen::PowerLawParams pl;
+    pl.num_nodes = 300 + 50 * static_cast<std::uint32_t>(s);
+    pl.tail_max = 40;
+    pl.seed = s;
+    add("powerlaw_" + std::to_string(s), graph::gen::powerlaw_configuration(pl));
+    graph::gen::RmatParams rm;
+    rm.scale = 8;
+    rm.edges_per_node = (s % 2) ? 4 : 8;
+    rm.seed = s;
+    add("rmat_" + std::to_string(s), graph::gen::rmat(rm));
+    add("ws_lattice_" + std::to_string(s),
+        graph::gen::watts_strogatz(240, 4, 0.0, s));
+    add("ws_rewired_" + std::to_string(s),
+        graph::gen::watts_strogatz(320, 6, 0.5, 30 + s));
+  }
+
+  // Degenerate shapes.
+  using E = graph::Edge;
+  add("empty", graph::csr_from_edges(0, std::vector<E>{}));
+  add("single_node", graph::csr_from_edges(1, std::vector<E>{}));
+  add("self_loop", graph::csr_from_edges(1, std::vector<E>{{0, 0}}));
+  add("loops_and_cycle",
+      graph::csr_from_edges(
+          3, std::vector<E>{{0, 0}, {0, 1}, {1, 2}, {2, 0}, {1, 1}}));
+  {
+    std::vector<E> two_cliques;
+    for (std::uint32_t u = 0; u < 5; ++u)
+      for (std::uint32_t v = 0; v < 5; ++v)
+        if (u != v) {
+          two_cliques.push_back({u, v});
+          two_cliques.push_back({u + 5, v + 5});
+        }
+    add("disconnected", graph::csr_from_edges(10, two_cliques));
+  }
+  add("duplicate_edges",
+      graph::csr_from_edges(
+          4, std::vector<E>{{0, 1}, {0, 1}, {0, 1}, {1, 2}, {1, 2}, {2, 3}}));
+  {
+    std::vector<E> star;
+    for (std::uint32_t i = 1; i < 64; ++i) star.push_back({0, i});
+    add("star", graph::csr_from_edges(64, star));
+  }
+  {
+    std::vector<E> chain;
+    for (std::uint32_t i = 0; i + 1 < 80; ++i) chain.push_back({i, i + 1});
+    add("chain", graph::csr_from_edges(80, chain));
+  }
+  add("two_node_cycle",
+      graph::csr_from_edges(2, std::vector<E>{{0, 1}, {1, 0}}));
+  // Isolated nodes around one edge: most of the graph is unreachable.
+  add("mostly_isolated", graph::csr_from_edges(40, std::vector<E>{{3, 17}}));
+  add("parallel_self_loops",
+      graph::csr_from_edges(2, std::vector<E>{{0, 0}, {0, 0}, {0, 1}, {1, 1}}));
+  return cases;
+}
+
+double rel_l1(const std::vector<double>& got, const std::vector<double>& want) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    num += std::abs(got[i] - want[i]);
+    den += std::abs(want[i]);
+  }
+  return den == 0 ? num : num / den;
+}
+
+// The variant pools mirror the per-engine test suites: BFS/SSSP implement
+// the full ordered x mapping x workset cube; CC/PageRank/MST implement the
+// unordered half plus the warp-centric extension.
+std::vector<adaptive::Policy> traversal_policies() {
+  std::vector<adaptive::Policy> out;
+  out.push_back(adaptive::Policy::adapt());
+  for (const auto v : gg::all_variants()) out.push_back(adaptive::Policy::fixed(v));
+  return out;
+}
+
+std::vector<adaptive::Policy> unordered_policies() {
+  std::vector<adaptive::Policy> out;
+  out.push_back(adaptive::Policy::adapt());
+  for (const auto v : gg::unordered_variants())
+    out.push_back(adaptive::Policy::fixed(v));
+  for (const auto v : gg::warp_centric_variants())
+    out.push_back(adaptive::Policy::fixed(v));
+  return out;
+}
+
+std::string policy_name(const adaptive::Policy& p) {
+  return p.mode == adaptive::Policy::Mode::adaptive
+             ? "adaptive"
+             : gg::variant_name(p.variant);
+}
+
+TEST(Conformance, CorpusIsLargeAndValid) {
+  const auto cases = corpus();
+  EXPECT_GE(cases.size(), 50u);
+  for (const auto& gc : cases) {
+    EXPECT_TRUE(gc.csr.validate_error().empty()) << gc.name;
+  }
+}
+
+TEST(Conformance, EveryVariantMatchesTheOracleOnEveryGraph) {
+  for (const auto& gc : corpus()) {
+    adaptive::Graph g = adaptive::Graph::from_csr(graph::Csr(gc.csr));
+    const bool has_nodes = g.num_nodes() > 0;
+    const bool has_edges = g.num_edges() > 0;
+    adaptive::Graph weighted = adaptive::Graph::from_csr(graph::Csr(gc.csr));
+    if (has_edges) weighted.set_uniform_weights(1, 31);
+
+    const graph::NodeId src = has_nodes ? graph::suggest_source(gc.csr) : 0;
+    const auto bfs_want = has_nodes ? cpu::bfs(gc.csr, src) : cpu::BfsResult{};
+    const auto sssp_want = has_edges ? cpu::dijkstra(weighted.csr(), src)
+                                     : cpu::SsspResult{};
+    const auto cc_want = cpu::connected_components(gc.csr);
+    const auto pr_want = has_nodes ? cpu::pagerank(gc.csr) : cpu::PageRankResult{};
+    // MST requires both arcs of an undirected edge to carry the same weight,
+    // so its input is the symmetrized graph with endpoint-pair weights.
+    adaptive::Graph mst_g = [&] {
+      graph::Csr sym = graph::symmetrize(gc.csr);
+      if (!sym.col_indices.empty()) {
+        graph::assign_symmetric_uniform_weights(sym, 1, 31, 9);
+      }
+      return adaptive::Graph::from_csr(std::move(sym));
+    }();
+    const auto mst_want = has_edges
+                              ? cpu::minimum_spanning_forest(mst_g.csr())
+                              : cpu::MstResult{};
+
+    if (has_nodes) {
+      for (const auto& policy : traversal_policies()) {
+        simt::Device dev;
+        const auto got = adaptive::bfs(dev, g, src, policy);
+        ASSERT_TRUE(got.ok()) << gc.name << " bfs " << policy_name(policy);
+        ASSERT_EQ(got.level, bfs_want.level)
+            << gc.name << " bfs " << policy_name(policy);
+        if (has_edges) {
+          simt::Device sdev;
+          const auto sg = adaptive::sssp(sdev, weighted, src, policy);
+          ASSERT_TRUE(sg.ok()) << gc.name << " sssp " << policy_name(policy);
+          ASSERT_EQ(sg.dist, sssp_want.dist)
+              << gc.name << " sssp " << policy_name(policy);
+        }
+      }
+    }
+
+    for (const auto& policy : unordered_policies()) {
+      if (has_nodes) {
+        simt::Device dev;
+        const auto got = adaptive::cc(dev, g, policy);
+        ASSERT_TRUE(got.ok()) << gc.name << " cc " << policy_name(policy);
+        ASSERT_EQ(got.component, cc_want.component)
+            << gc.name << " cc " << policy_name(policy);
+        ASSERT_EQ(got.num_components, cc_want.num_components) << gc.name;
+        simt::Device pdev;
+        const auto pr = adaptive::pagerank(pdev, g, 0.85, policy);
+        ASSERT_TRUE(pr.ok()) << gc.name << " pagerank " << policy_name(policy);
+        ASSERT_EQ(pr.rank.size(), pr_want.rank.size()) << gc.name;
+        ASSERT_LT(rel_l1(pr.rank, pr_want.rank), 2e-3)
+            << gc.name << " pagerank " << policy_name(policy);
+      }
+      if (has_edges) {
+        simt::Device mdev;
+        const auto mst = adaptive::mst(mdev, mst_g, policy);
+        ASSERT_TRUE(mst.ok()) << gc.name << " mst " << policy_name(policy);
+        ASSERT_EQ(mst.total_weight, mst_want.total_weight)
+            << gc.name << " mst " << policy_name(policy);
+        ASSERT_EQ(mst.num_trees, mst_want.num_trees) << gc.name;
+        ASSERT_EQ(mst.edges_in_forest, mst_want.edges_in_forest) << gc.name;
+      }
+    }
+  }
+}
+
+// Replays part of the corpus through the serving layer with faults injected:
+// transient kernel and transfer failures force retries (and occasionally
+// full CPU degradation), but every answer must still be the oracle's.
+TEST(Conformance, ServedAnswersSurviveInjectedFaults) {
+  const auto cases = corpus();
+  std::size_t exercised = 0;
+  for (std::size_t i = 0; i < cases.size(); i += 7) {
+    const auto& gc = cases[i];
+    if (gc.csr.num_nodes == 0) continue;
+    ++exercised;
+
+    adaptive::Graph g = adaptive::Graph::from_csr(graph::Csr(gc.csr));
+    const bool has_edges = g.num_edges() > 0;
+    if (has_edges) g.set_uniform_weights(1, 31);
+    const graph::Csr csr = g.csr();  // weighted copy for the oracles
+
+    svc::ServiceOptions opts;
+    opts.batch_bfs = false;
+    svc::GraphService service(opts);
+    const auto gid = service.add_graph(std::move(g));
+    service.set_fault_plan(
+        simt::FaultPlan::parse("seed=5, kernel.p=0.25, transfer.p=0.05"));
+
+    const graph::NodeId src = graph::suggest_source(csr);
+    svc::QueryRequest bfs;
+    bfs.algo = svc::Algo::bfs;
+    bfs.graph = gid;
+    bfs.source = src;
+    service.submit(bfs);
+    if (has_edges) {
+      svc::QueryRequest sssp = bfs;
+      sssp.algo = svc::Algo::sssp;
+      service.submit(sssp);
+    }
+    svc::QueryRequest cc;
+    cc.algo = svc::Algo::cc;
+    cc.graph = gid;
+    service.submit(cc);
+    svc::QueryRequest pr;
+    pr.algo = svc::Algo::pagerank;
+    pr.graph = gid;
+    service.submit(pr);
+
+    const auto outcomes = service.drain();
+    const auto pr_want = cpu::pagerank(csr);
+    for (const auto& out : outcomes) {
+      ASSERT_TRUE(out.ok()) << gc.name << " " << svc::algo_name(out.algo)
+                            << ": " << out.error;
+      switch (out.algo) {
+        case svc::Algo::bfs:
+          EXPECT_EQ(out.bfs().level, cpu::bfs(csr, src).level) << gc.name;
+          break;
+        case svc::Algo::sssp:
+          EXPECT_EQ(out.sssp().dist, cpu::dijkstra(csr, src).dist) << gc.name;
+          break;
+        case svc::Algo::cc:
+          EXPECT_EQ(out.cc().component,
+                    cpu::connected_components(csr).component)
+              << gc.name;
+          break;
+        case svc::Algo::pagerank:
+          EXPECT_LT(rel_l1(out.pagerank().rank, pr_want.rank), 2e-3) << gc.name;
+          break;
+      }
+    }
+  }
+  EXPECT_GE(exercised, 7u);
+}
+
+}  // namespace

@@ -69,12 +69,21 @@ TEST(DeviceMemory, AllocationsAreBoundedDuringRun) {
   EXPECT_LT(peak, csr_bytes + 32ull * g.num_nodes + (1u << 16));
 }
 
-TEST(DeviceMemory, OutOfMemoryAborts) {
+TEST(DeviceMemory, OutOfMemoryThrowsTypedFault) {
   simt::DeviceProps tiny = simt::DeviceProps::test_tiny();
   tiny.global_mem_bytes = 1 << 16;
   simt::Device dev(tiny);
-  EXPECT_DEATH((void)dev.alloc<std::uint32_t>(1 << 20, "too-big"),
-               "out of memory");
+  try {
+    (void)dev.alloc<std::uint32_t>(1 << 20, "too-big");
+    FAIL() << "allocation over capacity must throw";
+  } catch (const simt::DeviceFault& f) {
+    EXPECT_EQ(f.kind(), simt::FaultKind::alloc);
+    EXPECT_FALSE(f.permanent());
+    EXPECT_NE(std::string(f.what()).find("too-big"), std::string::npos);
+  }
+  // Exhaustion is not a device death: the device stays usable.
+  EXPECT_TRUE(dev.healthy());
+  EXPECT_NO_THROW((void)dev.alloc<std::uint32_t>(16, "small"));
 }
 
 TEST(Metrics, SummaryMentionsKeyQuantities) {

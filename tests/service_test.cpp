@@ -118,7 +118,10 @@ TEST(GraphService, RejectsWhenQueueFull) {
   ASSERT_EQ(outcomes.size(), 5u);
   std::size_t rejected = 0;
   for (const auto& out : outcomes) {
-    if (out.status == adaptive::Status::rejected) ++rejected;
+    if (out.status == adaptive::Status::rejected) {
+      ++rejected;
+      EXPECT_EQ(out.code, adaptive::ErrorCode::queue_full);
+    }
   }
   EXPECT_EQ(rejected, 2u);
   // Rejections never consume device time.
@@ -149,8 +152,11 @@ TEST(GraphService, DeadlineTimesOutLateQueries) {
   const auto outcomes = service.drain();
   ASSERT_EQ(outcomes.size(), 3u);
   EXPECT_EQ(outcomes[0].status, adaptive::Status::ok);
+  EXPECT_EQ(outcomes[0].code, adaptive::ErrorCode::none);
   EXPECT_EQ(outcomes[1].status, adaptive::Status::timed_out);
+  EXPECT_EQ(outcomes[1].code, adaptive::ErrorCode::deadline_exceeded);
   EXPECT_EQ(outcomes[2].status, adaptive::Status::timed_out);
+  EXPECT_EQ(outcomes[2].code, adaptive::ErrorCode::deadline_exceeded);
   // Timed-out queries carry no payload.
   EXPECT_TRUE(std::holds_alternative<std::monostate>(outcomes[1].payload));
   // The pre-dispatch timeout never started: finish time is unset.
@@ -231,6 +237,7 @@ TEST(GraphService, CpuPolicyIsRefused) {
   const auto outcomes = service.drain();
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].status, adaptive::Status::error);
+  EXPECT_EQ(outcomes[0].code, adaptive::ErrorCode::invalid_argument);
   EXPECT_NE(outcomes[0].error.find("cpu_serial"), std::string::npos);
 }
 

@@ -276,9 +276,19 @@ int cmd_serve(const agg::Cli& cli) {
   sopts.queue_capacity =
       static_cast<std::size_t>(cli.get_int("queue-cap", 1 << 20));
   sopts.batch_bfs = !cli.get_bool("no-batch", false);
+  sopts.resilience.max_retries =
+      static_cast<std::uint32_t>(cli.get_int("retries", 2));
+  sopts.resilience.degrade_to_cpu = cli.get_bool("degrade", true);
   svc::GraphService service(sopts);
   const svc::GraphId gid = service.add_graph(std::move(g));
   const auto& graph = service.graph(gid);
+  // Installed after add_graph: the resident upload is not subject to faults.
+  const simt::FaultPlan fault_plan =
+      simt::FaultPlan::parse(cli.get("fault-plan", ""));
+  if (!fault_plan.empty()) {
+    service.set_fault_plan(fault_plan);
+    std::printf("fault plan: %s\n", fault_plan.summary().c_str());
+  }
 
   agg::Prng prng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
   const double deadline = cli.get_double("deadline-us", 0.0);
@@ -294,8 +304,11 @@ int cmd_serve(const agg::Cli& cli) {
   const auto outcomes = service.drain();
 
   std::size_t ok = 0, timed_out = 0, rejected = 0, errors = 0, batched = 0;
+  std::size_t degraded = 0, retried = 0;
   double sum_latency = 0;
   for (const auto& out : outcomes) {
+    degraded += out.degraded;
+    retried += out.retries > 0;
     switch (out.status) {
       case adaptive::Status::ok:
         ++ok;
@@ -313,6 +326,11 @@ int cmd_serve(const agg::Cli& cli) {
   std::printf("  accepted %zu, rejected %zu, timed out %zu, errors %zu, "
               "answered via fused MS-BFS %zu\n",
               accepted, rejected, timed_out, errors, batched);
+  if (!fault_plan.empty()) {
+    std::printf("  retried on-device %zu, degraded to CPU %zu, device %s\n",
+                retried, degraded,
+                service.device_healthy() ? "healthy" : "dead");
+  }
   std::printf("  modeled makespan %.3f ms, mean latency %.3f ms\n",
               service.makespan_us() / 1000.0,
               ok ? sum_latency / static_cast<double>(ok) / 1000.0 : 0.0);
@@ -436,6 +454,9 @@ int main(int argc, char** argv) {
         "  agg generate <kind> --out=FILE [--nodes=N] [--seed=S] [--weights]\n"
         "  agg serve    <graph> [--queries=64] [--concurrency=4] [--mix=bfs|mixed]\n"
         "               [--no-batch] [--deadline-us=T] [--queue-cap=N] [--seed=S]\n"
+        "               [--fault-plan=SPEC] [--retries=2] [--degrade=true]\n"
+        "               SPEC: seed=N,alloc.p=F,transfer.p=F,kernel.p=F,\n"
+        "                     {alloc,transfer,kernel}.at=N,dead.after=N\n"
         "  agg convert  <in> <out>\n"
         "  agg tune     <graph> [--algo=bfs|sssp]\n\n"
         "global flags:\n"
