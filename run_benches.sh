@@ -31,6 +31,10 @@ mkdir -p results
         # Archive the resilience acceptance numbers (fault overhead,
         # dead-device degradation) as a diffable artifact.
         "$b" | tee results/BENCH_resilience.txt
+      elif [ "$(basename "$b")" = ext_cache ]; then
+        # Archive the result-cache acceptance numbers (warm/cold speedup,
+        # hit rates on Zipfian streams) as a diffable artifact.
+        "$b" | tee results/BENCH_cache.txt
       else
         "$b"
       fi

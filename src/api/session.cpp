@@ -1,5 +1,8 @@
 #include "api/session.h"
 
+#include "trace/counters.h"
+#include "trace/trace_sink.h"
+
 namespace adaptive {
 namespace {
 
@@ -18,6 +21,26 @@ const graph::Csr& resolve_symmetric(const Graph& g, const Policy& policy) {
   return g.csr();
 }
 
+void bump(std::string_view name, double d = 1) {
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) reg.counter(name).add(d);
+}
+
+void gauge_max(const char* name, double v) {
+  auto& reg = trace::CounterRegistry::instance();
+  if (reg.enabled()) reg.gauge(name).set_max(v);
+}
+
+// splitmix64 finalizer over the CSR address: a stable, well-mixed graph key
+// for the session's result cache (bijective, so distinct CSRs never clash).
+std::uint64_t mix_ptr(const void* p) {
+  auto x = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 namespace detail {
@@ -30,7 +53,9 @@ Session::Session(const simt::DeviceProps& props, simt::TimingModel tm)
     : dev_(props, tm) {}
 
 Session::~Session() {
-  for (auto& [key, pin] : pins_) pin.dg.release(dev_);
+  for (auto& [key, pin] : pins_) {
+    if (pin.resident) pin.dg.release(dev_);
+  }
 }
 
 Session::Pin* Session::ensure_fresh(const graph::Csr* key, const graph::Csr& csr,
@@ -38,10 +63,11 @@ Session::Pin* Session::ensure_fresh(const graph::Csr* key, const graph::Csr& csr
   auto it = pins_.find(key);
   if (it == pins_.end()) return nullptr;
   Pin& pin = it->second;
-  if (pin.version != version || (with_weights && !pin.with_weights)) {
-    // Stale upload (graph mutated since registration) or weights appeared:
-    // refresh transparently, charged to the current query's stream.
-    pin.dg.release(dev_);
+  if (!pin.resident || pin.version != version ||
+      (with_weights && !pin.with_weights)) {
+    // Stale upload (graph mutated since registration), evicted pin, or
+    // weights appeared: refresh transparently, charged to the current query.
+    if (pin.resident) pin.dg.release(dev_);
     try {
       pin.dg = gg::DeviceGraph::upload(dev_, csr, with_weights || csr.has_weights());
     } catch (const simt::DeviceFault&) {
@@ -52,6 +78,7 @@ Session::Pin* Session::ensure_fresh(const graph::Csr* key, const graph::Csr& csr
     }
     pin.with_weights = with_weights || csr.has_weights();
     pin.version = version;
+    pin.resident = true;
   }
   return &pin;
 }
@@ -70,7 +97,7 @@ void Session::unregister_graph(const Graph& g) {
   auto drop = [this](const graph::Csr* key) {
     auto it = pins_.find(key);
     if (it != pins_.end()) {
-      it->second.dg.release(dev_);
+      if (it->second.resident) it->second.dg.release(dev_);
       pins_.erase(it);
     }
   };
@@ -81,35 +108,184 @@ void Session::unregister_graph(const Graph& g) {
     derived_.erase(d);
   }
   drop(&g.csr());
+  // Cached answers are only served to registered graphs; drop them so their
+  // bytes return to the budget.
+  if (rcache_.enabled()) rcache_.invalidate_graph(rcache_graph_key(g));
+  rcache_versions_.erase(&g.csr());
 }
 
 bool Session::is_registered(const Graph& g) const {
   return pins_.count(&g.csr()) > 0;
 }
 
+void Session::evict(const Graph& g) {
+  // The derived symmetrized pin is dropped outright — cc() re-derives and
+  // re-uploads it on demand.
+  auto d = derived_.find(&g.csr());
+  if (d != derived_.end()) {
+    auto it = pins_.find(d->second);
+    if (it != pins_.end()) {
+      if (it->second.resident) it->second.dg.release(dev_);
+      pins_.erase(it);
+    }
+    derived_.erase(d);
+  }
+  auto it = pins_.find(&g.csr());
+  if (it != pins_.end() && it->second.resident) {
+    it->second.dg.release(dev_);
+    it->second.resident = false;
+  }
+}
+
+void Session::evict_all() {
+  for (auto& [base, dkey] : derived_) {
+    auto it = pins_.find(dkey);
+    if (it != pins_.end()) {
+      if (it->second.resident) it->second.dg.release(dev_);
+      pins_.erase(it);
+    }
+  }
+  derived_.clear();
+  for (auto& [key, pin] : pins_) {
+    if (pin.resident) {
+      pin.dg.release(dev_);
+      pin.resident = false;
+    }
+  }
+}
+
+bool Session::is_resident(const Graph& g) const {
+  auto it = pins_.find(&g.csr());
+  return it != pins_.end() && it->second.resident;
+}
+
+void Session::enable_result_cache(std::size_t capacity_bytes) {
+  rcache_.set_capacity(capacity_bytes);
+  if (capacity_bytes == 0) {
+    rcache_.clear();
+    rcache_versions_.clear();
+  }
+}
+
+std::uint64_t Session::rcache_graph_key(const Graph& g) const {
+  return mix_ptr(&g.csr());
+}
+
+void Session::rcache_refresh_version(const Graph& g) {
+  auto [it, inserted] = rcache_versions_.try_emplace(&g.csr(), g.version());
+  if (inserted || it->second == g.version()) return;
+  // The graph mutated since the last query: every cached answer for it is
+  // stale. The version in the key already guarantees no hit; dropping them
+  // eagerly returns their bytes to the budget.
+  const std::size_t dropped = rcache_.invalidate_graph(rcache_graph_key(g));
+  it->second = g.version();
+  if (dropped > 0) {
+    bump("svc.cache.invalidate", static_cast<double>(dropped));
+    if (trace::active()) {
+      trace::ServiceEvent ev;
+      ev.action = "cache_invalidate";
+      ev.graph = rcache_graph_key(g);
+      ev.version = g.version();
+      ev.bytes = dropped;  // entry count; their bytes are already released
+      ev.ts_us = dev_.now_us();
+      trace::Tracer::instance().service(ev);
+    }
+  }
+}
+
+const svc::Payload* Session::rcache_lookup(const Graph& g, svc::Algo algo,
+                                           NodeId source, double damping,
+                                           const Policy& policy) {
+  if (!rcache_.enabled() || !is_registered(g)) return nullptr;
+  rcache_refresh_version(g);
+  const svc::CacheKey key = svc::make_cache_key(
+      rcache_graph_key(g), g.version(), algo, source, damping, policy);
+  const auto* e = rcache_.lookup(key);
+  if (e == nullptr) {
+    bump("svc.cache.miss");
+    return nullptr;
+  }
+  // Serve from host memory at modeled copy cost; no kernel, no transfer.
+  dev_.account_host_compute(rcache_cost_.hit_us(e->bytes));
+  bump("svc.cache.hit");
+  if (trace::active()) {
+    trace::ServiceEvent ev;
+    ev.action = "cache_hit";
+    ev.algo = svc::algo_name(algo);
+    ev.graph = rcache_graph_key(g);
+    ev.version = g.version();
+    ev.source = source;
+    ev.bytes = e->bytes;
+    ev.ts_us = dev_.now_us();
+    trace::Tracer::instance().service(ev);
+  }
+  return &e->value;
+}
+
+void Session::rcache_store(const Graph& g, svc::Algo algo, NodeId source,
+                           double damping, const Policy& policy,
+                           svc::Payload payload) {
+  if (!rcache_.enabled() || !is_registered(g)) return;
+  rcache_refresh_version(g);
+  const svc::CacheKey key = svc::make_cache_key(
+      rcache_graph_key(g), g.version(), algo, source, damping, policy);
+  const std::size_t bytes = svc::payload_bytes(payload);
+  const std::size_t before = rcache_.entries();
+  const std::size_t evicted = rcache_.insert(key, std::move(payload), bytes);
+  if (evicted > 0) bump("svc.cache.evict", static_cast<double>(evicted));
+  if (rcache_.entries() > before - evicted) {
+    bump("svc.cache.insert");
+    gauge_max("svc.cache.bytes", static_cast<double>(rcache_.bytes_in_use()));
+    if (trace::active()) {
+      trace::ServiceEvent ev;
+      ev.action = "cache_insert";
+      ev.algo = svc::algo_name(algo);
+      ev.graph = rcache_graph_key(g);
+      ev.version = g.version();
+      ev.source = source;
+      ev.bytes = bytes;
+      ev.ts_us = dev_.now_us();
+      trace::Tracer::instance().service(ev);
+    }
+  }
+}
+
 BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
+    if (const svc::Payload* hit =
+            rcache_lookup(g, svc::Algo::bfs, source, 0.0, policy)) {
+      return std::get<BfsResult>(*hit);
+    }
     if (!dev_.healthy()) {
       BfsResult out = adaptive::bfs(dev_, g, source, Policy::cpu());
       out.degraded = true;
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::bfs, source, 0.0, policy,
+                     svc::Payload(out));
+      }
       return out;
     }
     if (is_registered(g)) {
       AGG_CHECK(source < g.num_nodes());
-      return detail::run_guarded<BfsResult>(dev_, [&] {
+      BfsResult out = detail::run_guarded<BfsResult>(dev_, [&] {
         Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
-        BfsResult out;
-        gg::GpuBfsResult r =
+        BfsResult r;
+        gg::GpuBfsResult gr =
             policy.mode == Policy::Mode::fixed_variant
                 ? gg::run_bfs(dev_, pin->dg, g.csr(), source,
                               gg::fixed_variant(policy.variant),
                               policy.options.engine)
                 : rt::adaptive_bfs(dev_, pin->dg, g.csr(), source,
                                    policy.options);
-        out.level = std::move(r.level);
-        out.metrics = std::move(r.metrics);
-        return out;
+        r.level = std::move(gr.level);
+        r.metrics = std::move(gr.metrics);
+        return r;
       });
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::bfs, source, 0.0, policy,
+                     svc::Payload(out));
+      }
+      return out;
     }
   }
   return adaptive::bfs(dev_, g, source, policy);
@@ -117,29 +293,42 @@ BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
 
 SsspResult Session::sssp(const Graph& g, NodeId source, const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
+    if (const svc::Payload* hit =
+            rcache_lookup(g, svc::Algo::sssp, source, 0.0, policy)) {
+      return std::get<SsspResult>(*hit);
+    }
     if (!dev_.healthy()) {
       SsspResult out = adaptive::sssp(dev_, g, source, Policy::cpu());
       out.degraded = true;
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::sssp, source, 0.0, policy,
+                     svc::Payload(out));
+      }
       return out;
     }
     if (is_registered(g)) {
       AGG_CHECK(source < g.num_nodes());
       AGG_CHECK_MSG(g.is_weighted(),
                     "call set_uniform_weights() or load weights first");
-      return detail::run_guarded<SsspResult>(dev_, [&] {
+      SsspResult out = detail::run_guarded<SsspResult>(dev_, [&] {
         Pin* pin = ensure_fresh(&g.csr(), g.csr(), true, g.version());
-        SsspResult out;
-        gg::GpuSsspResult r =
+        SsspResult r;
+        gg::GpuSsspResult gr =
             policy.mode == Policy::Mode::fixed_variant
                 ? gg::run_sssp(dev_, pin->dg, g.csr(), source,
                                gg::fixed_variant(policy.variant),
                                policy.options.engine)
                 : rt::adaptive_sssp(dev_, pin->dg, g.csr(), source,
                                     policy.options);
-        out.dist = std::move(r.dist);
-        out.metrics = std::move(r.metrics);
-        return out;
+        r.dist = std::move(gr.dist);
+        r.metrics = std::move(gr.metrics);
+        return r;
       });
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::sssp, source, 0.0, policy,
+                     svc::Payload(out));
+      }
+      return out;
     }
   }
   return adaptive::sssp(dev_, g, source, policy);
@@ -147,15 +336,22 @@ SsspResult Session::sssp(const Graph& g, NodeId source, const Policy& policy) {
 
 CcResult Session::cc(const Graph& g, const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
+    if (const svc::Payload* hit =
+            rcache_lookup(g, svc::Algo::cc, 0, 0.0, policy)) {
+      return std::get<CcResult>(*hit);
+    }
     if (!dev_.healthy()) {
       CcResult out = adaptive::cc(dev_, g, Policy::cpu().with_symmetrize(
                                                policy.symmetrize));
       out.degraded = true;
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::cc, 0, 0.0, policy, svc::Payload(out));
+      }
       return out;
     }
     if (is_registered(g)) {
       const graph::Csr& target = resolve_symmetric(g, policy);
-      return detail::run_guarded<CcResult>(dev_, [&] {
+      CcResult out = detail::run_guarded<CcResult>(dev_, [&] {
         Pin* pin = ensure_fresh(&target, target, false, g.version());
         if (!pin && &target != &g.csr()) {
           // First cc() on a registered directed graph: keep the symmetrized
@@ -168,18 +364,22 @@ CcResult Session::cc(const Graph& g, const Policy& policy) {
           derived_[&g.csr()] = &target;
         }
         if (!pin) return adaptive::cc(dev_, g, policy);
-        CcResult out;
-        gg::GpuCcResult r =
+        CcResult r;
+        gg::GpuCcResult gr =
             policy.mode == Policy::Mode::fixed_variant
                 ? gg::run_cc(dev_, pin->dg, target,
                              gg::fixed_variant(policy.variant),
                              policy.options.engine)
                 : rt::adaptive_cc(dev_, pin->dg, target, policy.options);
-        out.component = std::move(r.component);
-        out.num_components = r.num_components;
-        out.metrics = std::move(r.metrics);
-        return out;
+        r.component = std::move(gr.component);
+        r.num_components = gr.num_components;
+        r.metrics = std::move(gr.metrics);
+        return r;
       });
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::cc, 0, 0.0, policy, svc::Payload(out));
+      }
+      return out;
     }
   }
   return adaptive::cc(dev_, g, policy);
@@ -198,29 +398,43 @@ MstResult Session::mst(const Graph& g, const Policy& policy) {
 PageRankResult Session::pagerank(const Graph& g, double damping,
                                  const Policy& policy) {
   if (policy.mode != Policy::Mode::cpu_serial) {
+    if (const svc::Payload* hit =
+            rcache_lookup(g, svc::Algo::pagerank, 0, damping, policy)) {
+      return std::get<PageRankResult>(*hit);
+    }
     if (!dev_.healthy()) {
       PageRankResult out = adaptive::pagerank(dev_, g, damping, Policy::cpu());
       out.degraded = true;
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::pagerank, 0, damping, policy,
+                     svc::Payload(out));
+      }
       return out;
     }
     if (is_registered(g)) {
-      return detail::run_guarded<PageRankResult>(dev_, [&] {
+      PageRankResult out = detail::run_guarded<PageRankResult>(dev_, [&] {
         Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
-        PageRankResult out;
+        PageRankResult r;
         gg::PageRankOptions po;
         po.damping = damping;
-        gg::GpuPageRankResult r;
+        gg::GpuPageRankResult gr;
         if (policy.mode == Policy::Mode::fixed_variant) {
           po.engine = policy.options.engine;
-          r = gg::run_pagerank(dev_, pin->dg, g.csr(),
-                               gg::fixed_variant(policy.variant), po);
+          gr = gg::run_pagerank(dev_, pin->dg, g.csr(),
+                                gg::fixed_variant(policy.variant), po);
         } else {
-          r = rt::adaptive_pagerank(dev_, pin->dg, g.csr(), po, policy.options);
+          gr = rt::adaptive_pagerank(dev_, pin->dg, g.csr(), po,
+                                     policy.options);
         }
-        out.rank.assign(r.rank.begin(), r.rank.end());
-        out.metrics = std::move(r.metrics);
-        return out;
+        r.rank.assign(gr.rank.begin(), gr.rank.end());
+        r.metrics = std::move(gr.metrics);
+        return r;
       });
+      if (out.ok()) {
+        rcache_store(g, svc::Algo::pagerank, 0, damping, policy,
+                     svc::Payload(out));
+      }
+      return out;
     }
   }
   return adaptive::pagerank(dev_, g, damping, policy);

@@ -15,6 +15,13 @@
 // unregistered graphs work too — they upload/release per call, exactly like
 // the free functions in api/algorithms.h.
 //
+// Under memory pressure, evict() / evict_all() release the device copies
+// while keeping registrations — the next query re-uploads transparently.
+// enable_result_cache(bytes) additionally serves repeat queries on
+// registered graphs from a byte-bounded LRU of completed exact results
+// (service/result_cache.h) at modeled host-copy cost; Graph::version() bumps
+// invalidate the graph's entries.
+//
 // The device-less convenience overloads (adaptive::bfs(g, s) etc.) are thin
 // wrappers over Session::default_session(), a thread-local instance — so
 // legacy call sites now share one device per thread instead of constructing
@@ -26,6 +33,7 @@
 
 #include "api/algorithms.h"
 #include "gpu_graph/device_graph.h"
+#include "service/result_cache.h"
 #include "simt/device.h"
 
 namespace adaptive {
@@ -49,6 +57,28 @@ class Session {
   bool is_registered(const Graph& g) const;
   std::size_t num_registered() const { return pins_.size(); }
 
+  // Releases the device copies of a registered graph (memory pressure) while
+  // keeping the registration: the next query against it transparently
+  // re-uploads. A lazily pinned symmetrized closure (cc) is dropped outright
+  // — it is re-derived on demand. Cached results stay valid: eviction
+  // changes residency, not answers.
+  void evict(const Graph& g);
+  // evict() for every registered graph; frees all device graph memory.
+  void evict_all();
+  // True when the graph is registered and its CSR is currently uploaded.
+  bool is_resident(const Graph& g) const;
+
+  // ---- result cache ----
+  // Enables (capacity > 0) or disables (0) the session's query-result cache:
+  // repeat queries on *registered* graphs with the same (graph version,
+  // algo, source/params, policy) are answered from host memory at modeled
+  // copy cost (svc::CacheCostModel) without touching the device. Version
+  // bumps (Graph mutation) invalidate. Off by default.
+  void enable_result_cache(std::size_t capacity_bytes);
+  const svc::ResultCache<svc::Payload>& result_cache() const {
+    return rcache_;
+  }
+
   // ---- queries ----
   // Same semantics as the free functions (api/algorithms.h); registered
   // graphs skip the per-query upload, so metrics cover the traversal only.
@@ -71,17 +101,40 @@ class Session {
     gg::DeviceGraph dg;
     bool with_weights = false;
     std::uint64_t version = 0;
+    // False after evict(): the registration survives but the device copy is
+    // gone until the next query re-uploads.
+    bool resident = true;
   };
 
-  // Returns the pin for `key` (uploading or refreshing a stale one) when
-  // `key` belongs to a registered graph; nullptr when unregistered.
+  // Returns the pin for `key` (uploading or refreshing a stale or evicted
+  // one) when `key` belongs to a registered graph; nullptr when
+  // unregistered.
   Pin* ensure_fresh(const graph::Csr* key, const graph::Csr& csr,
                     bool with_weights, std::uint64_t version);
+
+  // ---- result cache plumbing ----
+  std::uint64_t rcache_graph_key(const Graph& g) const;
+  // Invalidates stale entries when g's version moved since last seen.
+  void rcache_refresh_version(const Graph& g);
+  // Cached payload for the key (charging the modeled copy cost to the
+  // device's current stream) or nullptr; only registered graphs are served.
+  const svc::Payload* rcache_lookup(const Graph& g, svc::Algo algo,
+                                    NodeId source, double damping,
+                                    const Policy& policy);
+  // Stores a completed exact payload (no-op when the cache is off, the graph
+  // is unregistered, or the result is not ok).
+  void rcache_store(const Graph& g, svc::Algo algo, NodeId source,
+                    double damping, const Policy& policy,
+                    svc::Payload payload);
 
   simt::Device dev_;
   std::map<const graph::Csr*, Pin> pins_;
   // base-graph key -> key of its lazily pinned symmetrized CSR (cc()).
   std::map<const graph::Csr*, const graph::Csr*> derived_;
+  svc::ResultCache<svc::Payload> rcache_{0};  // disabled until enabled
+  svc::CacheCostModel rcache_cost_{};
+  // Last Graph::version() seen per registered CSR, for eager invalidation.
+  std::map<const graph::Csr*, std::uint64_t> rcache_versions_;
 };
 
 }  // namespace adaptive

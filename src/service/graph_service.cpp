@@ -32,23 +32,9 @@ void gauge_max(const char* name, double v) {
 
 }  // namespace
 
-const char* algo_name(Algo a) {
-  switch (a) {
-    case Algo::bfs:
-      return "bfs";
-    case Algo::sssp:
-      return "sssp";
-    case Algo::cc:
-      return "cc";
-    case Algo::pagerank:
-      return "pagerank";
-  }
-  return "?";
-}
-
 GraphService::GraphService(ServiceOptions opts, const simt::DeviceProps& props,
                            simt::TimingModel tm)
-    : opts_(opts), dev_(props, tm) {
+    : opts_(opts), dev_(props, tm), cache_(opts.cache_bytes) {
   if (opts_.concurrency == 0) opts_.concurrency = 1;
   opts_.max_batch = std::clamp<std::uint32_t>(opts_.max_batch, 1,
                                               gg::kMaxBatchedSources);
@@ -73,12 +59,43 @@ GraphId GraphService::add_graph(adaptive::Graph g) {
   return static_cast<GraphId>(graphs_.size() - 1);
 }
 
+void GraphService::update_graph(GraphId id, adaptive::Graph g) {
+  AGG_CHECK(id < graphs_.size());
+  GraphEntry& entry = *graphs_[id];
+  entry.dg.release(dev_);
+  if (entry.sym_dg) {
+    entry.sym_dg->release(dev_);
+    entry.sym_dg.reset();
+  }
+  entry.g = std::move(g);
+  entry.gen = next_gen_++;
+  entry.dg = gg::DeviceGraph::upload(dev_, entry.g.csr(),
+                                     entry.g.is_weighted());
+  // Every cached answer for this id is stale regardless of version: the
+  // upload generation in the key already guarantees no hit, dropping them
+  // eagerly returns their bytes to the budget.
+  const std::size_t dropped = cache_.invalidate_graph(id);
+  if (dropped > 0) {
+    bump("svc.cache.invalidate", static_cast<double>(dropped));
+    gauge_max("svc.cache.bytes", static_cast<double>(cache_.bytes_in_use()));
+    if (trace::active()) {
+      trace::ServiceEvent ev;
+      ev.action = "cache_invalidate";
+      ev.graph = id;
+      ev.version = (entry.gen << 32) ^ entry.g.version();
+      ev.bytes = dropped;  // entry count; their bytes are already released
+      ev.ts_us = dev_.now_us();
+      trace::Tracer::instance().service(ev);
+    }
+  }
+}
+
 const adaptive::Graph& GraphService::graph(GraphId id) const {
   AGG_CHECK(id < graphs_.size());
   return graphs_[id]->g;
 }
 
-std::optional<QueryId> GraphService::submit(const QueryRequest& req) {
+std::optional<QueryId> GraphService::submit(QueryRequest req) {
   AGG_CHECK(req.graph < graphs_.size());
   if (queue_.size() >= opts_.queue_capacity) {
     QueryOutcome out;
@@ -95,7 +112,7 @@ std::optional<QueryId> GraphService::submit(const QueryRequest& req) {
   }
   PendingQuery q;
   q.id = next_id_++;
-  q.req = req;
+  q.req = std::move(req);
   q.submit_us = dev_.makespan_us();
   queue_.push_back(std::move(q));
   bump("svc.queued");
@@ -132,6 +149,84 @@ QueryOutcome GraphService::make_outcome(const PendingQuery& q) const {
   return out;
 }
 
+bool GraphService::cache_servable(const QueryRequest& req) const {
+  // cpu_serial is refused by the service anyway; everything else produces a
+  // deterministic exact payload, so it can be keyed, cached and collapsed.
+  return req.policy.mode != adaptive::Policy::Mode::cpu_serial;
+}
+
+CacheKey GraphService::key_for(const QueryRequest& req) const {
+  const GraphEntry& entry = *graphs_[req.graph];
+  return make_cache_key(req.graph, (entry.gen << 32) ^ entry.g.version(),
+                        req.algo, req.source, req.damping, req.policy);
+}
+
+void GraphService::publish_service_event(const char* action,
+                                         const QueryRequest& req, QueryId query,
+                                         QueryId leader, std::uint64_t bytes,
+                                         double ts_us) const {
+  if (!trace::active()) return;
+  const GraphEntry& entry = *graphs_[req.graph];
+  trace::ServiceEvent ev;
+  ev.action = action;
+  ev.algo = algo_name(req.algo);
+  ev.graph = req.graph;
+  ev.version = (entry.gen << 32) ^ entry.g.version();
+  ev.source = req.source;
+  ev.query = query;
+  ev.leader = leader;
+  ev.bytes = bytes;
+  ev.ts_us = ts_us;
+  trace::Tracer::instance().service(ev);
+}
+
+void GraphService::serve_copy(const PendingQuery& q, const Payload& payload,
+                              std::size_t bytes, QueryOutcome& out,
+                              QueryId leader, double not_before) {
+  // Host-memory serving: the payload is copied out of the cache (or the
+  // collapse leader's outcome) on the modeled single-core host timeline.
+  // The device is untouched — no kernel, no transfer, no stream slot.
+  const double start =
+      std::max(std::max(host_ready_us_, q.submit_us), not_before);
+  const double dur = opts_.cache_cost.hit_us(bytes);
+  host_ready_us_ = start + dur;
+  out.payload = payload;
+  out.cached = leader == 0;
+  out.collapsed = leader != 0;
+  out.collapsed_into = leader;
+  out.stream = 0;  // never dispatched to a device stream
+  out.start_us = start;
+  out.finish_us = host_ready_us_;
+  if (q.req.deadline_us > 0 &&
+      out.finish_us > q.submit_us + q.req.deadline_us) {
+    out.status = adaptive::Status::timed_out;
+    out.code = adaptive::ErrorCode::deadline_exceeded;
+    out.payload = std::monostate{};
+    bump("svc.timeout");
+  } else {
+    bump("svc.completed");
+  }
+}
+
+void GraphService::store_result(const PendingQuery& q, const Payload& payload) {
+  // Only completed exact payloads reach this point: faulted attempts throw
+  // before their outcome carries a payload, and error paths never call it —
+  // a partial result can therefore never poison the cache.
+  if (!cache_.enabled() || !cache_servable(q.req)) return;
+  if (std::holds_alternative<std::monostate>(payload)) return;
+  const CacheKey key = key_for(q.req);
+  const std::size_t bytes = payload_bytes(payload);
+  const std::size_t before = cache_.entries();
+  const std::size_t evicted = cache_.insert(key, payload, bytes);
+  if (evicted > 0) bump("svc.cache.evict", static_cast<double>(evicted));
+  if (cache_.entries() > before - evicted) {
+    bump("svc.cache.insert");
+    gauge_max("svc.cache.bytes", static_cast<double>(cache_.bytes_in_use()));
+    publish_service_event("cache_insert", q.req, q.id, 0, bytes,
+                          dev_.now_us());
+  }
+}
+
 std::vector<QueryOutcome> GraphService::drain() {
   while (!queue_.empty()) {
     if (opts_.batch_bfs && queue_.front().req.algo == Algo::bfs &&
@@ -146,17 +241,60 @@ std::vector<QueryOutcome> GraphService::drain() {
         queue_.pop_front();
       }
       if (batch.size() > 1) {
-        execute_bfs_batch(batch);
+        execute_bfs_batch(std::move(batch));
       } else {
-        execute_single(batch.front());
+        execute_query(std::move(batch.front()));
       }
     } else {
       PendingQuery q = std::move(queue_.front());
       queue_.pop_front();
-      execute_single(q);
+      execute_query(std::move(q));
     }
   }
   return std::exchange(done_, {});
+}
+
+void GraphService::execute_query(PendingQuery q) {
+  // Request collapsing (singleflight): every identical pending query —
+  // anywhere in the queue — attaches to this execution and is served a copy
+  // of its result instead of re-running.
+  std::vector<PendingQuery> followers;
+  if (opts_.collapse && cache_servable(q.req)) {
+    const CacheKey key = key_for(q.req);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (cache_servable(it->req) && key_for(it->req) == key) {
+        followers.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const QueryId leader = q.id;
+  execute_single(std::move(q));
+  if (followers.empty()) return;
+
+  const QueryOutcome& led = done_.back();
+  if (led.id == leader &&
+      !std::holds_alternative<std::monostate>(led.payload)) {
+    // Copy once: pushing follower outcomes may reallocate done_.
+    const Payload payload = led.payload;
+    const double not_before = led.finish_us;
+    const std::size_t bytes = payload_bytes(payload);
+    for (PendingQuery& f : followers) {
+      QueryOutcome out = make_outcome(f);
+      serve_copy(f, payload, bytes, out, leader, not_before);
+      bump("svc.collapse");
+      publish_service_event("collapse", f.req, f.id, leader, bytes,
+                            out.finish_us);
+      done_.push_back(std::move(out));
+    }
+  } else {
+    // The leader produced no payload (error, or its deadline dropped it);
+    // followers execute on their own — the first success repopulates the
+    // cache and answers the rest.
+    for (PendingQuery& f : followers) execute_single(std::move(f));
+  }
 }
 
 void GraphService::finish_outcome(QueryOutcome& out, simt::StreamId stream,
@@ -173,7 +311,7 @@ void GraphService::finish_outcome(QueryOutcome& out, simt::StreamId stream,
   gauge_max("svc.running", inflight);
 }
 
-void GraphService::execute_single(const PendingQuery& q) {
+void GraphService::execute_single(PendingQuery q) {
   QueryOutcome out = make_outcome(q);
   GraphEntry& entry = *graphs_[q.req.graph];
   const adaptive::Graph& g = entry.g;
@@ -204,6 +342,20 @@ void GraphService::execute_single(const PendingQuery& q) {
     return;
   }
 
+  // Result cache: a completed exact answer for this key is served from host
+  // memory — before the health check, because a hit needs no device at all.
+  if (cache_.enabled() && cache_servable(q.req)) {
+    if (const auto* e = cache_.lookup(key_for(q.req))) {
+      serve_copy(q, e->value, e->bytes, out, 0, 0);
+      bump("svc.cache.hit");
+      publish_service_event("cache_hit", q.req, q.id, 0, e->bytes,
+                            out.finish_us);
+      done_.push_back(std::move(out));
+      return;
+    }
+    bump("svc.cache.miss");
+  }
+
   if (!dev_.healthy()) {
     // Dead device: every attempt would fail permanently, so skip straight to
     // degradation (or report the loss when degradation is off).
@@ -212,6 +364,7 @@ void GraphService::execute_single(const PendingQuery& q) {
       bump("svc.degraded");
       bump("svc.degraded.dead");
       bump("svc.completed");
+      store_result(q, out.payload);
     } else {
       out.status = adaptive::Status::error;
       out.error = "device lost";
@@ -239,6 +392,7 @@ void GraphService::execute_single(const PendingQuery& q) {
       bump("svc.degraded");
       bump("svc.degraded.deadline");
       bump("svc.completed");
+      store_result(q, out.payload);
       done_.push_back(std::move(out));
       return;
     }
@@ -289,6 +443,7 @@ void GraphService::execute_single(const PendingQuery& q) {
         bump("svc.degraded");
         bump(f.permanent() ? "svc.degraded.dead" : "svc.degraded.fault");
         bump("svc.completed");
+        store_result(q, out.payload);
         done_.push_back(std::move(out));
         return;
       }
@@ -304,6 +459,9 @@ void GraphService::execute_single(const PendingQuery& q) {
   }
 
   finish_outcome(out, stream, ready);
+  // The payload is complete and exact, so it enters the cache even when the
+  // deadline check right after drops it from this outcome.
+  store_result(q, out.payload);
   if (q.req.deadline_us > 0 &&
       out.finish_us > q.submit_us + q.req.deadline_us) {
     out.status = adaptive::Status::timed_out;
@@ -492,25 +650,42 @@ double GraphService::estimate_cpu_us(Algo algo, const adaptive::Graph& g) const 
   return 0;
 }
 
-void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
+void GraphService::execute_bfs_batch(std::vector<PendingQuery> batch) {
   GraphEntry& entry = *graphs_[batch.front().req.graph];
   const adaptive::Graph& g = entry.g;
-  const std::uint32_t k = static_cast<std::uint32_t>(batch.size());
+  const std::size_t k = batch.size();
 
-  // Per-query validity check first; invalid members are answered with an
-  // error outcome and excluded from the fused launch.
-  std::vector<const PendingQuery*> live;
+  // Per-member validity and cache screening: invalid members get an error
+  // outcome, cache hits are served from host memory, and only the rest —
+  // `live`, as indices into `batch` — head for the fused launch.
   std::vector<QueryOutcome> outs;
   outs.reserve(k);
-  for (const PendingQuery& q : batch) {
+  std::vector<char> resolved(k, 0);
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < k; ++i) {
+    const PendingQuery& q = batch[i];
     QueryOutcome out = make_outcome(q);
     if (q.req.source >= g.num_nodes()) {
       out.status = adaptive::Status::error;
       out.error = "source out of range";
       out.code = adaptive::ErrorCode::invalid_argument;
       bump("svc.completed");
+      resolved[i] = 1;
     } else {
-      live.push_back(&q);
+      const ResultCache<Payload>::Entry* e =
+          cache_.enabled() && cache_servable(q.req)
+              ? cache_.lookup(key_for(q.req))
+              : nullptr;
+      if (e != nullptr) {
+        serve_copy(q, e->value, e->bytes, out, 0, 0);
+        bump("svc.cache.hit");
+        publish_service_event("cache_hit", q.req, q.id, 0, e->bytes,
+                              out.finish_us);
+        resolved[i] = 1;
+      } else {
+        if (cache_.enabled() && cache_servable(q.req)) bump("svc.cache.miss");
+        live.push_back(i);
+      }
     }
     outs.push_back(std::move(out));
   }
@@ -521,19 +696,19 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
 
     // Pre-dispatch deadline check, as in the single-query path: members whose
     // earliest slot already misses their deadline drop out of the launch.
-    for (std::size_t i = 0, s = 0; i < outs.size(); ++i) {
-      QueryOutcome& out = outs[i];
-      if (out.status != adaptive::Status::ok) continue;
-      const PendingQuery& q = *live[s];
+    for (auto it = live.begin(); it != live.end();) {
+      const PendingQuery& q = batch[*it];
       if (q.req.deadline_us > 0 && ready > q.submit_us + q.req.deadline_us) {
+        QueryOutcome& out = outs[*it];
         out.status = adaptive::Status::timed_out;
         out.code = adaptive::ErrorCode::deadline_exceeded;
         out.stream = stream;
         out.start_us = ready;
         bump("svc.timeout");
-        live.erase(live.begin() + static_cast<std::ptrdiff_t>(s));
+        resolved[*it] = 1;
+        it = live.erase(it);
       } else {
-        ++s;
+        ++it;
       }
     }
     if (live.empty()) {
@@ -541,11 +716,26 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
       return;
     }
 
-    std::vector<graph::NodeId> sources;
+    // Dedup against the in-flight set: each distinct source is fused once;
+    // duplicate members collapse onto the first occurrence (their slot
+    // leader) and are answered by the same launch. With collapsing disabled
+    // every member keeps its own slot (run_bfs_multi permits duplicate
+    // sources), reproducing the un-deduped baseline.
+    std::vector<graph::NodeId> sources;       // distinct, first-seen order
+    std::vector<std::uint32_t> slot(live.size(), 0);
     sources.reserve(live.size());
-    for (const PendingQuery* q : live) sources.push_back(q->req.source);
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      const graph::NodeId s = batch[live[li]].req.source;
+      std::uint32_t idx = static_cast<std::uint32_t>(sources.size());
+      if (opts_.collapse) {
+        idx = 0;
+        while (idx < sources.size() && sources[idx] != s) ++idx;
+      }
+      if (idx == sources.size()) sources.push_back(s);
+      slot[li] = idx;
+    }
 
-    adaptive::Policy policy = live.front()->req.policy;
+    adaptive::Policy policy = batch[live.front()].req.policy;
     policy.options.engine.stream = stream;
     gg::GpuBfsMultiResult mr;
     const std::uint64_t mark = dev_.mem_mark();
@@ -558,36 +748,68 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
                                         policy.options);
     } catch (const simt::DeviceFault& f) {
       // Fused launch died: unbatch. Record the members already answered
-      // (invalid / timed out), then route each live member through the
-      // single-query path, whose retry/degradation policy applies per query.
+      // (invalid / timed out / cache hits), then route each live member
+      // through the single-query path, whose retry/degradation policy
+      // applies per query.
       dev_.mem_reclaim(mark);
       bump("svc.fault");
       bump(std::string("svc.fault.") + simt::fault_kind_name(f.kind()));
       bump("svc.batch_aborted");
-      for (QueryOutcome& out : outs) {
-        if (out.status != adaptive::Status::ok) done_.push_back(std::move(out));
+      for (std::size_t i = 0; i < k; ++i) {
+        if (resolved[i]) done_.push_back(std::move(outs[i]));
       }
-      for (const PendingQuery* q : live) execute_single(*q);
+      for (const std::size_t i : live) execute_single(std::move(batch[i]));
       return;
     }
 
-    // Scatter the fused result back to the member queries: query s's level
-    // of node v lives at levels[v*k + s].
+    // Gather each distinct source's result once: query slot s's level of
+    // node v lives at levels[v*nk + s].
     const std::uint32_t nk = mr.num_sources;
     const std::size_t n = g.num_nodes();
-    std::uint32_t s = 0;
-    for (QueryOutcome& out : outs) {
-      if (out.status != adaptive::Status::ok) continue;
-      const PendingQuery& q = *live[s];
-      adaptive::BfsResult r;
-      r.level.resize(n);
+    std::vector<adaptive::BfsResult> uniq(nk);
+    for (std::uint32_t s = 0; s < nk; ++s) {
+      uniq[s].level.resize(n);
       for (std::size_t v = 0; v < n; ++v) {
-        r.level[v] = mr.levels[v * nk + s];
+        uniq[s].level[v] = mr.levels[v * nk + s];
       }
-      r.metrics = mr.metrics;  // shared batch metrics, one copy per member
-      out.payload = std::move(r);
+      uniq[s].metrics = mr.metrics;  // shared batch metrics, one copy each
+    }
+
+    // Slot bookkeeping: the first member of each slot is its leader (cache
+    // key owner); later members are collapsed followers.
+    std::vector<QueryId> slot_leader(nk, 0);
+    std::vector<std::uint32_t> slot_uses(nk, 0);
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      if (slot_uses[slot[li]]++ == 0) slot_leader[slot[li]] = batch[live[li]].id;
+    }
+    // Every distinct source's payload is complete and exact: cache it under
+    // its slot leader's key before scattering (post-deadline drops below do
+    // not affect cacheability).
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      if (slot_leader[slot[li]] == batch[live[li]].id) {
+        store_result(batch[live[li]], Payload(uniq[slot[li]]));
+      }
+    }
+
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      const PendingQuery& q = batch[live[li]];
+      QueryOutcome& out = outs[live[li]];
+      const std::uint32_t s = slot[li];
+      // Last member of a slot takes the level vector by move.
+      if (--slot_uses[s] == 0) {
+        out.payload = std::move(uniq[s]);
+      } else {
+        out.payload = uniq[s];
+      }
       out.batch_size = nk;
       finish_outcome(out, stream, ready);
+      if (slot_leader[s] != q.id) {
+        out.collapsed = true;
+        out.collapsed_into = slot_leader[s];
+        bump("svc.collapse");
+        publish_service_event("collapse", q.req, q.id, slot_leader[s],
+                              payload_bytes(out.payload), out.finish_us);
+      }
       if (q.req.deadline_us > 0 &&
           out.finish_us > q.submit_us + q.req.deadline_us) {
         out.status = adaptive::Status::timed_out;
@@ -597,10 +819,9 @@ void GraphService::execute_bfs_batch(const std::vector<PendingQuery>& batch) {
       } else {
         bump("svc.completed");
       }
-      ++s;
     }
     bump("svc.batches");
-    bump("svc.batched", static_cast<double>(nk));
+    bump("svc.batched", static_cast<double>(live.size()));
   }
 
   for (QueryOutcome& out : outs) done_.push_back(std::move(out));

@@ -21,10 +21,23 @@
 // pass over the shared frontier structure. Only a *contiguous* FIFO prefix
 // is batched, so dispatch order remains FIFO.
 //
+// Result cache & request collapsing (service/result_cache.h): completed
+// exact payloads enter a byte-bounded LRU keyed by (graph id + upload
+// generation + graph version, algo, source/params, policy signature); a
+// repeat query is answered from host memory at modeled copy cost — no
+// kernel launch, no PCIe, no stream slot. Identical queries pending in the
+// same drain collapse onto one execution (singleflight): the leader runs,
+// followers receive copies of its payload; the MS-BFS batcher dedups batch
+// members against the cache and fuses each distinct source once. Re-upload
+// via update_graph() (or a Graph::version() bump) invalidates. Faulted
+// partial attempts never reach the cache — only completed exact payloads
+// (device or degraded CPU-oracle) are stored.
+//
 // Determinism: execution is entirely host-driven on modeled time (queries
 // with Policy::Mode::cpu_serial are refused — they report wall-clock time),
 // so outcomes, svc.* counters and traces are byte-identical at any
-// --sim-threads value.
+// --sim-threads value. Cache hits and collapses are served on the modeled
+// host timeline, which the makespan covers.
 //
 // Resilience: an installed FaultPlan (set_fault_plan) makes device ops fail
 // deterministically. A faulted query is retried with modeled-time
@@ -38,9 +51,13 @@
 // Observability: per-stream Chrome-trace lanes come from the stream tags the
 // device stamps on every event; the service additionally maintains the
 // svc.queued / svc.running / svc.completed / svc.rejected / svc.timeout /
-// svc.batched / svc.batches counters in the trace::CounterRegistry.
+// svc.batched / svc.batches / svc.cache.hit / svc.cache.miss /
+// svc.cache.insert / svc.cache.evict / svc.cache.bytes / svc.collapse
+// counters in the trace::CounterRegistry, and publishes a
+// trace::ServiceEvent for every cache/collapse decision.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -53,6 +70,7 @@
 #include "api/graph_api.h"
 #include "gpu_graph/device_graph.h"
 #include "service/resilience.h"
+#include "service/result_cache.h"
 #include "simt/device.h"
 #include "simt/fault.h"
 
@@ -60,9 +78,6 @@ namespace svc {
 
 using GraphId = std::uint32_t;
 using QueryId = std::uint64_t;
-
-enum class Algo { bfs, sssp, cc, pagerank };
-const char* algo_name(Algo a);
 
 struct QueryRequest {
   Algo algo = Algo::bfs;
@@ -78,10 +93,6 @@ struct QueryRequest {
   double deadline_us = 0;
 };
 
-using Payload = std::variant<std::monostate, adaptive::BfsResult,
-                             adaptive::SsspResult, adaptive::CcResult,
-                             adaptive::PageRankResult>;
-
 struct QueryOutcome {
   QueryId id = 0;
   Algo algo = Algo::bfs;
@@ -91,6 +102,9 @@ struct QueryOutcome {
   adaptive::ErrorCode code = adaptive::ErrorCode::none;  // typed cause
   std::uint32_t retries = 0;     // on-device re-executions after faults
   bool degraded = false;         // answered by the serial CPU oracle
+  bool cached = false;           // answered from the result cache
+  bool collapsed = false;        // attached to an identical in-flight query
+  QueryId collapsed_into = 0;    // the leader execution (when collapsed)
   simt::StreamId stream = 0;     // stream it ran on; 0 = never dispatched
   double submit_us = 0;          // modeled time of submission
   double start_us = 0;           // stream time when dispatched
@@ -118,6 +132,12 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64;  // pending submissions before rejection
   bool batch_bfs = true;            // fuse same-graph BFS prefixes
   std::uint32_t max_batch = 32;     // <= gg::kMaxBatchedSources
+  // Result-cache budget in bytes; 0 disables caching entirely. Hits are
+  // served from host memory at CacheCostModel::hit_us() — no device work.
+  std::size_t cache_bytes = 64ull << 20;
+  // Collapse identical pending queries onto one execution (singleflight).
+  bool collapse = true;
+  CacheCostModel cache_cost{};
   // Retry / degradation behavior for injected or genuine device faults
   // (service/resilience.h).
   ResiliencePolicy resilience{};
@@ -136,11 +156,17 @@ class GraphService {
   // Takes ownership and uploads the CSR once; all queries against the
   // returned id run on the resident copy (no per-query upload).
   GraphId add_graph(adaptive::Graph g);
+  // Replaces the resident graph under `id`: the device copy is re-uploaded
+  // and every cached result for the id is retired (the upload generation is
+  // part of the cache key, so even a same-version replacement cannot produce
+  // a stale hit).
+  void update_graph(GraphId id, adaptive::Graph g);
   const adaptive::Graph& graph(GraphId id) const;
   std::size_t num_graphs() const { return graphs_.size(); }
 
   simt::Device& device() { return dev_; }
   const ServiceOptions& options() const { return opts_; }
+  const ResultCache<Payload>& result_cache() const { return cache_; }
 
   // Arms deterministic fault injection on the service device. Install after
   // add_graph() so the resident uploads are not subject to the plan; the
@@ -152,16 +178,21 @@ class GraphService {
 
   // Admission: enqueues and returns the query id, or std::nullopt when the
   // pending queue is full (a rejected outcome is still recorded for drain()).
-  std::optional<QueryId> submit(const QueryRequest& req);
+  std::optional<QueryId> submit(QueryRequest req);
 
-  // Runs every pending query to completion (FIFO dispatch, batching, stream
-  // placement) and returns all outcomes produced since the last drain —
-  // including immediate rejections — in dispatch/record order.
+  // Runs every pending query to completion (FIFO dispatch, batching, cache
+  // lookup, collapsing, stream placement) and returns all outcomes produced
+  // since the last drain — including immediate rejections — in
+  // dispatch/record order.
   std::vector<QueryOutcome> drain();
 
   std::size_t pending() const { return queue_.size(); }
-  // End of all issued work: the modeled makespan of the schedule so far.
-  double makespan_us() const { return dev_.makespan_us(); }
+  // End of all issued work: the modeled makespan of the schedule so far —
+  // device engines plus the modeled host timeline (degraded queries, cache
+  // hits).
+  double makespan_us() const {
+    return std::max(dev_.makespan_us(), host_ready_us_);
+  }
 
  private:
   struct PendingQuery {
@@ -174,13 +205,18 @@ class GraphService {
     gg::DeviceGraph dg;
     // Lazily uploaded symmetrized CSR for cc() on directed graphs.
     std::optional<gg::DeviceGraph> sym_dg;
+    // Upload generation: bumped by update_graph() and folded into the cache
+    // key version so replaced graphs never serve stale hits.
+    std::uint64_t gen = 0;
     GraphEntry(adaptive::Graph graph) : g(std::move(graph)) {}
   };
 
   simt::StreamId pick_stream() const;  // earliest-ready stream, lowest id wins
   bool batchable(const PendingQuery& a, const PendingQuery& b) const;
-  void execute_single(const PendingQuery& q);
-  void execute_bfs_batch(const std::vector<PendingQuery>& batch);
+  // Collapses identical pending queries onto q's execution, then runs q.
+  void execute_query(PendingQuery q);
+  void execute_single(PendingQuery q);
+  void execute_bfs_batch(std::vector<PendingQuery> batch);
   QueryOutcome make_outcome(const PendingQuery& q) const;
   void finish_outcome(QueryOutcome& out, simt::StreamId stream, double start);
   // One device attempt of q on `stream` (may throw simt::DeviceFault).
@@ -192,15 +228,36 @@ class GraphService {
   // Modeled upper bound of the serial execution time (full-scan counts).
   double estimate_cpu_us(Algo algo, const adaptive::Graph& g) const;
 
+  // ---- result cache / collapsing ----
+  // True when the query's answer is deterministic and keyable (servable
+  // algo/policy); only such queries consult or populate the cache and
+  // participate in collapsing.
+  bool cache_servable(const QueryRequest& req) const;
+  CacheKey key_for(const QueryRequest& req) const;
+  // Serves `q` a host-memory copy of `payload` (a cache hit, or the collapse
+  // leader's result; leader == 0 means cache hit). Charges the modeled copy
+  // cost to the host timeline and applies q's deadline.
+  void serve_copy(const PendingQuery& q, const Payload& payload,
+                  std::size_t bytes, QueryOutcome& out, QueryId leader,
+                  double not_before);
+  // Stores a completed exact payload under q's key (no-op for faulted /
+  // empty payloads — those must never poison the cache).
+  void store_result(const PendingQuery& q, const Payload& payload);
+  void publish_service_event(const char* action, const QueryRequest& req,
+                             QueryId query, QueryId leader, std::uint64_t bytes,
+                             double ts_us) const;
+
   ServiceOptions opts_;
   simt::Device dev_;
   std::vector<simt::StreamId> streams_;
   std::vector<std::unique_ptr<GraphEntry>> graphs_;
   std::deque<PendingQuery> queue_;
   std::vector<QueryOutcome> done_;
+  ResultCache<Payload> cache_;
   QueryId next_id_ = 1;
-  // Ready time of the modeled serial CPU used for degraded queries: one
-  // core, so degraded executions serialize on this timeline.
+  std::uint64_t next_gen_ = 1;
+  // Ready time of the modeled serial CPU used for degraded queries and
+  // cache/collapse copies: one core, so host-side serving serializes here.
   double host_ready_us_ = 0;
 };
 

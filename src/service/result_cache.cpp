@@ -1,0 +1,126 @@
+#include "service/result_cache.h"
+
+#include "gpu_graph/metrics.h"
+#include "gpu_graph/variant.h"
+
+namespace svc {
+
+namespace {
+
+// splitmix64 finalizer (common/prng.h uses the stateful form; hashing wants
+// the pure mix of one word).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+
+std::size_t metrics_bytes(const gg::TraversalMetrics& m) {
+  return sizeof(m) + m.iterations.size() * sizeof(m.iterations[0]);
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::bfs:
+      return "bfs";
+    case Algo::sssp:
+      return "sssp";
+    case Algo::cc:
+      return "cc";
+    case Algo::pagerank:
+      return "pagerank";
+  }
+  return "?";
+}
+
+std::size_t payload_bytes(const Payload& p) {
+  // Fixed bookkeeping: key, LRU node, index slot, envelope scalars.
+  constexpr std::size_t kEntryOverhead = 160;
+  struct Visitor {
+    std::size_t operator()(const std::monostate&) const { return 0; }
+    std::size_t operator()(const adaptive::BfsResult& r) const {
+      return vector_bytes(r.level) + metrics_bytes(r.metrics);
+    }
+    std::size_t operator()(const adaptive::SsspResult& r) const {
+      return vector_bytes(r.dist) + metrics_bytes(r.metrics);
+    }
+    std::size_t operator()(const adaptive::CcResult& r) const {
+      return vector_bytes(r.component) + metrics_bytes(r.metrics);
+    }
+    std::size_t operator()(const adaptive::PageRankResult& r) const {
+      return vector_bytes(r.rank) + metrics_bytes(r.metrics);
+    }
+  };
+  return kEntryOverhead + std::visit(Visitor{}, p);
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  std::uint64_t h = combine(k.graph_key, k.version);
+  h = combine(h, (static_cast<std::uint64_t>(k.algo) << 32) | k.source);
+  h = combine(h, k.param_bits);
+  h = combine(h, k.policy_sig);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t policy_signature(const adaptive::Policy& policy) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(policy.mode));
+  h = combine(h, static_cast<std::uint64_t>(policy.symmetrize));
+  h = combine(h, (static_cast<std::uint64_t>(policy.variant.ordering) << 16) |
+                     (static_cast<std::uint64_t>(policy.variant.mapping) << 8) |
+                     static_cast<std::uint64_t>(policy.variant.repr));
+  const rt::AdaptiveOptions& o = policy.options;
+  h = combine(h, o.thresholds_overridden ? 1 : 0);
+  h = combine(h, double_bits(o.thresholds.t1_avg_outdegree));
+  h = combine(h, double_bits(o.thresholds.t2_ws_size));
+  h = combine(h, double_bits(o.thresholds.t3_fraction));
+  h = combine(h, double_bits(o.thresholds.skew_weight));
+  h = combine(h, o.monitor_interval);
+  // Engine knobs that shape the adaptive trajectory; the stream is a
+  // placement artifact and stays out of the signature.
+  h = combine(h, (static_cast<std::uint64_t>(o.engine.thread_tpb) << 32) |
+                     o.engine.block_tpb);
+  return h;
+}
+
+CacheKey make_cache_key(std::uint64_t graph_key, std::uint64_t version,
+                        Algo algo, graph::NodeId source, double damping,
+                        const adaptive::Policy& policy) {
+  CacheKey key;
+  key.graph_key = graph_key;
+  key.version = version;
+  key.algo = static_cast<std::uint8_t>(algo);
+  switch (algo) {
+    case Algo::bfs:
+    case Algo::sssp:
+      key.source = source;
+      break;
+    case Algo::pagerank:
+      key.param_bits = double_bits(damping);
+      break;
+    case Algo::cc:
+      break;
+  }
+  key.policy_sig = policy_signature(policy);
+  return key;
+}
+
+}  // namespace svc

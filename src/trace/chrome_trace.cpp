@@ -126,6 +126,25 @@ void ChromeTraceSink::decision(const DecisionEvent& ev) {
   w.end_object();
 }
 
+void ChromeTraceSink::service(const ServiceEvent& ev) {
+  // Instant event on the decision lane: why a query skipped the device
+  // (cache hit / collapse) or how the result cache changed.
+  const std::string name = std::string("svc.") + ev.action;
+  EventBuilder e(events_, name, "i", decision_tid(), ev.ts_us);
+  auto& w = e.writer();
+  w.field("s", "t");
+  w.key("args").begin_object();
+  w.field("algo", ev.algo);
+  w.field("graph", ev.graph);
+  w.field("version", ev.version);
+  w.field("source", ev.source);
+  w.field("query", ev.query);
+  if (ev.leader != 0) w.field("leader", ev.leader);
+  w.field("bytes", ev.bytes);
+  w.field("seq", ev.seq);
+  w.end_object();
+}
+
 void ChromeTraceSink::fault(const FaultEvent& ev) {
   // Instant event on the faulting stream's lane (default stream: host lane),
   // so failed queries are visually attributable to their slot.

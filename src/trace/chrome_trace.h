@@ -40,6 +40,7 @@ class ChromeTraceSink : public TraceSink {
   void iteration(const IterationEvent& ev) override;
   void decision(const DecisionEvent& ev) override;
   void fault(const FaultEvent& ev) override;
+  void service(const ServiceEvent& ev) override;
   void flush() override;
 
   // The complete document ({"traceEvents":[...]}), renderable at any point.

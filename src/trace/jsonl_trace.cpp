@@ -53,6 +53,26 @@ void JsonlDecisionSink::fault(const FaultEvent& ev) {
   ++faults_;
 }
 
+void JsonlDecisionSink::service(const ServiceEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("kind", "service");
+  w.field("action", ev.action);
+  w.field("algo", ev.algo);
+  w.field("graph", ev.graph);
+  w.field("version", ev.version);
+  w.field("source", ev.source);
+  w.field("query", ev.query);
+  w.field("leader", ev.leader);
+  w.field("bytes", ev.bytes);
+  w.field("ts_us", ev.ts_us);
+  w.field("seq", ev.seq);
+  w.end_object();
+  lines_ += w.str();
+  lines_ += '\n';
+  ++service_events_;
+}
+
 void JsonlDecisionSink::flush() {
   if (path_.empty()) return;
   std::ofstream f(path_, std::ios::binary | std::ios::trunc);

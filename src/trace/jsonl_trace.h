@@ -12,6 +12,11 @@
 //    "switched":true,"ts_us":1234.5,"seq":17}
 //   {"kind":"fault","fault":"transfer","op":"memcpy.h2d","op_index":12,
 //    "permanent":false,"stream":2,"ts_us":987.5,"seq":41}
+//   {"kind":"service","action":"cache_hit","algo":"bfs","graph":0,
+//    "version":4294967296,"source":17,"query":42,"leader":0,"bytes":80288,
+//    "ts_us":1500.25,"seq":63}
+// Service lines record why a query skipped the device (result-cache hit,
+// request collapse) or how the cache changed (insert/evict/invalidate).
 #pragma once
 
 #include <string>
@@ -27,12 +32,14 @@ class JsonlDecisionSink : public TraceSink {
 
   void decision(const DecisionEvent& ev) override;
   void fault(const FaultEvent& ev) override;
+  void service(const ServiceEvent& ev) override;
   void flush() override;
 
   const std::string& data() const { return lines_; }
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t switches() const { return switches_; }
   std::uint64_t faults() const { return faults_; }
+  std::uint64_t service_events() const { return service_events_; }
 
  private:
   std::string path_;
@@ -40,6 +47,7 @@ class JsonlDecisionSink : public TraceSink {
   std::uint64_t decisions_ = 0;
   std::uint64_t switches_ = 0;
   std::uint64_t faults_ = 0;
+  std::uint64_t service_events_ = 0;
 };
 
 }  // namespace trace

@@ -66,4 +66,9 @@ void Tracer::fault(FaultEvent ev) {
   for (const auto& s : sinks_) s->fault(ev);
 }
 
+void Tracer::service(ServiceEvent ev) {
+  ev.seq = next_seq();
+  for (const auto& s : sinks_) s->service(ev);
+}
+
 }  // namespace trace

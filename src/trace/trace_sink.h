@@ -105,6 +105,26 @@ struct DecisionEvent {
   std::uint64_t seq = 0;
 };
 
+// One serving-layer cache/collapse decision: why a query did (or did not)
+// skip the device. Actions: "cache_hit" (answered from the result cache),
+// "cache_miss" (lookup failed, device path follows), "cache_insert" (a
+// completed exact payload entered the cache), "cache_evict" (LRU pressure),
+// "cache_invalidate" (graph re-upload / version bump retired entries),
+// "collapse" (an identical in-flight query attached to `leader`'s
+// execution).
+struct ServiceEvent {
+  const char* action = "";
+  const char* algo = "";       // "bfs", "sssp", "cc", "pagerank"
+  std::uint64_t graph = 0;     // owner-scoped graph key
+  std::uint64_t version = 0;   // graph version (+ upload generation)
+  std::uint32_t source = 0;
+  std::uint64_t query = 0;     // query id; 0 when not query-scoped
+  std::uint64_t leader = 0;    // collapse: the execution being joined
+  std::uint64_t bytes = 0;     // payload bytes moved / cached / dropped
+  double ts_us = 0;            // modeled time of the decision
+  std::uint64_t seq = 0;
+};
+
 // Sink interface; the default implementation ignores everything, so a sink
 // overrides only the events it renders. flush() must leave any backing file
 // complete and parseable.
@@ -117,6 +137,7 @@ class TraceSink {
   virtual void iteration(const IterationEvent&) {}
   virtual void decision(const DecisionEvent&) {}
   virtual void fault(const FaultEvent&) {}
+  virtual void service(const ServiceEvent&) {}
   virtual void flush() {}
 };
 
@@ -162,6 +183,7 @@ class Tracer {
   void iteration(IterationEvent ev);
   void decision(DecisionEvent ev);
   void fault(FaultEvent ev);
+  void service(ServiceEvent ev);
 
  private:
   Tracer() = default;

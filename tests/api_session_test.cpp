@@ -78,6 +78,61 @@ TEST(Session, CcOnDirectedGraphUsesSymmetrizedClosure) {
   EXPECT_TRUE(directed.ok());
 }
 
+TEST(Session, EvictReleasesAndReuploadsOnNextQuery) {
+  adaptive::Session session;
+  const auto g = make_graph();
+  session.register_graph(g);
+  ASSERT_TRUE(session.is_resident(g));
+  const std::uint64_t held = session.device().mem_in_use();
+
+  session.evict(g);
+  EXPECT_FALSE(session.is_resident(g));
+  EXPECT_TRUE(session.is_registered(g));  // registration survives
+  EXPECT_LT(session.device().mem_in_use(), held);
+
+  // The next query transparently re-uploads and pins again.
+  const auto out = session.bfs(g, 5);
+  EXPECT_EQ(out.level, cpu::bfs(g.csr(), 5).level);
+  EXPECT_TRUE(session.is_resident(g));
+}
+
+TEST(Session, EvictAllFreesEveryResidentGraph) {
+  adaptive::Session session;
+  const auto a = make_graph();
+  const auto b = make_graph(800, 2400, 17);
+  session.register_graph(a);
+  session.register_graph(b);
+  session.evict_all();
+  EXPECT_FALSE(session.is_resident(a));
+  EXPECT_FALSE(session.is_resident(b));
+  EXPECT_EQ(session.num_registered(), 2u);
+  // Both still answer correctly after re-upload.
+  EXPECT_EQ(session.bfs(a, 1).level, cpu::bfs(a.csr(), 1).level);
+  EXPECT_EQ(session.bfs(b, 1).level, cpu::bfs(b.csr(), 1).level);
+}
+
+TEST(Session, ResultCacheServesRepeatsAndInvalidatesOnMutation) {
+  adaptive::Session session;
+  auto g = make_graph();
+  session.register_graph(g);
+  session.enable_result_cache(16 << 20);
+
+  const auto first = session.bfs(g, 5);
+  ASSERT_EQ(session.result_cache().entries(), 1u);
+  const auto repeat = session.bfs(g, 5);
+  EXPECT_EQ(repeat.level, first.level);
+  EXPECT_EQ(session.result_cache().stats().hits, 1u);
+
+  g.set_uniform_weights(1, 64);  // version bump retires the entry
+  const auto after = session.sssp(g, 5);
+  EXPECT_EQ(after.dist, cpu::dijkstra(g.csr(), 5).dist);
+  EXPECT_GE(session.result_cache().stats().invalidations, 1u);
+
+  // Eviction changes residency, not answers: cached entries stay valid.
+  session.evict(g);
+  EXPECT_EQ(session.sssp(g, 5).dist, after.dist);
+}
+
 TEST(Session, DefaultSessionBacksConvenienceOverloads) {
   auto& session = adaptive::Session::default_session();
   ASSERT_EQ(&session, &adaptive::Session::default_session());

@@ -1,0 +1,292 @@
+// Result cache & request collapsing: LRU replacement policy, capacity
+// accounting, version/generation invalidation, singleflight collapse
+// correctness, cache-vs-uncached payload identity across host worker
+// counts, and fault interaction (no partial-result poisoning) — DESIGN.md
+// "Result cache & request collapsing".
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/gen/generators.h"
+#include "service/graph_service.h"
+#include "service/result_cache.h"
+#include "simt/exec_pool.h"
+#include "simt/fault.h"
+
+namespace {
+
+adaptive::Graph make_graph(std::uint32_t n = 1500, std::uint32_t m = 4500,
+                           std::uint64_t seed = 7) {
+  return adaptive::Graph::from_csr(graph::gen::erdos_renyi(n, m, seed));
+}
+
+svc::QueryRequest bfs_req(svc::GraphId gid, graph::NodeId source) {
+  svc::QueryRequest req;
+  req.algo = svc::Algo::bfs;
+  req.graph = gid;
+  req.source = source;
+  return req;
+}
+
+svc::CacheKey key(std::uint64_t graph, std::uint32_t source) {
+  svc::CacheKey k;
+  k.graph_key = graph;
+  k.version = 1;
+  k.algo = 0;
+  k.source = source;
+  return k;
+}
+
+// ---- the LRU itself ---------------------------------------------------------
+
+TEST(ResultCache, EvictsLeastRecentlyUsedFirst) {
+  svc::ResultCache<int> cache(30);
+  cache.insert(key(1, 0), 10, 10);
+  cache.insert(key(1, 1), 11, 10);
+  cache.insert(key(1, 2), 12, 10);
+  // Touch key 0: key 1 becomes the LRU victim.
+  ASSERT_NE(cache.lookup(key(1, 0)), nullptr);
+  cache.insert(key(1, 3), 13, 10);  // evicts exactly one entry
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.lookup(key(1, 1)), nullptr);  // the untouched one went
+  EXPECT_NE(cache.lookup(key(1, 0)), nullptr);
+  EXPECT_NE(cache.lookup(key(1, 2)), nullptr);
+  EXPECT_NE(cache.lookup(key(1, 3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, KeysLruFirstReportsEvictionOrder) {
+  svc::ResultCache<int> cache(100);
+  cache.insert(key(1, 0), 0, 10);
+  cache.insert(key(1, 1), 1, 10);
+  cache.insert(key(1, 2), 2, 10);
+  cache.lookup(key(1, 0));  // promote 0 to MRU
+  const auto order = cache.keys_lru_first();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].source, 1u);  // next victim
+  EXPECT_EQ(order[1].source, 2u);
+  EXPECT_EQ(order[2].source, 0u);  // most recently used
+}
+
+TEST(ResultCache, AccountsBytesAndEvictsUntilFit) {
+  svc::ResultCache<int> cache(100);
+  cache.insert(key(1, 0), 0, 40);
+  cache.insert(key(1, 1), 1, 40);
+  EXPECT_EQ(cache.bytes_in_use(), 80u);
+  // 50 bytes does not fit next to 80: evicting the LRU entry (40 freed)
+  // brings usage to 40 + 50 = 90, within budget — exactly one victim.
+  const auto evicted = cache.insert(key(1, 2), 2, 50);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(cache.bytes_in_use(), 90u);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.lookup(key(1, 0)), nullptr);  // the LRU entry was the victim
+}
+
+TEST(ResultCache, RejectsValuesLargerThanTheBudget) {
+  svc::ResultCache<int> cache(100);
+  cache.insert(key(1, 0), 0, 101);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(ResultCache, DuplicateKeyKeepsTheExistingEntry) {
+  svc::ResultCache<int> cache(100);
+  cache.insert(key(1, 0), 7, 10);
+  cache.insert(key(1, 0), 8, 10);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.lookup(key(1, 0))->value, 7);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ResultCache, InvalidateGraphDropsOnlyThatGraph) {
+  svc::ResultCache<int> cache(100);
+  cache.insert(key(1, 0), 0, 10);
+  cache.insert(key(2, 0), 1, 10);
+  cache.insert(key(1, 1), 2, 10);
+  EXPECT_EQ(cache.invalidate_graph(1), 2u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes_in_use(), 10u);
+  EXPECT_NE(cache.lookup(key(2, 0)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(ResultCache, ShrinkingCapacityEvictsImmediately) {
+  svc::ResultCache<int> cache(100);
+  cache.insert(key(1, 0), 0, 40);
+  cache.insert(key(1, 1), 1, 40);
+  cache.set_capacity(50);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_NE(cache.lookup(key(1, 1)), nullptr);  // MRU survived
+  cache.set_capacity(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultCache, PolicySignatureIgnoresTheDispatchStream) {
+  adaptive::Policy a, b;
+  a.options.engine.stream = 1;
+  b.options.engine.stream = 3;
+  EXPECT_EQ(svc::policy_signature(a), svc::policy_signature(b));
+  b.mode = adaptive::Policy::Mode::fixed_variant;
+  EXPECT_NE(svc::policy_signature(a), svc::policy_signature(b));
+}
+
+// ---- service integration ----------------------------------------------------
+
+TEST(ServiceCache, RepeatQueryIsServedFromTheCache) {
+  svc::GraphService service;
+  const auto gid = service.add_graph(make_graph());
+  service.submit(bfs_req(gid, 5));
+  const auto first = service.drain();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_TRUE(first[0].ok());
+  EXPECT_FALSE(first[0].cached);
+
+  service.submit(bfs_req(gid, 5));
+  const auto second = service.drain();
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_TRUE(second[0].ok());
+  EXPECT_TRUE(second[0].cached);
+  EXPECT_EQ(second[0].stream, 0u);  // never dispatched to a device stream
+  EXPECT_EQ(second[0].bfs().level, first[0].bfs().level);
+  EXPECT_EQ(service.result_cache().stats().hits, 1u);
+}
+
+TEST(ServiceCache, CacheHitCostsModeledHostTimeOnly) {
+  svc::GraphService service;
+  const auto gid = service.add_graph(make_graph());
+  service.submit(bfs_req(gid, 5));
+  service.drain();
+  const double device_before = service.device().makespan_us();
+  service.submit(bfs_req(gid, 5));
+  service.drain();
+  // The device did nothing for the hit; the service makespan still moved
+  // because the modeled host copied the payload.
+  EXPECT_EQ(service.device().makespan_us(), device_before);
+  EXPECT_GT(service.makespan_us(), 0.0);
+}
+
+TEST(ServiceCache, UpdateGraphInvalidatesCachedResults) {
+  svc::GraphService service;
+  const auto gid = service.add_graph(make_graph());
+  service.submit(bfs_req(gid, 5));
+  service.drain();
+  ASSERT_GE(service.result_cache().entries(), 1u);
+
+  service.update_graph(gid, make_graph(1500, 4500, 99));  // different edges
+  EXPECT_EQ(service.result_cache().entries(), 0u);
+
+  service.submit(bfs_req(gid, 5));
+  const auto after = service.drain();
+  ASSERT_TRUE(after[0].ok());
+  EXPECT_FALSE(after[0].cached);  // fresh execution on the new graph
+}
+
+TEST(ServiceCache, CollapseFollowersMatchTheLeader) {
+  svc::ServiceOptions opts;
+  opts.batch_bfs = false;  // exercise the singleflight path, not the batcher
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+  service.submit(bfs_req(gid, 9));
+  service.submit(bfs_req(gid, 9));
+  service.submit(bfs_req(gid, 9));
+  const auto outs = service.drain();
+  ASSERT_EQ(outs.size(), 3u);
+  std::size_t collapsed = 0;
+  for (const auto& out : outs) {
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.bfs().level, outs[0].bfs().level);
+    if (out.collapsed) {
+      ++collapsed;
+      EXPECT_EQ(out.collapsed_into, outs[0].id);
+      EXPECT_GE(out.finish_us, outs[0].finish_us);  // cannot precede leader
+    }
+  }
+  EXPECT_EQ(collapsed, 2u);
+}
+
+TEST(ServiceCache, BatcherCollapsesDuplicateSources) {
+  svc::GraphService service;
+  const auto gid = service.add_graph(make_graph());
+  service.submit(bfs_req(gid, 4));
+  service.submit(bfs_req(gid, 4));
+  service.submit(bfs_req(gid, 8));
+  const auto outs = service.drain();
+  ASSERT_EQ(outs.size(), 3u);
+  for (const auto& out : outs) {
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.batch_size, 2u);  // two distinct sources fused
+  }
+  EXPECT_EQ(outs[0].bfs().level, outs[1].bfs().level);
+  EXPECT_TRUE(outs[1].collapsed);
+  EXPECT_EQ(outs[1].collapsed_into, outs[0].id);
+}
+
+// The cached configuration must return byte-identical payloads to the
+// uncached one, at every host worker count.
+TEST(ServiceCache, CachedAndUncachedAgreeAcrossWorkerCounts) {
+  auto run = [](std::size_t cache_bytes, bool collapse) {
+    svc::ServiceOptions opts;
+    opts.cache_bytes = cache_bytes;
+    opts.collapse = collapse;
+    svc::GraphService service(opts);
+    const auto gid = service.add_graph(make_graph());
+    const graph::NodeId sources[] = {3, 3, 17, 3, 17, 42, 3};
+    for (const auto s : sources) service.submit(bfs_req(gid, s));
+    std::vector<std::vector<std::uint32_t>> levels;
+    for (const auto& out : service.drain()) {
+      levels.push_back(out.bfs().level);
+    }
+    return levels;
+  };
+  const auto expected = run(0, false);
+  for (const int threads : {1, 4}) {
+    simt::ExecPool::set_threads(threads);
+    EXPECT_EQ(run(64 << 20, true), expected) << "threads=" << threads;
+    EXPECT_EQ(run(0, false), expected) << "threads=" << threads;
+  }
+  simt::ExecPool::set_threads(0);
+}
+
+// ---- fault interaction ------------------------------------------------------
+
+TEST(ServiceCache, FaultedAttemptsNeverPopulateTheCache) {
+  svc::ServiceOptions opts;
+  opts.batch_bfs = false;
+  opts.resilience.max_retries = 1;
+  opts.resilience.degrade_to_cpu = false;  // exhausted queries report faults
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+  service.set_fault_plan(simt::FaultPlan::parse("seed=3, kernel.p=1.0"));
+  service.submit(bfs_req(gid, 5));
+  const auto outs = service.drain();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].status, adaptive::Status::error);
+  EXPECT_EQ(service.result_cache().entries(), 0u);  // nothing poisoned
+}
+
+TEST(ServiceCache, DegradedResultsAreExactAndCacheable) {
+  svc::ServiceOptions opts;
+  opts.batch_bfs = false;
+  opts.resilience.max_retries = 0;
+  svc::GraphService service(opts);
+  const auto gid = service.add_graph(make_graph());
+  service.set_fault_plan(simt::FaultPlan::parse("seed=3, kernel.p=1.0"));
+  service.submit(bfs_req(gid, 5));
+  const auto first = service.drain();
+  ASSERT_TRUE(first[0].ok());
+  EXPECT_TRUE(first[0].degraded);
+  EXPECT_EQ(service.result_cache().entries(), 1u);
+
+  service.submit(bfs_req(gid, 5));
+  const auto second = service.drain();
+  ASSERT_TRUE(second[0].ok());
+  EXPECT_TRUE(second[0].cached);
+  // The cached copy is an exact answer; the outcome is a cache serve, not a
+  // degradation, even though the payload was first computed by the oracle.
+  EXPECT_FALSE(second[0].degraded);
+  EXPECT_EQ(second[0].bfs().level, first[0].bfs().level);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 //   agg generate <kind>  --out=FILE [--nodes=N] [--seed=S]
 //                kinds: road, amazon, citeseer, p2p, google, sns, rmat, er
 //   agg serve    <graph> [--queries=N] [--concurrency=C] [--mix=bfs|mixed]
+//                [--cache-mb=MB] [--no-cache] [--zipf=S] [--hot-fraction=F]
 //   agg convert  <in> <out>                  between .gr / .txt / .agg
 //   agg tune     <graph> [--algo=bfs|sssp]   T3 + sampling-interval sweeps
 //
@@ -262,9 +263,52 @@ int cmd_generate(const agg::Cli& cli) {
   return 0;
 }
 
+// Order-independent digest of a query's answer: FNV-1a over the payload's
+// result values (levels/distances/components/ranks — not metrics or modeled
+// wall time), summed across outcomes by the caller. Identical digests across
+// `agg serve` runs prove byte-identical per-query results (the CI cache-smoke
+// job compares cached vs. uncached runs this way).
+std::uint64_t outcome_checksum(const svc::QueryOutcome& out) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(out.id);
+  mix(static_cast<std::uint64_t>(out.status));
+  struct Visitor {
+    decltype(mix)& m;
+    void operator()(const std::monostate&) {}
+    void operator()(const adaptive::BfsResult& r) {
+      for (const auto v : r.level) m(v);
+    }
+    void operator()(const adaptive::SsspResult& r) {
+      for (const auto v : r.dist) m(v);
+    }
+    void operator()(const adaptive::CcResult& r) {
+      for (const auto v : r.component) m(v);
+      m(r.num_components);
+    }
+    void operator()(const adaptive::PageRankResult& r) {
+      for (const double v : r.rank) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        m(bits);
+      }
+    }
+  };
+  Visitor vis{mix};
+  std::visit(vis, out.payload);
+  return h;
+}
+
 // Drives the serving layer with a deterministic synthetic workload: N queries
 // against the loaded graph, mixing BFS (and SSSP on weighted graphs) from
-// random sources, executed on `--concurrency` simulated streams.
+// random sources, executed on `--concurrency` simulated streams. Source skew
+// (--zipf / --hot-fraction) models many-users traffic concentrated on few
+// keys — the regime the result cache and request collapsing are built for.
 int cmd_serve(const agg::Cli& cli) {
   auto g = load_any(cli.positional()[1]);
   const auto n_queries = static_cast<std::size_t>(cli.get_int("queries", 64));
@@ -276,6 +320,11 @@ int cmd_serve(const agg::Cli& cli) {
   sopts.queue_capacity =
       static_cast<std::size_t>(cli.get_int("queue-cap", 1 << 20));
   sopts.batch_bfs = !cli.get_bool("no-batch", false);
+  const bool no_cache = cli.get_bool("no-cache", false);
+  sopts.cache_bytes =
+      no_cache ? 0
+               : static_cast<std::size_t>(cli.get_int("cache-mb", 64)) << 20;
+  sopts.collapse = !no_cache;
   sopts.resilience.max_retries =
       static_cast<std::uint32_t>(cli.get_int("retries", 2));
   sopts.resilience.degrade_to_cpu = cli.get_bool("degrade", true);
@@ -292,23 +341,52 @@ int cmd_serve(const agg::Cli& cli) {
 
   agg::Prng prng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
   const double deadline = cli.get_double("deadline-us", 0.0);
+
+  // Source skew. --zipf=s draws sources from a power-law over node ids
+  // (rank 1 = node 0 hottest); --hot-fraction=f sends that fraction of
+  // traffic to 8 fixed random sources; default is uniform.
+  const double zipf_s = cli.get_double("zipf", 0.0);
+  const double hot_fraction = cli.get_double("hot-fraction", 0.0);
+  std::optional<agg::PowerLawSampler> zipf;
+  if (zipf_s > 0) {
+    zipf.emplace(zipf_s, 1,
+                 static_cast<std::uint32_t>(graph.num_nodes()));
+  }
+  std::vector<graph::NodeId> hot;
+  if (hot_fraction > 0) {
+    for (int i = 0; i < 8; ++i) {
+      hot.push_back(static_cast<graph::NodeId>(prng.bounded(graph.num_nodes())));
+    }
+  }
+  auto pick_source = [&]() -> graph::NodeId {
+    if (zipf) return static_cast<graph::NodeId>(zipf->sample(prng) - 1);
+    if (!hot.empty() && prng.bernoulli(hot_fraction)) {
+      return hot[prng.bounded(hot.size())];
+    }
+    return static_cast<graph::NodeId>(prng.bounded(graph.num_nodes()));
+  };
+
   std::size_t accepted = 0;
   for (std::size_t i = 0; i < n_queries; ++i) {
     svc::QueryRequest req;
     req.graph = gid;
     req.algo = (mixed && i % 3 == 2) ? svc::Algo::sssp : svc::Algo::bfs;
-    req.source = static_cast<graph::NodeId>(prng.bounded(graph.num_nodes()));
+    req.source = pick_source();
     req.deadline_us = deadline;
-    if (service.submit(req)) ++accepted;
+    if (service.submit(std::move(req))) ++accepted;
   }
   const auto outcomes = service.drain();
 
   std::size_t ok = 0, timed_out = 0, rejected = 0, errors = 0, batched = 0;
-  std::size_t degraded = 0, retried = 0;
+  std::size_t degraded = 0, retried = 0, cached = 0, collapsed = 0;
   double sum_latency = 0;
+  std::uint64_t checksum = 0;  // order-independent: summed per-outcome digests
   for (const auto& out : outcomes) {
     degraded += out.degraded;
     retried += out.retries > 0;
+    cached += out.cached;
+    collapsed += out.collapsed;
+    checksum += outcome_checksum(out);
     switch (out.status) {
       case adaptive::Status::ok:
         ++ok;
@@ -326,6 +404,17 @@ int cmd_serve(const agg::Cli& cli) {
   std::printf("  accepted %zu, rejected %zu, timed out %zu, errors %zu, "
               "answered via fused MS-BFS %zu\n",
               accepted, rejected, timed_out, errors, batched);
+  const auto& cstats = service.result_cache().stats();
+  if (sopts.cache_bytes > 0 || cached + collapsed > 0) {
+    std::printf("  cache hits %zu, collapsed %zu (cache %s, %zu entries, "
+                "%zu KiB; %llu lookups hit / %llu missed, %llu evicted)\n",
+                cached, collapsed, no_cache ? "off" : "on",
+                service.result_cache().entries(),
+                service.result_cache().bytes_in_use() >> 10,
+                static_cast<unsigned long long>(cstats.hits),
+                static_cast<unsigned long long>(cstats.misses),
+                static_cast<unsigned long long>(cstats.evictions));
+  }
   if (!fault_plan.empty()) {
     std::printf("  retried on-device %zu, degraded to CPU %zu, device %s\n",
                 retried, degraded,
@@ -334,6 +423,8 @@ int cmd_serve(const agg::Cli& cli) {
   std::printf("  modeled makespan %.3f ms, mean latency %.3f ms\n",
               service.makespan_us() / 1000.0,
               ok ? sum_latency / static_cast<double>(ok) / 1000.0 : 0.0);
+  std::printf("  payload checksum %016llx\n",
+              static_cast<unsigned long long>(checksum));
   return 0;
 }
 
@@ -454,9 +545,13 @@ int main(int argc, char** argv) {
         "  agg generate <kind> --out=FILE [--nodes=N] [--seed=S] [--weights]\n"
         "  agg serve    <graph> [--queries=64] [--concurrency=4] [--mix=bfs|mixed]\n"
         "               [--no-batch] [--deadline-us=T] [--queue-cap=N] [--seed=S]\n"
+        "               [--cache-mb=64] [--no-cache] [--zipf=S] [--hot-fraction=F]\n"
         "               [--fault-plan=SPEC] [--retries=2] [--degrade=true]\n"
         "               SPEC: seed=N,alloc.p=F,transfer.p=F,kernel.p=F,\n"
         "                     {alloc,transfer,kernel}.at=N,dead.after=N\n"
+        "               --zipf=S draws sources from a power law (exponent S);\n"
+        "               --hot-fraction=F sends F of traffic to 8 hot sources;\n"
+        "               --no-cache disables the result cache AND collapsing\n"
         "  agg convert  <in> <out>\n"
         "  agg tune     <graph> [--algo=bfs|sssp]\n\n"
         "global flags:\n"
