@@ -33,6 +33,38 @@ ErrorCode fault_code(const simt::DeviceFault& f) {
 
 }  // namespace detail
 
+ParsedPolicy parse_policy(const std::string& name) {
+  ParsedPolicy out;
+  if (name == "adaptive") {
+    out.policy = Policy::adapt();
+    return out;
+  }
+  if (name == "cpu") {
+    out.policy = Policy::cpu();
+    return out;
+  }
+  if (const std::optional<gg::Variant> v = gg::try_parse_variant(name)) {
+    if (v->direction == gg::Direction::adaptive) {
+      // A fixed variant cannot host the direction controller (its selector
+      // never re-decides); steer the caller to the adaptive policy.
+      out.status = Status::error;
+      out.code = ErrorCode::invalid_argument;
+      out.error = "policy '" + name +
+                  "': the _DO (direction-optimizing) suffix requires the "
+                  "adaptive policy; use --policy=adaptive --direction=adaptive";
+      return out;
+    }
+    out.policy = Policy::fixed(*v);
+    return out;
+  }
+  out.status = Status::error;
+  out.code = ErrorCode::invalid_argument;
+  out.error = "unknown policy '" + name +
+              "': expected adaptive, cpu, or a variant name like U_T_BM "
+              "(optionally suffixed _PULL)";
+  return out;
+}
+
 const char* error_code_name(ErrorCode code) {
   switch (code) {
     case ErrorCode::none:
@@ -72,14 +104,17 @@ BfsResult bfs(simt::Device& dev, const Graph& g, NodeId source,
       return out;
     }
     case Policy::Mode::fixed_variant: {
-      gg::GpuBfsResult r = gg::run_bfs(dev, g.csr(), source, policy.variant,
-                                       policy.options.engine);
+      gg::EngineOptions eo = policy.options.engine;
+      if (policy.wants_pull()) eo.csc = &g.csc();
+      gg::GpuBfsResult r = gg::run_bfs(dev, g.csr(), source, policy.variant, eo);
       out.level = std::move(r.level);
       out.metrics = std::move(r.metrics);
       return out;
     }
     case Policy::Mode::adaptive: {
-      gg::GpuBfsResult r = rt::adaptive_bfs(dev, g.csr(), source, policy.options);
+      rt::AdaptiveOptions ao = policy.options;
+      if (policy.wants_pull()) ao.engine.csc = &g.csc();
+      gg::GpuBfsResult r = rt::adaptive_bfs(dev, g.csr(), source, ao);
       out.level = std::move(r.level);
       out.metrics = std::move(r.metrics);
       return out;
@@ -104,14 +139,17 @@ SsspResult sssp(simt::Device& dev, const Graph& g, NodeId source,
       return out;
     }
     case Policy::Mode::fixed_variant: {
-      gg::GpuSsspResult r = gg::run_sssp(dev, g.csr(), source, policy.variant,
-                                         policy.options.engine);
+      gg::EngineOptions eo = policy.options.engine;
+      if (policy.wants_pull()) eo.csc = &g.csc();
+      gg::GpuSsspResult r = gg::run_sssp(dev, g.csr(), source, policy.variant, eo);
       out.dist = std::move(r.dist);
       out.metrics = std::move(r.metrics);
       return out;
     }
     case Policy::Mode::adaptive: {
-      gg::GpuSsspResult r = rt::adaptive_sssp(dev, g.csr(), source, policy.options);
+      rt::AdaptiveOptions ao = policy.options;
+      if (policy.wants_pull()) ao.engine.csc = &g.csc();
+      gg::GpuSsspResult r = rt::adaptive_sssp(dev, g.csr(), source, ao);
       out.dist = std::move(r.dist);
       out.metrics = std::move(r.metrics);
       return out;

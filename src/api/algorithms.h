@@ -58,6 +58,24 @@ struct Policy {
     p.symmetrize = s;
     return p;
   }
+  // Sets the traversal direction for BFS/SSSP/CC: on a fixed policy it pins
+  // the variant's direction; on an adaptive policy Direction::adaptive
+  // enables the direction-optimizing controller (Beamer push<->pull
+  // hysteresis, alpha/beta knobs on options.thresholds).
+  Policy with_direction(gg::Direction d) const {
+    Policy p = *this;
+    p.variant.direction = d;
+    p.options.direction = d;
+    return p;
+  }
+  // True when this policy can reach a pull (gather) iteration, i.e. when
+  // the CSC view may be needed.
+  bool wants_pull() const {
+    if (mode == Mode::cpu_serial) return false;
+    const gg::Direction d =
+        mode == Mode::fixed_variant ? variant.direction : options.direction;
+    return d != gg::Direction::push;
+  }
 };
 
 enum class Status {
@@ -84,6 +102,20 @@ enum class ErrorCode : std::uint8_t {
 };
 
 const char* error_code_name(ErrorCode code);  // "device_oom", ...
+
+// Non-aborting policy parsing for user-supplied strings: "adaptive", "cpu",
+// or a variant name ("U_T_BM", optionally with a _PULL/_DO direction
+// suffix). Malformed input returns the typed invalid_argument error in the
+// envelope instead of aborting the process (Policy::fixed keeps the legacy
+// abort contract for programmatic names).
+struct ParsedPolicy {
+  Policy policy{};
+  Status status = Status::ok;
+  ErrorCode code = ErrorCode::none;
+  std::string error;
+  bool ok() const { return status == Status::ok; }
+};
+ParsedPolicy parse_policy(const std::string& name);
 
 // Every algorithm returns its payload plus this uniform envelope. The
 // payload's fields are inherited, so result.level / result.dist /

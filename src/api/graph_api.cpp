@@ -50,6 +50,15 @@ const graph::Csr& Graph::symmetrized() const {
   return *symmetrized_;
 }
 
+const graph::Csr& Graph::csc() const {
+  // A structurally symmetric graph is its own transpose only when there are
+  // no weights: is_symmetric() ignores them, and per-arc weights need not
+  // agree between the two arcs of an edge.
+  if (is_symmetric() && !csr_.has_weights()) return csr_;
+  if (!csc_) csc_ = graph::build_csc(csr_);
+  return *csc_;
+}
+
 void Graph::set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
                                 std::uint64_t seed) {
   graph::assign_uniform_weights(csr_, lo, hi, seed);
@@ -57,6 +66,7 @@ void Graph::set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
   stats_.reset();
   symmetric_.reset();
   symmetrized_.reset();
+  csc_.reset();
 }
 
 void Graph::save_binary(const std::string& path) const {

@@ -49,6 +49,11 @@ class Graph {
   // and cached — repeated cc()/mst() calls pay the O(m) closure once. When
   // the graph is already symmetric this returns csr() itself (no copy).
   const graph::Csr& symmetrized() const;
+  // The CSC (in-neighbor) view that the pull/direction-optimizing kernels
+  // gather over, computed lazily on first use and cached alongside the
+  // symmetrized closure. When the graph is symmetric the CSC equals the CSR
+  // and this returns csr() itself (no copy). Invalidated on mutation.
+  const graph::Csr& csc() const;
   // A deterministic well-connected source (max outdegree).
   NodeId default_source() const { return graph::suggest_source(csr_); }
   // Bumped on every mutation; lets device-resident uploads (Session, the
@@ -69,6 +74,7 @@ class Graph {
   mutable std::optional<graph::GraphStats> stats_;
   mutable std::optional<bool> symmetric_;
   mutable std::optional<graph::Csr> symmetrized_;  // empty when symmetric
+  mutable std::optional<graph::Csr> csc_;          // empty when symmetric
 };
 
 }  // namespace adaptive

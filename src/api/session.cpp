@@ -270,13 +270,20 @@ BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
       BfsResult out = detail::run_guarded<BfsResult>(dev_, [&] {
         Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
         BfsResult r;
-        gg::GpuBfsResult gr =
-            policy.mode == Policy::Mode::fixed_variant
-                ? gg::run_bfs(dev_, pin->dg, g.csr(), source,
-                              gg::fixed_variant(policy.variant),
-                              policy.options.engine)
-                : rt::adaptive_bfs(dev_, pin->dg, g.csr(), source,
-                                   policy.options);
+        gg::GpuBfsResult gr;
+        if (policy.mode == Policy::Mode::fixed_variant) {
+          gg::EngineOptions eo = policy.options.engine;
+          // Pull iterations gather over the CSC; hand the engine the host
+          // copy cached on the Graph so the device upload (kept resident in
+          // this pin until release) reuses it instead of re-transposing.
+          if (policy.wants_pull()) eo.csc = &g.csc();
+          gr = gg::run_bfs(dev_, pin->dg, g.csr(), source,
+                           gg::fixed_variant(policy.variant), eo);
+        } else {
+          rt::AdaptiveOptions ao = policy.options;
+          if (policy.wants_pull()) ao.engine.csc = &g.csc();
+          gr = rt::adaptive_bfs(dev_, pin->dg, g.csr(), source, ao);
+        }
         r.level = std::move(gr.level);
         r.metrics = std::move(gr.metrics);
         return r;
@@ -313,13 +320,17 @@ SsspResult Session::sssp(const Graph& g, NodeId source, const Policy& policy) {
       SsspResult out = detail::run_guarded<SsspResult>(dev_, [&] {
         Pin* pin = ensure_fresh(&g.csr(), g.csr(), true, g.version());
         SsspResult r;
-        gg::GpuSsspResult gr =
-            policy.mode == Policy::Mode::fixed_variant
-                ? gg::run_sssp(dev_, pin->dg, g.csr(), source,
-                               gg::fixed_variant(policy.variant),
-                               policy.options.engine)
-                : rt::adaptive_sssp(dev_, pin->dg, g.csr(), source,
-                                    policy.options);
+        gg::GpuSsspResult gr;
+        if (policy.mode == Policy::Mode::fixed_variant) {
+          gg::EngineOptions eo = policy.options.engine;
+          if (policy.wants_pull()) eo.csc = &g.csc();
+          gr = gg::run_sssp(dev_, pin->dg, g.csr(), source,
+                            gg::fixed_variant(policy.variant), eo);
+        } else {
+          rt::AdaptiveOptions ao = policy.options;
+          if (policy.wants_pull()) ao.engine.csc = &g.csc();
+          gr = rt::adaptive_sssp(dev_, pin->dg, g.csr(), source, ao);
+        }
         r.dist = std::move(gr.dist);
         r.metrics = std::move(gr.metrics);
         return r;

@@ -22,6 +22,9 @@ constexpr simt::Site kUpdateLoad{7, "bfs.update-load"};
 constexpr simt::Site kUpdateStore{8, "bfs.update-store"};
 constexpr simt::Site kQueueLoad{9, "bfs.queue-load"};
 constexpr simt::Site kBitmapClear{10, "bfs.bitmap-clear"};
+constexpr simt::Site kPullRowOffsets{11, "bfs.pull-row-offsets"};
+constexpr simt::Site kPullEdgeLoad{12, "bfs.pull-edge-load"};
+constexpr simt::Site kPullFrontierTest{13, "bfs.pull-frontier-test"};
 
 struct BfsKernelState {
   simt::DeviceBuffer<std::uint32_t>* level;
@@ -135,6 +138,39 @@ void launch_computation(simt::Device& dev, BfsKernelState& st, Variant v,
   }
 }
 
+// Pull (gather) formulation, Beamer-style: a dense thread-per-vertex kernel
+// in which every *unvisited* vertex scans its in-neighbors (CSC) for a
+// frontier member, early-exiting on the first hit. No scatter-side work at
+// all — each thread stores only to its own level/update cells, so there is
+// no inter-thread claim on the update flag — and the in-edge reads are the
+// coalesced gather the CSC exists for. Serial policy: discovered ids are
+// push_backed into the host-side updated shadow.
+void launch_pull(simt::Device& dev, BfsKernelState& st, std::uint32_t thread_tpb) {
+  const std::uint32_t n = st.graph->num_nodes;
+  const auto grid = simt::GridSpec::dense(n, thread_tpb);
+  simt::launch(dev, "bfs.compute.T_PULL", grid, [&](simt::ThreadCtx& ctx) {
+    const auto id = static_cast<std::uint32_t>(ctx.global_id());
+    const std::uint32_t lvl = ctx.load(*st.level, id, kNodeLevel);
+    ctx.compute(1, kNodeOps);
+    if (lvl != graph::kInfinity) return;  // visited: one load and out
+    const std::uint32_t begin =
+        ctx.load(st.graph->in_row_offsets, id, kPullRowOffsets);
+    const std::uint32_t end =
+        ctx.load(st.graph->in_row_offsets, id + 1, kPullRowOffsets);
+    ctx.compute(2, kNodeOps);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::uint32_t u = ctx.load(st.graph->in_col_indices, e, kPullEdgeLoad);
+      ctx.compute(2, kEdgeOps);
+      if (ctx.load(st.ws->bitmap(), u, kPullFrontierTest) == 0) continue;
+      const std::uint32_t ul = ctx.load(*st.level, u, kNbrLevel);
+      ctx.store(*st.level, id, ul + 1, kLevelStore);
+      ctx.store(st.ws->update(), id, std::uint8_t{1}, kUpdateStore);
+      st.updated->push_back(id);
+      break;  // first frontier in-neighbor wins; rest of the scan is skipped
+    }
+  });
+}
+
 }  // namespace
 
 std::uint32_t derive_block_tpb(double avg_outdegree) {
@@ -178,13 +214,25 @@ GpuBfsResult run_bfs(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
   dev.write_scalar(level, source, 0u);
   Workset ws(dev, g.num_nodes);
 
+  // Direction-optimizing bookkeeping (Beamer-style, host side): out-edges of
+  // vertices the traversal has not touched yet, maintained by first-touch
+  // accounting over the updated lists.
+  std::uint64_t unexplored_edges = dg.num_edges - g.degree(source);
+  std::vector<std::uint8_t> seen(g.num_nodes, 0);
+  seen[source] = 1;
+  std::optional<graph::Csr> csc_scratch;
+
   SelectorInput sel;
   sel.iteration = 0;
   sel.ws_size = 1;
   sel.avg_outdegree = dg.avg_outdegree;
   sel.outdeg_stddev = dg.outdeg_stddev;
   sel.num_nodes = g.num_nodes;
-  Variant variant = selector(sel);
+  sel.frontier_edges = g.degree(source);
+  sel.unexplored_edges = unexplored_edges;
+  sel.num_edges = dg.num_edges;
+  sel.direction = Direction::push;
+  Variant variant = normalize_direction(selector(sel));
   ws.init_source(dev, source, variant.repr);
 
   std::vector<std::uint32_t> frontier{source};
@@ -237,6 +285,17 @@ GpuBfsResult run_bfs(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
           (static_cast<double>(frontier.size()) * opts.hybrid_cpu_cycles_per_node +
            static_cast<double>(frontier_edges) * opts.hybrid_cpu_cycles_per_edge) /
           (opts.hybrid_cpu_clock_ghz * 1e3));
+    } else if (variant.direction == Direction::pull) {
+      // Gather iteration: make the CSC resident (first pull pays the
+      // transfer; Session pins keep it across queries), run the dense pull
+      // kernel against the bitmap frontier, then wipe the consumed frontier
+      // bits (pull kernels cannot clear them in-kernel — every in-edge scan
+      // reads them).
+      ensure_csc_resident(dev, dg, g, opts.csc, /*with_weights=*/false,
+                          csc_scratch);
+      launch_pull(dev, st, opts.thread_tpb);
+      ws.charge_changed_flag_readback(dev);
+      ws.clear_frontier_bitmap(dev, frontier);
     } else {
       launch_computation(dev, st, variant, frontier, opts.thread_tpb, block_tpb);
       // Per-iteration termination signal (Fig. 8 line 4).
@@ -248,6 +307,16 @@ GpuBfsResult run_bfs(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
     }
     std::sort(updated.begin(), updated.end());
 
+    std::uint64_t next_frontier_edges = 0;
+    for (const std::uint32_t v : updated) {
+      const std::uint64_t d = g.degree(v);
+      next_frontier_edges += d;
+      if (!seen[v]) {
+        seen[v] = 1;
+        unexplored_edges -= d;
+      }
+    }
+
     // Decision point (Sec. VI.E): sampled working-set monitoring + selector.
     Variant next = variant;
     if (opts.monitor_interval > 0 && iteration % opts.monitor_interval == 0) {
@@ -256,14 +325,19 @@ GpuBfsResult run_bfs(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
       }
       sel.iteration = iteration;
       sel.ws_size = updated.size();
+      sel.frontier_edges = next_frontier_edges;
+      sel.unexplored_edges = unexplored_edges;
+      sel.direction = variant.direction;
       ++result.metrics.decisions;
-      next = selector(sel);
+      next = normalize_direction(selector(sel));
       next.ordering = variant.ordering;  // ordering is fixed per traversal
       if (!on_cpu && next != variant) ++result.metrics.switches;
     }
 
     const bool next_on_cpu =
         hybrid && updated.size() < opts.hybrid_cpu_threshold;
+    // Host phases are scalar scatter loops; direction only applies on device.
+    if (next_on_cpu) next.direction = Direction::push;
     if (on_cpu != next_on_cpu) {
       // Direction switch: sync the state array across PCIe.
       if (next_on_cpu) {

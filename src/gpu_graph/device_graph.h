@@ -1,6 +1,12 @@
 // Device-resident CSR (paper Sec. V.A): node vector, edge vector, optional
 // weight vector, uploaded once per traversal with transfer costs accounted.
+// The pull (gather) kernels additionally need the CSC view; it is uploaded
+// lazily — upload_csc() on first pull iteration — so push-only traversals
+// never pay for it, and it stays resident alongside the CSR (Session pins
+// keep it across queries; release() drops both).
 #pragma once
+
+#include <optional>
 
 #include "graph/csr.h"
 #include "simt/device.h"
@@ -15,10 +21,30 @@ struct DeviceGraph {
   simt::DeviceBuffer<std::uint32_t> row_offsets;  // n + 1
   simt::DeviceBuffer<std::uint32_t> col_indices;  // m
   simt::DeviceBuffer<std::uint32_t> weights;      // m if weighted, else empty
+  // CSC (in-neighbor) view, empty until upload_csc().
+  simt::DeviceBuffer<std::uint32_t> in_row_offsets;  // n + 1
+  simt::DeviceBuffer<std::uint32_t> in_col_indices;  // m
+  simt::DeviceBuffer<std::uint32_t> in_weights;      // m if weighted
 
   static DeviceGraph upload(simt::Device& dev, const graph::Csr& g,
                             bool with_weights);
+  // Uploads the CSC view (see graph::build_csc); `csc` must describe the
+  // same graph as the resident CSR. Idempotent per residency: callers guard
+  // with csc_resident().
+  void upload_csc(simt::Device& dev, const graph::Csr& csc, bool with_weights);
+  bool csc_resident(bool with_weights) const {
+    return in_row_offsets.valid() && (!with_weights || in_weights.valid());
+  }
   void release(simt::Device& dev);
 };
+
+// Makes the CSC view resident ahead of a pull iteration. `host_csc` is the
+// caller-provided CSC (the API layers pass Graph's cached copy); when null,
+// the transpose is built once into `scratch` and kept for the rest of the
+// traversal (one-shot paths).
+void ensure_csc_resident(simt::Device& dev, DeviceGraph& dg,
+                         const graph::Csr& g, const graph::Csr* host_csc,
+                         bool with_weights,
+                         std::optional<graph::Csr>& scratch);
 
 }  // namespace gg

@@ -10,6 +10,10 @@
 #include "gpu_graph/variant.h"
 #include "simt/stream.h"
 
+namespace graph {
+struct Csr;
+}
+
 namespace gg {
 
 struct EngineOptions {
@@ -45,6 +49,14 @@ struct EngineOptions {
   double hybrid_cpu_clock_ghz = 3.4;
   double hybrid_cpu_cycles_per_edge = 14.0;
   double hybrid_cpu_cycles_per_node = 8.0;
+
+  // Host CSC (graph::build_csc) for pull iterations. When null and a pull
+  // iteration occurs, the engine builds the transpose itself (one-shot
+  // paths); the API/Session layers pass the Graph's cached CSC so repeated
+  // queries share one build. The device copy is uploaded lazily into the
+  // DeviceGraph on the first pull iteration and stays resident (Session
+  // pinning keeps it across queries). Not owned; must outlive the call.
+  const graph::Csr* csc = nullptr;
 };
 
 struct SelectorInput {
@@ -55,12 +67,36 @@ struct SelectorInput {
   double avg_outdegree = 0;   // whole-graph average (Sec. VI.E (i))
   double outdeg_stddev = 0;   // whole-graph spread (skew-aware mapping rule)
   std::uint32_t num_nodes = 0;
+  // Direction-optimizing inputs (Beamer-style, fed from the same inspector
+  // bookkeeping): out-edges incident to the working set, out-edges of
+  // not-yet-touched vertices, total edges, and the direction the previous
+  // iteration ran in (push on the initial selection).
+  std::uint64_t frontier_edges = 0;
+  std::uint64_t unexplored_edges = 0;
+  std::uint64_t num_edges = 0;
+  Direction direction = Direction::push;
 };
 
 using VariantSelector = std::function<Variant(const SelectorInput&)>;
 
 inline VariantSelector fixed_variant(Variant v) {
   return [v](const SelectorInput&) { return v; };
+}
+
+// Canonicalizes a selected variant for execution. Direction::adaptive never
+// reaches a kernel (the runtime controller resolves it; a fixed "_DO"
+// variant without the controller degrades to push), and pull iterations run
+// the canonical gather shape: a dense thread-per-vertex kernel over a
+// bitmap frontier, so mapping/repr are forced to thread/bitmap — the repr
+// force is also what guarantees the *previous* generate() materialized the
+// frontier in the bitmap the gather tests membership against.
+inline Variant normalize_direction(Variant v) {
+  if (v.direction == Direction::adaptive) v.direction = Direction::push;
+  if (v.direction == Direction::pull) {
+    v.mapping = Mapping::thread;
+    v.repr = WorksetRepr::bitmap;
+  }
+  return v;
 }
 
 // Paper Sec. VII.A block size rule.

@@ -27,6 +27,10 @@ constexpr simt::Site kTentLoad{11, "sssp.tent-load"};
 constexpr simt::Site kDistStore{12, "sssp.dist-store"};
 constexpr simt::Site kCandFlag{13, "sssp.cand-flag"};
 constexpr simt::Site kCandTail{14, "sssp.cand-tail"};
+constexpr simt::Site kPullRowOffsets{15, "sssp.pull-row-offsets"};
+constexpr simt::Site kPullEdgeLoad{16, "sssp.pull-edge-load"};
+constexpr simt::Site kPullWeightLoad{17, "sssp.pull-weight-load"};
+constexpr simt::Site kPullFrontierTest{18, "sssp.pull-frontier-test"};
 
 // ---------------------------------------------------------------------------
 // Unordered SSSP (Bellman-Ford over the two-kernel framework).
@@ -133,12 +137,50 @@ void launch_unordered(simt::Device& dev, UnorderedState& st, Variant v,
   }
 }
 
+// Pull (gather) relaxation in the style of the sssp_pull-topological
+// exemplar: a dense thread-per-vertex kernel where each vertex scans its
+// in-edges (CSC), filters frontier members through the bitmap, folds the
+// candidate distances into a register-local minimum, and performs a single
+// own-cell store if it improved — "atomicMin on self": no inter-thread
+// atomics on the scatter side, and the in-edge reads are coalesced gathers.
+// Serial policy: improved ids are push_backed into the host updated shadow.
+void launch_pull_unordered(simt::Device& dev, UnorderedState& st,
+                           std::uint32_t thread_tpb) {
+  const std::uint32_t n = st.graph->num_nodes;
+  const auto grid = simt::GridSpec::dense(n, thread_tpb);
+  simt::launch(dev, "sssp.compute.T_PULL", grid, [&](simt::ThreadCtx& ctx) {
+    const auto id = static_cast<std::uint32_t>(ctx.global_id());
+    const std::uint32_t d = ctx.load(*st.dist, id, kNodeDist);
+    const std::uint32_t begin =
+        ctx.load(st.graph->in_row_offsets, id, kPullRowOffsets);
+    const std::uint32_t end =
+        ctx.load(st.graph->in_row_offsets, id + 1, kPullRowOffsets);
+    ctx.compute(4, kNodeOps);
+    std::uint32_t best = d;
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::uint32_t u = ctx.load(st.graph->in_col_indices, e, kPullEdgeLoad);
+      ctx.compute(2, kEdgeOps);
+      if (ctx.load(st.ws->bitmap(), u, kPullFrontierTest) == 0) continue;
+      const std::uint32_t du = ctx.load(*st.dist, u, kNodeDist);
+      const std::uint32_t w = ctx.load(st.graph->in_weights, e, kPullWeightLoad);
+      ctx.compute(2, kEdgeOps);
+      if (du != graph::kInfinity && du + w < best) best = du + w;
+    }
+    if (best < d) {
+      ctx.store(*st.dist, id, best, kDistStore);
+      ctx.store(st.ws->update(), id, std::uint8_t{1}, kUpdateStore);
+      st.updated->push_back(id);
+    }
+  });
+}
+
 GpuSsspResult run_unordered(simt::Device& dev, DeviceGraph& dg,
                             const graph::Csr& g, graph::NodeId source,
                             Variant variant, const VariantSelector& selector,
                             const EngineOptions& opts) {
   const simt::DeviceStats stats_before = dev.stats();
   const double t_begin = dev.now_us();
+  variant = normalize_direction(variant);
 
   GpuSsspResult result;
   const std::uint32_t block_tpb =
@@ -153,10 +195,20 @@ GpuSsspResult run_unordered(simt::Device& dev, DeviceGraph& dg,
   std::vector<std::uint32_t> updated;
   UnorderedState st{&dist, &dg, &ws, &updated};
 
+  std::optional<graph::Csr> csc_scratch;
+
   SelectorInput sel;
   sel.avg_outdegree = dg.avg_outdegree;
   sel.outdeg_stddev = dg.outdeg_stddev;
   sel.num_nodes = g.num_nodes;
+  sel.num_edges = dg.num_edges;
+  // Direction controller input: unlike BFS, a weighted min-fold cannot stop
+  // at the first frontier in-neighbor, so a pull iteration always rescans
+  // every in-edge *and* its weight — the gather volume is a flat 2m however
+  // little remains unexplored. Reporting that (instead of BFS's first-touch
+  // remainder) keeps the alpha rule honest: the frontier's scatter mass can
+  // never cover it, so direction-optimizing SSSP correctly stays push.
+  sel.unexplored_edges = 2 * dg.num_edges;
 
   const std::uint64_t max_iters =
       opts.max_iterations ? opts.max_iterations : 16ull * g.num_nodes + 64;
@@ -201,6 +253,12 @@ GpuSsspResult run_unordered(simt::Device& dev, DeviceGraph& dg,
           (static_cast<double>(frontier.size()) * opts.hybrid_cpu_cycles_per_node +
            static_cast<double>(frontier_edges) * opts.hybrid_cpu_cycles_per_edge) /
           (opts.hybrid_cpu_clock_ghz * 1e3));
+    } else if (variant.direction == Direction::pull) {
+      ensure_csc_resident(dev, dg, g, opts.csc, /*with_weights=*/true,
+                          csc_scratch);
+      launch_pull_unordered(dev, st, opts.thread_tpb);
+      ws.charge_changed_flag_readback(dev);
+      ws.clear_frontier_bitmap(dev, frontier);
     } else {
       launch_unordered(dev, st, variant, frontier, opts.thread_tpb, block_tpb);
       if (variant.repr == WorksetRepr::queue) {
@@ -211,6 +269,9 @@ GpuSsspResult run_unordered(simt::Device& dev, DeviceGraph& dg,
     }
     std::sort(updated.begin(), updated.end());
 
+    std::uint64_t next_frontier_edges = 0;
+    for (const std::uint32_t v : updated) next_frontier_edges += g.degree(v);
+
     Variant next = variant;
     if (opts.monitor_interval > 0 && iteration % opts.monitor_interval == 0) {
       if (!on_cpu && variant.repr == WorksetRepr::bitmap) {
@@ -218,14 +279,18 @@ GpuSsspResult run_unordered(simt::Device& dev, DeviceGraph& dg,
       }
       sel.iteration = iteration;
       sel.ws_size = updated.size();
+      sel.frontier_edges = next_frontier_edges;
+      sel.direction = variant.direction;
       ++result.metrics.decisions;
-      next = selector(sel);
+      next = normalize_direction(selector(sel));
       next.ordering = Ordering::unordered;
       if (!on_cpu && next != variant) ++result.metrics.switches;
     }
 
     const bool next_on_cpu =
         hybrid && updated.size() < opts.hybrid_cpu_threshold;
+    // Host phases are scalar scatter loops; direction only applies on device.
+    if (next_on_cpu) next.direction = Direction::push;
     if (on_cpu != next_on_cpu) {
       if (next_on_cpu) {
         dev.account_transfer(4ull * g.num_nodes, /*to_device=*/false);
@@ -490,10 +555,17 @@ GpuSsspResult run_sssp(simt::Device& dev, DeviceGraph& dg, const graph::Csr& g,
   sel.avg_outdegree = dg.avg_outdegree;
   sel.outdeg_stddev = dg.outdeg_stddev;
   sel.num_nodes = g.num_nodes;
-  const Variant initial = selector(sel);
+  sel.num_edges = dg.num_edges;
+  sel.frontier_edges = g.degree(source);
+  // Flat gather-volume proxy; see run_unordered for why SSSP reports 2m.
+  sel.unexplored_edges = 2 * dg.num_edges;
+  Variant initial = selector(sel);
   if (initial.ordering == Ordering::ordered) {
     AGG_CHECK_MSG(initial.mapping != Mapping::warp,
                   "warp-centric mapping is an unordered-only extension");
+    // The ordered (Dijkstra-like) formulation has no gather phase; pull is
+    // an unordered-only axis.
+    initial.direction = Direction::push;
     return run_ordered(dev, dg, g, source, initial, opts);
   }
   return run_unordered(dev, dg, g, source, initial, selector, opts);

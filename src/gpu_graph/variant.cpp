@@ -33,6 +33,15 @@ std::array<Variant, 2> warp_centric_variants() {
           Variant{Ordering::unordered, Mapping::warp, WorksetRepr::queue}};
 }
 
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::push: return "push";
+    case Direction::pull: return "pull";
+    case Direction::adaptive: return "adaptive";
+  }
+  return "push";
+}
+
 std::string variant_name(const Variant& v) {
   std::string name;
   name += v.ordering == Ordering::ordered ? "O" : "U";
@@ -42,22 +51,64 @@ std::string variant_name(const Variant& v) {
     case Mapping::warp: name += "_W"; break;
   }
   name += v.repr == WorksetRepr::bitmap ? "_BM" : "_QU";
+  // Push is the paper's (implicit) direction and keeps the paper's names;
+  // the direction extension only surfaces when it deviates.
+  if (v.direction == Direction::pull) name += "_PULL";
+  if (v.direction == Direction::adaptive) name += "_DO";
   return name;
 }
 
-Variant parse_variant(const std::string& name) {
-  AGG_CHECK_MSG(name.size() == 6, "variant names look like U_T_BM");
+std::optional<Variant> try_parse_variant(const std::string& name) {
+  std::string base = name;
+  Direction dir = Direction::push;
+  const auto strip = [&base](const char* suffix) {
+    const std::string s(suffix);
+    if (base.size() > s.size() &&
+        base.compare(base.size() - s.size(), s.size(), s) == 0) {
+      base.resize(base.size() - s.size());
+      return true;
+    }
+    return false;
+  };
+  if (strip("_PULL")) {
+    dir = Direction::pull;
+  } else if (strip("_DO")) {
+    dir = Direction::adaptive;
+  } else {
+    strip("_PUSH");  // explicit push spelling, same as no suffix
+  }
+  if (base.size() != 6 || base[1] != '_' || base[3] != '_') return std::nullopt;
   Variant v;
-  AGG_CHECK(name[0] == 'O' || name[0] == 'U');
-  v.ordering = name[0] == 'O' ? Ordering::ordered : Ordering::unordered;
-  AGG_CHECK(name[2] == 'T' || name[2] == 'B' || name[2] == 'W');
-  v.mapping = name[2] == 'T'   ? Mapping::thread
-              : name[2] == 'B' ? Mapping::block
-                               : Mapping::warp;
-  const std::string repr = name.substr(4);
-  AGG_CHECK(repr == "BM" || repr == "QU");
-  v.repr = repr == "BM" ? WorksetRepr::bitmap : WorksetRepr::queue;
+  v.direction = dir;
+  if (base[0] == 'O') {
+    v.ordering = Ordering::ordered;
+  } else if (base[0] == 'U') {
+    v.ordering = Ordering::unordered;
+  } else {
+    return std::nullopt;
+  }
+  switch (base[2]) {
+    case 'T': v.mapping = Mapping::thread; break;
+    case 'B': v.mapping = Mapping::block; break;
+    case 'W': v.mapping = Mapping::warp; break;
+    default: return std::nullopt;
+  }
+  const std::string repr = base.substr(4);
+  if (repr == "BM") {
+    v.repr = WorksetRepr::bitmap;
+  } else if (repr == "QU") {
+    v.repr = WorksetRepr::queue;
+  } else {
+    return std::nullopt;
+  }
   return v;
+}
+
+Variant parse_variant(const std::string& name) {
+  const std::optional<Variant> v = try_parse_variant(name);
+  AGG_CHECK_MSG(v.has_value(),
+                "variant names look like U_T_BM (optionally _PULL/_DO)");
+  return *v;
 }
 
 }  // namespace gg

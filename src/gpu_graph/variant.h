@@ -2,10 +2,17 @@
 // mapping granularity x working-set representation = 8 variants per
 // algorithm, named as in the paper's tables (e.g. U_T_BM = unordered,
 // thread-mapped, bitmap working set).
+//
+// Direction (push vs pull) extends that space as a fourth axis: push
+// scatters from the frontier along out-edges (CSR), pull gathers over
+// in-edges (CSC) — the direction-optimizing axis of Beamer et al. that
+// SIMD-X and Gunrock adopt. `Direction::adaptive` never reaches a kernel:
+// the runtime controller resolves it to push or pull per iteration.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace gg {
@@ -17,11 +24,13 @@ enum class Ordering : std::uint8_t { ordered, unordered };
 // (one element per 32-lane warp, several warps packed per physical block).
 enum class Mapping : std::uint8_t { thread, block, warp };
 enum class WorksetRepr : std::uint8_t { bitmap, queue };
+enum class Direction : std::uint8_t { push, pull, adaptive };
 
 struct Variant {
   Ordering ordering = Ordering::unordered;
   Mapping mapping = Mapping::thread;
   WorksetRepr repr = WorksetRepr::bitmap;
+  Direction direction = Direction::push;
 
   bool operator==(const Variant&) const = default;
 };
@@ -35,7 +44,12 @@ std::array<Variant, 4> unordered_variants();
 std::array<Variant, 2> warp_centric_variants();
 
 std::string variant_name(const Variant& v);
-// Parses names like "U_B_QU"; aborts on malformed input.
+const char* direction_name(Direction d);
+// Parses names like "U_B_QU", optionally suffixed with a direction
+// ("U_T_BM_PULL", "U_T_BM_DO"); no suffix (or "_PUSH") means push.
+// Returns nullopt on malformed input.
+std::optional<Variant> try_parse_variant(const std::string& name);
+// Same grammar; aborts on malformed input (legacy contract).
 Variant parse_variant(const std::string& name);
 
 }  // namespace gg

@@ -11,6 +11,7 @@ constexpr simt::Site kQueueTail{1, "gen.queue-tail"};
 constexpr simt::Site kQueueStore{2, "gen.queue-store"};
 constexpr simt::Site kUpdateClear{3, "gen.update-clear"};
 constexpr simt::Site kChangedStore{4, "gen.changed"};
+constexpr simt::Site kFrontierClear{5, "gen.frontier-clear"};
 
 constexpr std::uint32_t kGenTpb = 256;
 
@@ -102,6 +103,23 @@ std::uint64_t Workset::generate(simt::Device& dev, WorksetRepr repr,
     });
   }
   return updated.size();
+}
+
+void Workset::clear_frontier_bitmap(simt::Device& dev,
+                                    std::span<const std::uint32_t> frontier) {
+  simt::Predicate pred;
+  pred.base_addr = bitmap_.base_addr();
+  pred.stride = 1;
+  pred.ops = 2;
+  const simt::GridSpec grid =
+      simt::GridSpec::over_threads(n_, kGenTpb, frontier, pred);
+  // Parallel policy: each thread clears only its own bit.
+  simt::launch(dev, "workset_gen.frontier_clear",
+               grid.with(simt::LaunchPolicy::parallel),
+               [&](simt::ThreadCtx& ctx) {
+    const auto id = static_cast<std::uint32_t>(ctx.global_id());
+    ctx.store(bitmap_, id, std::uint8_t{0}, kFrontierClear);
+  });
 }
 
 void Workset::charge_queue_len_readback(simt::Device& dev) const {

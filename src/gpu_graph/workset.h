@@ -48,6 +48,15 @@ class Workset {
                          std::span<const std::uint32_t> updated,
                          GenMethod method = GenMethod::atomic);
 
+  // Clears the bitmap bits of `frontier` (the sorted current working set).
+  // Pull (gather) iterations read the frontier bitmap concurrently from many
+  // threads, so — unlike the push kernels, which clear their own bit as they
+  // process it — the consumed frontier is wiped afterwards by this sparse
+  // kernel, restoring the bitmap-holds-exactly-the-frontier invariant before
+  // the next generate().
+  void clear_frontier_bitmap(simt::Device& dev,
+                             std::span<const std::uint32_t> frontier);
+
   // Termination / monitoring readback costs (paper Sec. VI.E):
   //  * queue mode: the queue length is read back anyway (the host needs the
   //    next grid size) — charge_queue_len_readback();

@@ -109,4 +109,6 @@ Csr dedup_edges(const Csr& g) {
                                         : std::span<const std::uint32_t>{});
 }
 
+Csr build_csc(const Csr& g) { return transpose(g); }
+
 }  // namespace graph

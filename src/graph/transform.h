@@ -38,4 +38,11 @@ RelabeledGraph induced_subgraph(const Csr& g, std::span<const NodeId> nodes);
 // (the only one shortest paths can use). Self loops are preserved (deduped).
 Csr dedup_edges(const Csr& g);
 
+// The CSC (compressed sparse column) view of g, materialized as the CSR of
+// the transposed graph: row v lists the in-neighbors of v, weights follow
+// their edges. This is what the pull (gather) traversal kernels read; for
+// a symmetric graph it equals g itself, so callers holding the symmetrized
+// closure can reuse it instead.
+Csr build_csc(const Csr& g);
+
 }  // namespace graph

@@ -16,8 +16,13 @@ gg::EngineOptions engine_opts(const AdaptiveOptions& opts) {
 
 Thresholds effective_thresholds(simt::Device& dev, const AdaptiveOptions& opts) {
   if (opts.thresholds_overridden) return opts.thresholds;
-  return Thresholds::for_device(dev.props(), opts.engine.thread_tpb,
-                                opts.thresholds.t3_fraction);
+  Thresholds t = Thresholds::for_device(dev.props(), opts.engine.thread_tpb,
+                                        opts.thresholds.t3_fraction);
+  // The direction knobs are not device-derived; they always flow from the
+  // caller so --do-alpha/--do-beta work without pinning T1/T2.
+  t.do_alpha = opts.thresholds.do_alpha;
+  t.do_beta = opts.thresholds.do_beta;
+  return t;
 }
 
 // Cold path of the selector's trace::active() branch: one DecisionEvent per
@@ -41,6 +46,11 @@ void emit_decision(const Thresholds& t, std::uint32_t interval,
     ev.t3_fraction = t.t3_fraction;
     ev.t3 = static_cast<std::uint64_t>(t.t3_fraction * in.num_nodes);
     ev.skew_weight = t.skew_weight;
+    ev.direction = gg::direction_name(chosen.direction);
+    ev.frontier_edges = in.frontier_edges;
+    ev.unexplored_edges = in.unexplored_edges;
+    ev.do_alpha = t.do_alpha;
+    ev.do_beta = t.do_beta;
     ev.interval = interval;
     ev.prev_variant = prev_variant;
     ev.variant = name;
@@ -59,13 +69,26 @@ gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds) {
 
 gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds,
                                            std::uint32_t interval,
-                                           const char* algo) {
+                                           const char* algo,
+                                           gg::Direction direction) {
   // The engine copies the selector; the prev-variant state is shared across
   // copies so the switch flag tracks the single underlying traversal.
   auto prev = std::make_shared<std::string>();
-  return [thresholds, interval, algo, prev](const gg::SelectorInput& in) {
-    const gg::Variant v = decide(thresholds, in.ws_size, in.avg_outdegree,
-                                 in.num_nodes, in.outdeg_stddev);
+  return [thresholds, interval, algo, direction, prev](const gg::SelectorInput& in) {
+    gg::Variant v = decide(thresholds, in.ws_size, in.avg_outdegree,
+                           in.num_nodes, in.outdeg_stddev);
+    if (direction == gg::Direction::adaptive) {
+      // Direction-optimizing controller: pure hysteresis over the engine's
+      // own frontier bookkeeping (in.direction is what is currently running,
+      // so the state round-trips through the engine, not the selector).
+      v.direction = decide_direction(thresholds, in.direction,
+                                     in.frontier_edges, in.unexplored_edges,
+                                     in.num_nodes);
+    } else {
+      v.direction = direction;
+    }
+    // Canonicalize before tracing so the logged variant is what executes.
+    v = gg::normalize_direction(v);
     if (trace::active()) {
       emit_decision(thresholds, interval, algo, in, v, *prev);
     }
@@ -77,24 +100,27 @@ gg::GpuBfsResult adaptive_bfs(simt::Device& dev, const graph::Csr& g,
                               graph::NodeId source, const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
   const gg::EngineOptions eo = engine_opts(opts);
-  return gg::run_bfs(dev, g, source,
-                     make_adaptive_selector(t, eo.monitor_interval, "bfs"), eo);
+  return gg::run_bfs(
+      dev, g, source,
+      make_adaptive_selector(t, eo.monitor_interval, "bfs", opts.direction), eo);
 }
 
 gg::GpuSsspResult adaptive_sssp(simt::Device& dev, const graph::Csr& g,
                                 graph::NodeId source, const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
   const gg::EngineOptions eo = engine_opts(opts);
-  return gg::run_sssp(dev, g, source,
-                      make_adaptive_selector(t, eo.monitor_interval, "sssp"), eo);
+  return gg::run_sssp(
+      dev, g, source,
+      make_adaptive_selector(t, eo.monitor_interval, "sssp", opts.direction), eo);
 }
 
 gg::GpuCcResult adaptive_cc(simt::Device& dev, const graph::Csr& g,
                             const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
   const gg::EngineOptions eo = engine_opts(opts);
-  return gg::run_cc(dev, g, make_adaptive_selector(t, eo.monitor_interval, "cc"),
-                    eo);
+  return gg::run_cc(
+      dev, g,
+      make_adaptive_selector(t, eo.monitor_interval, "cc", opts.direction), eo);
 }
 
 gg::GpuMstResult adaptive_mst(simt::Device& dev, const graph::Csr& g,
@@ -122,8 +148,9 @@ gg::GpuBfsResult adaptive_bfs(simt::Device& dev, gg::DeviceGraph& dg,
                               const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
   const gg::EngineOptions eo = engine_opts(opts);
-  return gg::run_bfs(dev, dg, g, source,
-                     make_adaptive_selector(t, eo.monitor_interval, "bfs"), eo);
+  return gg::run_bfs(
+      dev, dg, g, source,
+      make_adaptive_selector(t, eo.monitor_interval, "bfs", opts.direction), eo);
 }
 
 gg::GpuSsspResult adaptive_sssp(simt::Device& dev, gg::DeviceGraph& dg,
@@ -131,16 +158,18 @@ gg::GpuSsspResult adaptive_sssp(simt::Device& dev, gg::DeviceGraph& dg,
                                 const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
   const gg::EngineOptions eo = engine_opts(opts);
-  return gg::run_sssp(dev, dg, g, source,
-                      make_adaptive_selector(t, eo.monitor_interval, "sssp"), eo);
+  return gg::run_sssp(
+      dev, dg, g, source,
+      make_adaptive_selector(t, eo.monitor_interval, "sssp", opts.direction), eo);
 }
 
 gg::GpuCcResult adaptive_cc(simt::Device& dev, gg::DeviceGraph& dg,
                             const graph::Csr& g, const AdaptiveOptions& opts) {
   const Thresholds t = effective_thresholds(dev, opts);
   const gg::EngineOptions eo = engine_opts(opts);
-  return gg::run_cc(dev, dg, g,
-                    make_adaptive_selector(t, eo.monitor_interval, "cc"), eo);
+  return gg::run_cc(
+      dev, dg, g,
+      make_adaptive_selector(t, eo.monitor_interval, "cc", opts.direction), eo);
 }
 
 gg::GpuPageRankResult adaptive_pagerank(simt::Device& dev, gg::DeviceGraph& dg,

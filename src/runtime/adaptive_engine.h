@@ -22,6 +22,15 @@ struct AdaptiveOptions {
   Thresholds thresholds;
   bool thresholds_overridden = false;
   std::uint32_t monitor_interval = 1;  // sampling rate R
+  // Traversal direction for the unordered BFS/SSSP/CC engines:
+  //  * push     — the paper's scatter formulation (default; unchanged);
+  //  * pull     — force the gather (CSC) formulation every iteration;
+  //  * adaptive — direction-optimizing: the controller flips push->pull when
+  //    frontier_edges > do_alpha * unexplored_edges and back to push when
+  //    the frontier shrinks below do_beta * num_nodes (Beamer hysteresis,
+  //    knobs on `thresholds`). MST, PageRank and the fused MS-BFS path have
+  //    no gather formulation and always run push.
+  gg::Direction direction = gg::Direction::push;
   gg::EngineOptions engine;            // tpb knobs (monitor_interval is set here)
 };
 
@@ -35,7 +44,9 @@ struct AdaptiveOptions {
 gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds);
 gg::VariantSelector make_adaptive_selector(const Thresholds& thresholds,
                                            std::uint32_t interval,
-                                           const char* algo);
+                                           const char* algo,
+                                           gg::Direction direction =
+                                               gg::Direction::push);
 
 gg::GpuBfsResult adaptive_bfs(simt::Device& dev, const graph::Csr& g,
                               graph::NodeId source, const AdaptiveOptions& opts = {});

@@ -33,6 +33,28 @@ gg::Variant decide(const Thresholds& t, std::uint64_t ws_size, double avg_outdeg
   return v;
 }
 
+gg::Direction decide_direction(const Thresholds& t, gg::Direction current,
+                               std::uint64_t frontier_edges,
+                               std::uint64_t unexplored_edges,
+                               std::uint32_t num_nodes) {
+  // Modeled cost of one gather iteration: a dense sweep over every vertex
+  // plus the unexplored in-edges it still has to read. A scatter iteration
+  // costs the frontier's out-edges — with contended atomics, which is what
+  // pull saves. Flip to pull when the scatter mass covers do_alpha of the
+  // gather volume; flip back once it drains below the (much lower) do_beta
+  // band. The gap between the two is the hysteresis that keeps a post-peak
+  // frontier pulling and makes push<->pull<->push thrash impossible.
+  const double gather_volume =
+      static_cast<double>(unexplored_edges) + static_cast<double>(num_nodes);
+  const double scatter_mass = static_cast<double>(frontier_edges);
+  if (current != gg::Direction::pull) {
+    return scatter_mass > t.do_alpha * gather_volume ? gg::Direction::pull
+                                                     : gg::Direction::push;
+  }
+  return scatter_mass < t.do_beta * gather_volume ? gg::Direction::push
+                                                  : gg::Direction::pull;
+}
+
 bool choose_cpu_fallback(const FallbackInput& in) {
   if (!in.device_healthy) return true;
   if (in.deadline_us <= 0) return false;

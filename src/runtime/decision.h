@@ -44,8 +44,25 @@ struct Thresholds {
   // skew_weight = 0 for the paper's exact rule.
   double skew_weight = 0.5;
 
+  // Direction-optimizing thresholds (after Beamer et al., "Direction-
+  // Optimizing Breadth-First Search"; the 4th adaptive dimension). Both
+  // rules compare the frontier's edge mass against the volume one gather
+  // iteration would scan, `unexplored_edges + num_nodes` (every pull kernel
+  // sweeps all vertices; unexplored_edges is the engine's estimate of the
+  // in-edges that sweep still has to read — see each engine for its proxy):
+  //   push -> pull  when  frontier_edges > do_alpha * (unexplored + n)
+  //   pull -> push  when  frontier_edges < do_beta  * (unexplored + n)
+  // do_beta well below do_alpha gives hysteresis: a post-peak frontier keeps
+  // pulling until it has truly drained. Beamer's CPU-tuned alpha=1/14 and
+  // beta=1/24 (against different denominators) do not transfer to the
+  // simulated kernels' cost model; these defaults are calibrated against
+  // per-iteration push/pull timings on the bench corpus, where pull starts
+  // winning once the frontier covers roughly half the gather volume.
+  double do_alpha = 0.5;
+  double do_beta = 0.05;
+
   // Derives T1/T2 from the device per the paper's rules; keeps the given
-  // T3 fraction.
+  // T3 fraction (and the defaults for the direction knobs).
   static Thresholds for_device(const simt::DeviceProps& props,
                                std::uint32_t thread_tpb = 192,
                                double t3_fraction = 0.30);
@@ -53,6 +70,16 @@ struct Thresholds {
 
 gg::Variant decide(const Thresholds& t, std::uint64_t ws_size, double avg_outdegree,
                    std::uint32_t num_nodes, double outdeg_stddev = 0.0);
+
+// Direction-optimizing controller step (the push<->pull hysteresis above):
+// given the direction the traversal is currently running in and the
+// inspector's frontier statistics, returns the direction for the next
+// iteration. Pure function — the adaptive selector threads the returned
+// value back in as `current`.
+gg::Direction decide_direction(const Thresholds& t, gg::Direction current,
+                               std::uint64_t frontier_edges,
+                               std::uint64_t unexplored_edges,
+                               std::uint32_t num_nodes);
 
 // CPU-fallback decision for the serving layer: answer a query with the
 // serial oracle instead of launching on the device. Complements the variant

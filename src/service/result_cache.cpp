@@ -84,15 +84,24 @@ std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
 std::uint64_t policy_signature(const adaptive::Policy& policy) {
   std::uint64_t h = mix64(static_cast<std::uint64_t>(policy.mode));
   h = combine(h, static_cast<std::uint64_t>(policy.symmetrize));
-  h = combine(h, (static_cast<std::uint64_t>(policy.variant.ordering) << 16) |
-                     (static_cast<std::uint64_t>(policy.variant.mapping) << 8) |
-                     static_cast<std::uint64_t>(policy.variant.repr));
+  h = combine(h,
+              (static_cast<std::uint64_t>(policy.variant.direction) << 24) |
+                  (static_cast<std::uint64_t>(policy.variant.ordering) << 16) |
+                  (static_cast<std::uint64_t>(policy.variant.mapping) << 8) |
+                  static_cast<std::uint64_t>(policy.variant.repr));
   const rt::AdaptiveOptions& o = policy.options;
+  // The traversal direction changes which kernels run (and, for adaptive
+  // direction, the whole push<->pull trajectory): push/pull/adaptive answers
+  // must never alias even though the payloads agree bit-for-bit (metrics and
+  // modeled costs differ).
+  h = combine(h, static_cast<std::uint64_t>(o.direction));
   h = combine(h, o.thresholds_overridden ? 1 : 0);
   h = combine(h, double_bits(o.thresholds.t1_avg_outdegree));
   h = combine(h, double_bits(o.thresholds.t2_ws_size));
   h = combine(h, double_bits(o.thresholds.t3_fraction));
   h = combine(h, double_bits(o.thresholds.skew_weight));
+  h = combine(h, double_bits(o.thresholds.do_alpha));
+  h = combine(h, double_bits(o.thresholds.do_beta));
   h = combine(h, o.monitor_interval);
   // Engine knobs that shape the adaptive trajectory; the stream is a
   // placement artifact and stays out of the signature.

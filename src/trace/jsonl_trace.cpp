@@ -23,6 +23,11 @@ void JsonlDecisionSink::decision(const DecisionEvent& ev) {
   w.field("t3_fraction", ev.t3_fraction);
   w.field("t3", ev.t3);
   w.field("skew_weight", ev.skew_weight);
+  w.field("direction", ev.direction);
+  w.field("frontier_edges", ev.frontier_edges);
+  w.field("unexplored_edges", ev.unexplored_edges);
+  w.field("do_alpha", ev.do_alpha);
+  w.field("do_beta", ev.do_beta);
   w.field("interval", ev.interval);
   w.field("prev_variant", ev.prev_variant);
   w.field("variant", ev.variant);

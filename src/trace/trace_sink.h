@@ -97,6 +97,15 @@ struct DecisionEvent {
   double t3_fraction = 0;          // bitmap/queue threshold, fraction of n
   std::uint64_t t3 = 0;            // t3_fraction * num_nodes, absolute
   double skew_weight = 0;
+  // Direction-optimizing inputs/outcome (4th adaptive dimension): the
+  // direction chosen for the next iteration plus the Beamer-controller
+  // inputs and knobs it saw. direction is "push" even for runs without the
+  // controller (the scatter formulation is the default).
+  const char* direction = "push";
+  std::uint64_t frontier_edges = 0;
+  std::uint64_t unexplored_edges = 0;
+  double do_alpha = 0;
+  double do_beta = 0;
   std::uint32_t interval = 0;      // sampling interval R
   std::string prev_variant;        // empty on the initial selection
   std::string variant;             // chosen

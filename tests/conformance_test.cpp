@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "api/algorithms.h"
+#include "conformance_corpus.h"
 #include "cpu/bfs_serial.h"
 #include "cpu/cc_serial.h"
 #include "cpu/mst_serial.h"
@@ -28,82 +29,10 @@
 
 namespace {
 
-struct GraphCase {
-  std::string name;
-  graph::Csr csr;
-};
+using testutil::GraphCase;
+using testutil::conformance_corpus;
 
-std::vector<GraphCase> corpus() {
-  std::vector<GraphCase> cases;
-  auto add = [&](std::string name, graph::Csr g) {
-    cases.push_back({std::move(name), std::move(g)});
-  };
-
-  // Five generator families, several seeds/sizes each.
-  for (std::uint64_t s = 1; s <= 4; ++s) {
-    add("er_small_" + std::to_string(s), graph::gen::erdos_renyi(200, 600, s));
-    add("er_dense_" + std::to_string(s),
-        graph::gen::erdos_renyi(400, 2000, 100 + s));
-    add("road_" + std::to_string(s), graph::gen::road_network(250, s));
-    add("road_big_" + std::to_string(s), graph::gen::road_network(450, 10 + s));
-    add("regular_" + std::to_string(s), graph::gen::regular_copurchase(250, s));
-    add("regular_big_" + std::to_string(s),
-        graph::gen::regular_copurchase(350, 20 + s));
-    graph::gen::PowerLawParams pl;
-    pl.num_nodes = 300 + 50 * static_cast<std::uint32_t>(s);
-    pl.tail_max = 40;
-    pl.seed = s;
-    add("powerlaw_" + std::to_string(s), graph::gen::powerlaw_configuration(pl));
-    graph::gen::RmatParams rm;
-    rm.scale = 8;
-    rm.edges_per_node = (s % 2) ? 4 : 8;
-    rm.seed = s;
-    add("rmat_" + std::to_string(s), graph::gen::rmat(rm));
-    add("ws_lattice_" + std::to_string(s),
-        graph::gen::watts_strogatz(240, 4, 0.0, s));
-    add("ws_rewired_" + std::to_string(s),
-        graph::gen::watts_strogatz(320, 6, 0.5, 30 + s));
-  }
-
-  // Degenerate shapes.
-  using E = graph::Edge;
-  add("empty", graph::csr_from_edges(0, std::vector<E>{}));
-  add("single_node", graph::csr_from_edges(1, std::vector<E>{}));
-  add("self_loop", graph::csr_from_edges(1, std::vector<E>{{0, 0}}));
-  add("loops_and_cycle",
-      graph::csr_from_edges(
-          3, std::vector<E>{{0, 0}, {0, 1}, {1, 2}, {2, 0}, {1, 1}}));
-  {
-    std::vector<E> two_cliques;
-    for (std::uint32_t u = 0; u < 5; ++u)
-      for (std::uint32_t v = 0; v < 5; ++v)
-        if (u != v) {
-          two_cliques.push_back({u, v});
-          two_cliques.push_back({u + 5, v + 5});
-        }
-    add("disconnected", graph::csr_from_edges(10, two_cliques));
-  }
-  add("duplicate_edges",
-      graph::csr_from_edges(
-          4, std::vector<E>{{0, 1}, {0, 1}, {0, 1}, {1, 2}, {1, 2}, {2, 3}}));
-  {
-    std::vector<E> star;
-    for (std::uint32_t i = 1; i < 64; ++i) star.push_back({0, i});
-    add("star", graph::csr_from_edges(64, star));
-  }
-  {
-    std::vector<E> chain;
-    for (std::uint32_t i = 0; i + 1 < 80; ++i) chain.push_back({i, i + 1});
-    add("chain", graph::csr_from_edges(80, chain));
-  }
-  add("two_node_cycle",
-      graph::csr_from_edges(2, std::vector<E>{{0, 1}, {1, 0}}));
-  // Isolated nodes around one edge: most of the graph is unreachable.
-  add("mostly_isolated", graph::csr_from_edges(40, std::vector<E>{{3, 17}}));
-  add("parallel_self_loops",
-      graph::csr_from_edges(2, std::vector<E>{{0, 0}, {0, 0}, {0, 1}, {1, 1}}));
-  return cases;
-}
+std::vector<GraphCase> corpus() { return conformance_corpus(); }
 
 double rel_l1(const std::vector<double>& got, const std::vector<double>& want) {
   double num = 0, den = 0;

@@ -132,6 +132,28 @@ TEST(ResultCache, PolicySignatureIgnoresTheDispatchStream) {
   EXPECT_NE(svc::policy_signature(a), svc::policy_signature(b));
 }
 
+TEST(ResultCache, PolicySignatureSeparatesTraversalDirections) {
+  // Push, pull and direction-optimizing answers agree bit-for-bit but their
+  // metrics and modeled costs differ: they must never alias in the cache.
+  const adaptive::Policy fixed =
+      adaptive::Policy::fixed(gg::parse_variant("U_T_BM"));
+  EXPECT_NE(svc::policy_signature(fixed),
+            svc::policy_signature(fixed.with_direction(gg::Direction::pull)));
+
+  const adaptive::Policy adapt = adaptive::Policy::adapt();
+  const adaptive::Policy dopt =
+      adapt.with_direction(gg::Direction::adaptive);
+  EXPECT_NE(svc::policy_signature(adapt), svc::policy_signature(dopt));
+
+  // The Beamer knobs shape the adaptive trajectory, so they key the entry.
+  adaptive::Policy tuned = dopt;
+  tuned.options.thresholds.do_alpha = 0.9;
+  EXPECT_NE(svc::policy_signature(dopt), svc::policy_signature(tuned));
+  tuned = dopt;
+  tuned.options.thresholds.do_beta = 0.25;
+  EXPECT_NE(svc::policy_signature(dopt), svc::policy_signature(tuned));
+}
+
 // ---- service integration ----------------------------------------------------
 
 TEST(ServiceCache, RepeatQueryIsServedFromTheCache) {

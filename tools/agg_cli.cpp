@@ -68,10 +68,40 @@ void save_any(const graph::Csr& g, const std::string& path) {
   }
 }
 
-adaptive::Policy parse_policy(const std::string& name) {
-  if (name == "adaptive") return adaptive::Policy::adapt();
-  if (name == "cpu") return adaptive::Policy::cpu();
-  return adaptive::Policy::fixed(name);
+// Builds the run policy from --policy / --direction / --do-alpha / --do-beta.
+// User-supplied strings go through the typed adaptive::parse_policy — a bad
+// name prints the taxonomy error and exits 2 instead of aborting.
+adaptive::Policy policy_from_cli(const agg::Cli& cli) {
+  const adaptive::ParsedPolicy parsed =
+      adaptive::parse_policy(cli.get("policy", "adaptive"));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", adaptive::error_code_name(parsed.code),
+                 parsed.error.c_str());
+    std::exit(2);
+  }
+  adaptive::Policy policy = parsed.policy;
+  if (cli.has("direction")) {
+    const std::string d = cli.get("direction", "push");
+    if (d == "push") {
+      policy = policy.with_direction(gg::Direction::push);
+    } else if (d == "pull") {
+      policy = policy.with_direction(gg::Direction::pull);
+    } else if (d == "adaptive") {
+      policy = policy.with_direction(gg::Direction::adaptive);
+    } else {
+      std::fprintf(stderr,
+                   "unknown --direction '%s' (expect push|pull|adaptive)\n",
+                   d.c_str());
+      std::exit(2);
+    }
+  }
+  if (cli.has("do-alpha")) {
+    policy.options.thresholds.do_alpha = cli.get_double("do-alpha", 0.5);
+  }
+  if (cli.has("do-beta")) {
+    policy.options.thresholds.do_beta = cli.get_double("do-beta", 0.05);
+  }
+  return policy;
 }
 
 void print_metrics(const gg::TraversalMetrics& m, double cpu_wall_ms) {
@@ -107,7 +137,7 @@ int cmd_bfs(const agg::Cli& cli) {
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
   const auto out =
-      adaptive::bfs(dev, g, source, parse_policy(cli.get("policy", "adaptive")));
+      adaptive::bfs(dev, g, source, policy_from_cli(cli));
   if (prof) std::printf("%s", prof->report().c_str());
   std::uint64_t reached = 0;
   std::uint32_t max_level = 0;
@@ -139,7 +169,7 @@ int cmd_sssp(const agg::Cli& cli) {
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
   const auto out =
-      adaptive::sssp(dev, g, source, parse_policy(cli.get("policy", "adaptive")));
+      adaptive::sssp(dev, g, source, policy_from_cli(cli));
   if (prof) std::printf("%s", prof->report().c_str());
   std::uint64_t reached = 0;
   std::uint64_t total = 0;
@@ -160,7 +190,7 @@ int cmd_cc(const agg::Cli& cli) {
   simt::Device dev;
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
-  auto policy = parse_policy(cli.get("policy", "adaptive"));
+  auto policy = policy_from_cli(cli);
   if (cli.get_bool("no-symmetrize", false)) {
     policy.symmetrize = adaptive::Symmetrize::never;
   }
@@ -178,8 +208,7 @@ int cmd_pagerank(const agg::Cli& cli) {
   simt::Device dev;
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
-  const auto out = adaptive::pagerank(dev, g, damping,
-                                      parse_policy(cli.get("policy", "adaptive")));
+  const auto out = adaptive::pagerank(dev, g, damping, policy_from_cli(cli));
   if (prof) std::printf("%s", prof->report().c_str());
   std::vector<std::uint32_t> order(g.num_nodes());
   for (std::uint32_t v = 0; v < g.num_nodes(); ++v) order[v] = v;
@@ -205,7 +234,7 @@ int cmd_mst(const agg::Cli& cli) {
   simt::Device dev;
   std::optional<simt::Profiler> prof;
   if (cli.get_bool("profile", false)) prof.emplace(dev);
-  auto policy = parse_policy(cli.get("policy", "adaptive"));
+  auto policy = policy_from_cli(cli);
   if (cli.get_bool("no-symmetrize", false)) {
     policy.symmetrize = adaptive::Symmetrize::never;
   }
@@ -538,7 +567,9 @@ int main(int argc, char** argv) {
         "agg — adaptive GPU graph algorithms (simulated device)\n\n"
         "  agg stats    <graph>\n"
         "  agg bfs      <graph> [--source=N] [--policy=adaptive|cpu|U_T_BM|...]\n"
+        "               [--direction=push|pull|adaptive]\n"
         "  agg sssp     <graph> [--source=N] [--policy=...] [--weights=LO,HI]\n"
+        "               [--direction=push|pull|adaptive]\n"
         "  agg cc       <graph> [--policy=...] [--no-symmetrize]\n"
         "  agg pagerank <graph> [--damping=0.85] [--policy=...] [--top=10]\n"
         "  agg mst      <graph> [--policy=...] [--no-symmetrize]\n"
@@ -564,7 +595,17 @@ int main(int argc, char** argv) {
         "                        load the file in chrome://tracing or Perfetto\n"
         "  --trace-format=F      chrome (kernel/transfer/iteration timeline,\n"
         "                        default) | jsonl (adaptive decision log)\n"
-        "  --metrics-out=FILE    write the metrics-counter registry as JSON\n");
+        "  --metrics-out=FILE    write the metrics-counter registry as JSON\n"
+        "  --direction=D         traversal direction for bfs/sssp/cc: push\n"
+        "                        (scatter over CSR, default), pull (gather\n"
+        "                        over CSC), adaptive (Beamer push<->pull\n"
+        "                        controller; pairs with --policy=adaptive)\n"
+        "  --do-alpha=F          push->pull flip threshold: go pull when\n"
+        "                        frontier_edges > F * (unexplored_edges + n)\n"
+        "                        (default 0.5)\n"
+        "  --do-beta=F           pull->push flip threshold: go push when\n"
+        "                        frontier_edges < F * (unexplored_edges + n)\n"
+        "                        (default 0.05)\n");
     return cli.has("help") ? 0 : 2;
   }
   if (!setup_tracing(cli)) return 2;
