@@ -91,6 +91,32 @@ const char* error_code_name(ErrorCode code) {
   return "?";
 }
 
+const char* error_code_message(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::none:
+      return "no error";
+    case ErrorCode::device_oom:
+      return "simulated device memory exhausted";
+    case ErrorCode::transfer_failed:
+      return "host<->device transfer failed";
+    case ErrorCode::kernel_fault:
+      return "kernel launch failed";
+    case ErrorCode::device_lost:
+      return "device permanently lost";
+    case ErrorCode::deadline_exceeded:
+      return "modeled deadline exceeded";
+    case ErrorCode::queue_full:
+      return "admission queue full";
+    case ErrorCode::invalid_argument:
+      return "invalid argument";
+    case ErrorCode::io_error:
+      return "graph io failure";
+    case ErrorCode::internal:
+      return "internal error";
+  }
+  return "?";
+}
+
 BfsResult bfs(simt::Device& dev, const Graph& g, NodeId source,
               const Policy& policy) {
   AGG_CHECK(source < g.num_nodes());

@@ -102,6 +102,9 @@ enum class ErrorCode : std::uint8_t {
 };
 
 const char* error_code_name(ErrorCode code);  // "device_oom", ...
+// Human-readable description of the code ("simulated device memory
+// exhausted", ...), for messages that must stand without the error string.
+const char* error_code_message(ErrorCode code);
 
 // Non-aborting policy parsing for user-supplied strings: "adaptive", "cpu",
 // or a variant name ("U_T_BM", optionally with a _PULL/_DO direction
@@ -134,6 +137,18 @@ struct Result : Payload {
   bool degraded = false;
 
   bool ok() const { return status == Status::ok; }
+
+  // One attributable line for logs and test failures: the typed code plus
+  // the context string ("device_lost: dev2: device fault: kernel 'bfs.expand'
+  // at op 7 (device dead)"). Fleet paths prefix the device index / shard id
+  // into `error`, so the message pinpoints the faulting component.
+  std::string error_message() const {
+    if (status == Status::ok) return "";
+    std::string msg = error_code_name(code);
+    msg += ": ";
+    msg += error.empty() ? error_code_message(code) : error;
+    return msg;
+  }
 };
 
 struct BfsPayload {

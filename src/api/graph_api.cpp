@@ -1,5 +1,6 @@
 #include "api/graph_api.h"
 
+#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,33 @@
 namespace adaptive {
 
 Graph::Graph(graph::Csr csr) : csr_(std::move(csr)) { csr_.validate(); }
+
+std::uint64_t Graph::next_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Graph::Graph(const Graph& other)
+    : csr_(other.csr_),
+      version_(other.version_),
+      stats_(other.stats_),
+      symmetric_(other.symmetric_),
+      symmetrized_(other.symmetrized_),
+      csc_(other.csc_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  csr_ = other.csr_;
+  version_ = other.version_;
+  stats_ = other.stats_;
+  symmetric_ = other.symmetric_;
+  symmetrized_ = other.symmetrized_;
+  csc_ = other.csc_;
+  // Assignment replaces this object's contents wholesale: it is a new
+  // registrable identity, exactly like a copy construction.
+  uid_ = next_uid();
+  return *this;
+}
 
 Graph Graph::from_csr(graph::Csr csr) { return Graph(std::move(csr)); }
 

@@ -59,6 +59,18 @@ class Graph {
   // Bumped on every mutation; lets device-resident uploads (Session, the
   // serving layer) detect a stale registration.
   std::uint64_t version() const { return version_; }
+  // Stable process-unique identity of this Graph object, used by Session
+  // registrations and result-cache keys. A copy receives a fresh uid (it is a
+  // distinct registrable object); a move keeps the uid (identity transfers).
+  // Replaces address-based keying, which aliased whenever a new graph reused
+  // a destroyed graph's storage address.
+  std::uint64_t uid() const { return uid_; }
+
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  ~Graph() = default;
 
   // ---- mutation ----
   // Assigns pseudo-random integer edge weights (needed before sssp()).
@@ -69,8 +81,10 @@ class Graph {
 
  private:
   explicit Graph(graph::Csr csr);
+  static std::uint64_t next_uid();
   graph::Csr csr_;
   std::uint64_t version_ = 0;
+  std::uint64_t uid_ = next_uid();
   mutable std::optional<graph::GraphStats> stats_;
   mutable std::optional<bool> symmetric_;
   mutable std::optional<graph::Csr> symmetrized_;  // empty when symmetric

@@ -31,16 +31,6 @@ void gauge_max(const char* name, double v) {
   if (reg.enabled()) reg.gauge(name).set_max(v);
 }
 
-// splitmix64 finalizer over the CSR address: a stable, well-mixed graph key
-// for the session's result cache (bijective, so distinct CSRs never clash).
-std::uint64_t mix_ptr(const void* p) {
-  auto x = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
 
 namespace detail {
@@ -49,114 +39,194 @@ const graph::Csr& resolve_symmetric_csr(const Graph& g, const Policy& policy) {
 }
 }  // namespace detail
 
+Session::Session(const simt::ClusterSpec& spec) : fleet_(spec) {}
+
 Session::Session(const simt::DeviceProps& props, simt::TimingModel tm)
-    : dev_(props, tm) {}
+    : Session(simt::ClusterSpec::single(props, tm)) {}
 
 Session::~Session() {
-  for (auto& [key, pin] : pins_) {
-    if (pin.resident) pin.dg.release(dev_);
+  for (auto& [id, reg] : regs_) {
+    for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+      release_pin(d, reg.pins[d]);
+    }
   }
 }
 
-Session::Pin* Session::ensure_fresh(const graph::Csr* key, const graph::Csr& csr,
-                                    bool with_weights, std::uint64_t version) {
-  auto it = pins_.find(key);
-  if (it == pins_.end()) return nullptr;
-  Pin& pin = it->second;
-  if (!pin.resident || pin.version != version ||
+Session::Registration* Session::find_reg(const Graph& g) {
+  auto it = by_uid_.find(g.uid());
+  if (it == by_uid_.end()) return nullptr;
+  return &regs_.at(it->second);
+}
+
+const Session::Registration* Session::find_reg(const Graph& g) const {
+  auto it = by_uid_.find(g.uid());
+  if (it == by_uid_.end()) return nullptr;
+  return &regs_.at(it->second);
+}
+
+const Graph& Session::graph_for(GraphId id) const {
+  auto it = regs_.find(id);
+  AGG_CHECK_MSG(it != regs_.end(), "unknown GraphId");
+  return *it->second.g;
+}
+
+simt::DeviceIndex Session::route_device() const {
+  simt::DeviceIndex best = kNoDevice;
+  double best_ready = 0;
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    if (!fleet_.device(d).healthy()) continue;
+    const double ready = fleet_.device(d).stream_ready_us(0);
+    if (best == kNoDevice || ready < best_ready) {
+      best = d;
+      best_ready = ready;
+    }
+  }
+  return best;
+}
+
+void Session::release_pin(simt::DeviceIndex d, Pin& pin) {
+  simt::Device& dev = fleet_.device(d);
+  if (pin.resident) {
+    pin.dg.release(dev);
+    pin.resident = false;
+  }
+  if (pin.sym_dg) {
+    pin.sym_dg->release(dev);
+    pin.sym_dg.reset();
+  }
+}
+
+Session::Pin& Session::ensure_fresh(Registration& reg, simt::DeviceIndex d,
+                                    bool with_weights) {
+  Pin& pin = reg.pins[d];
+  const Graph& g = *reg.g;
+  if (!pin.resident || pin.version != g.version() ||
       (with_weights && !pin.with_weights)) {
     // Stale upload (graph mutated since registration), evicted pin, or
     // weights appeared: refresh transparently, charged to the current query.
-    if (pin.resident) pin.dg.release(dev_);
-    try {
-      pin.dg = gg::DeviceGraph::upload(dev_, csr, with_weights || csr.has_weights());
-    } catch (const simt::DeviceFault&) {
-      // The old upload is gone and the new one failed: drop the pin so a
-      // later query re-registers instead of double-releasing stale buffers.
-      pins_.erase(it);
-      throw;
+    simt::Device& dev = fleet_.device(d);
+    if (pin.resident) {
+      pin.dg.release(dev);
+      pin.resident = false;
     }
-    pin.with_weights = with_weights || csr.has_weights();
-    pin.version = version;
+    if (pin.sym_dg) {
+      // The closure of a mutated graph is stale too; drop it so cc()
+      // re-derives on demand.
+      pin.sym_dg->release(dev);
+      pin.sym_dg.reset();
+    }
+    pin.dg = gg::DeviceGraph::upload(dev, g.csr(),
+                                     with_weights || g.is_weighted());
+    pin.with_weights = with_weights || g.is_weighted();
+    pin.version = g.version();
     pin.resident = true;
   }
-  return &pin;
+  return pin;
 }
 
-void Session::register_graph(const Graph& g) {
-  const graph::Csr* key = &g.csr();
-  if (ensure_fresh(key, g.csr(), g.is_weighted(), g.version())) return;
-  Pin pin;
-  pin.dg = gg::DeviceGraph::upload(dev_, g.csr(), g.is_weighted());
-  pin.with_weights = g.is_weighted();
-  pin.version = g.version();
-  pins_.emplace(key, std::move(pin));
+gg::DeviceGraph& Session::ensure_sym(Registration& reg, simt::DeviceIndex d,
+                                     const graph::Csr& target) {
+  Pin& pin = reg.pins[d];
+  const Graph& g = *reg.g;
+  if (pin.sym_dg && pin.sym_version == g.version()) return *pin.sym_dg;
+  simt::Device& dev = fleet_.device(d);
+  if (pin.sym_dg) {
+    pin.sym_dg->release(dev);
+    pin.sym_dg.reset();
+  }
+  pin.sym_dg = gg::DeviceGraph::upload(dev, target, /*with_weights=*/false);
+  pin.sym_version = g.version();
+  return *pin.sym_dg;
+}
+
+GraphId Session::register_graph(const Graph& g) {
+  if (Registration* reg = find_reg(g)) {
+    // Idempotent: refresh every device's replica and return the existing id.
+    for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+      if (fleet_.device(d).healthy()) ensure_fresh(*reg, d, g.is_weighted());
+    }
+    return by_uid_.at(g.uid());
+  }
+  Registration reg;
+  reg.g = &g;
+  reg.uid = g.uid();
+  reg.pins.resize(fleet_.size());
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    Pin& pin = reg.pins[d];
+    if (!fleet_.device(d).healthy()) {
+      // A dead device takes no replica; queries route around it.
+      pin.resident = false;
+      continue;
+    }
+    pin.dg = gg::DeviceGraph::upload(fleet_.device(d), g.csr(),
+                                     g.is_weighted());
+    pin.with_weights = g.is_weighted();
+    pin.version = g.version();
+  }
+  const GraphId id = next_graph_id_++;
+  by_uid_[g.uid()] = id;
+  regs_.emplace(id, std::move(reg));
+  return id;
 }
 
 void Session::unregister_graph(const Graph& g) {
-  auto drop = [this](const graph::Csr* key) {
-    auto it = pins_.find(key);
-    if (it != pins_.end()) {
-      if (it->second.resident) it->second.dg.release(dev_);
-      pins_.erase(it);
-    }
-  };
-  // Drop any derived (symmetrized-CSR) pin first, then the base pin.
-  auto d = derived_.find(&g.csr());
-  if (d != derived_.end()) {
-    drop(d->second);
-    derived_.erase(d);
+  auto it = by_uid_.find(g.uid());
+  if (it == by_uid_.end()) return;
+  unregister_graph(it->second);
+}
+
+void Session::unregister_graph(GraphId id) {
+  auto it = regs_.find(id);
+  if (it == regs_.end()) return;
+  Registration& reg = it->second;
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    release_pin(d, reg.pins[d]);
   }
-  drop(&g.csr());
   // Cached answers are only served to registered graphs; drop them so their
   // bytes return to the budget.
-  if (rcache_.enabled()) rcache_.invalidate_graph(rcache_graph_key(g));
-  rcache_versions_.erase(&g.csr());
+  if (rcache_.enabled()) rcache_.invalidate_graph(id);
+  rcache_versions_.erase(reg.uid);
+  by_uid_.erase(reg.uid);
+  regs_.erase(it);
 }
 
 bool Session::is_registered(const Graph& g) const {
-  return pins_.count(&g.csr()) > 0;
+  return by_uid_.count(g.uid()) > 0;
+}
+
+GraphId Session::graph_id(const Graph& g) const {
+  auto it = by_uid_.find(g.uid());
+  return it == by_uid_.end() ? 0 : it->second;
 }
 
 void Session::evict(const Graph& g) {
-  // The derived symmetrized pin is dropped outright — cc() re-derives and
-  // re-uploads it on demand.
-  auto d = derived_.find(&g.csr());
-  if (d != derived_.end()) {
-    auto it = pins_.find(d->second);
-    if (it != pins_.end()) {
-      if (it->second.resident) it->second.dg.release(dev_);
-      pins_.erase(it);
-    }
-    derived_.erase(d);
-  }
-  auto it = pins_.find(&g.csr());
-  if (it != pins_.end() && it->second.resident) {
-    it->second.dg.release(dev_);
-    it->second.resident = false;
+  auto it = by_uid_.find(g.uid());
+  if (it != by_uid_.end()) evict(it->second);
+}
+
+void Session::evict(GraphId id) {
+  auto it = regs_.find(id);
+  if (it == regs_.end()) return;
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    release_pin(d, it->second.pins[d]);
   }
 }
 
 void Session::evict_all() {
-  for (auto& [base, dkey] : derived_) {
-    auto it = pins_.find(dkey);
-    if (it != pins_.end()) {
-      if (it->second.resident) it->second.dg.release(dev_);
-      pins_.erase(it);
-    }
-  }
-  derived_.clear();
-  for (auto& [key, pin] : pins_) {
-    if (pin.resident) {
-      pin.dg.release(dev_);
-      pin.resident = false;
+  for (auto& [id, reg] : regs_) {
+    for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+      release_pin(d, reg.pins[d]);
     }
   }
 }
 
 bool Session::is_resident(const Graph& g) const {
-  auto it = pins_.find(&g.csr());
-  return it != pins_.end() && it->second.resident;
+  const Registration* reg = find_reg(g);
+  if (reg == nullptr) return false;
+  for (const Pin& pin : reg->pins) {
+    if (pin.resident) return true;
+  }
+  return false;
 }
 
 void Session::enable_result_cache(std::size_t capacity_bytes) {
@@ -168,11 +238,12 @@ void Session::enable_result_cache(std::size_t capacity_bytes) {
 }
 
 std::uint64_t Session::rcache_graph_key(const Graph& g) const {
-  return mix_ptr(&g.csr());
+  const GraphId id = graph_id(g);
+  return id != 0 ? id : g.uid();
 }
 
 void Session::rcache_refresh_version(const Graph& g) {
-  auto [it, inserted] = rcache_versions_.try_emplace(&g.csr(), g.version());
+  auto [it, inserted] = rcache_versions_.try_emplace(g.uid(), g.version());
   if (inserted || it->second == g.version()) return;
   // The graph mutated since the last query: every cached answer for it is
   // stale. The version in the key already guarantees no hit; dropping them
@@ -187,7 +258,7 @@ void Session::rcache_refresh_version(const Graph& g) {
       ev.graph = rcache_graph_key(g);
       ev.version = g.version();
       ev.bytes = dropped;  // entry count; their bytes are already released
-      ev.ts_us = dev_.now_us();
+      ev.ts_us = fleet_.device(0).now_us();
       trace::Tracer::instance().service(ev);
     }
   }
@@ -206,7 +277,9 @@ const svc::Payload* Session::rcache_lookup(const Graph& g, svc::Algo algo,
     return nullptr;
   }
   // Serve from host memory at modeled copy cost; no kernel, no transfer.
-  dev_.account_host_compute(rcache_cost_.hit_us(e->bytes));
+  // Charged to device 0 — cache hits keep the single-device clock semantics
+  // regardless of fleet size.
+  fleet_.device(0).account_host_compute(rcache_cost_.hit_us(e->bytes));
   bump("svc.cache.hit");
   if (trace::active()) {
     trace::ServiceEvent ev;
@@ -216,7 +289,7 @@ const svc::Payload* Session::rcache_lookup(const Graph& g, svc::Algo algo,
     ev.version = g.version();
     ev.source = source;
     ev.bytes = e->bytes;
-    ev.ts_us = dev_.now_us();
+    ev.ts_us = fleet_.device(0).now_us();
     trace::Tracer::instance().service(ev);
   }
   return &e->value;
@@ -244,211 +317,272 @@ void Session::rcache_store(const Graph& g, svc::Algo algo, NodeId source,
       ev.version = g.version();
       ev.source = source;
       ev.bytes = bytes;
-      ev.ts_us = dev_.now_us();
+      ev.ts_us = fleet_.device(0).now_us();
       trace::Tracer::instance().service(ev);
     }
   }
 }
 
+BfsResult Session::bfs_on(simt::DeviceIndex d, const Graph& g, NodeId source,
+                          const Policy& policy) {
+  simt::Device& dev = fleet_.device(d);
+  Registration* reg = find_reg(g);
+  if (reg == nullptr) return adaptive::bfs(dev, g, source, policy);
+  AGG_CHECK(source < g.num_nodes());
+  return detail::run_guarded<BfsResult>(dev, [&] {
+    Pin& pin = ensure_fresh(*reg, d, false);
+    BfsResult r;
+    gg::GpuBfsResult gr;
+    if (policy.mode == Policy::Mode::fixed_variant) {
+      gg::EngineOptions eo = policy.options.engine;
+      // Pull iterations gather over the CSC; hand the engine the host copy
+      // cached on the Graph so the device upload (kept resident in this pin
+      // until release) reuses it instead of re-transposing.
+      if (policy.wants_pull()) eo.csc = &g.csc();
+      gr = gg::run_bfs(dev, pin.dg, g.csr(), source,
+                       gg::fixed_variant(policy.variant), eo);
+    } else {
+      rt::AdaptiveOptions ao = policy.options;
+      if (policy.wants_pull()) ao.engine.csc = &g.csc();
+      gr = rt::adaptive_bfs(dev, pin.dg, g.csr(), source, ao);
+    }
+    r.level = std::move(gr.level);
+    r.metrics = std::move(gr.metrics);
+    return r;
+  });
+}
+
+SsspResult Session::sssp_on(simt::DeviceIndex d, const Graph& g, NodeId source,
+                            const Policy& policy) {
+  simt::Device& dev = fleet_.device(d);
+  Registration* reg = find_reg(g);
+  if (reg == nullptr) return adaptive::sssp(dev, g, source, policy);
+  AGG_CHECK(source < g.num_nodes());
+  AGG_CHECK_MSG(g.is_weighted(),
+                "call set_uniform_weights() or load weights first");
+  return detail::run_guarded<SsspResult>(dev, [&] {
+    Pin& pin = ensure_fresh(*reg, d, true);
+    SsspResult r;
+    gg::GpuSsspResult gr;
+    if (policy.mode == Policy::Mode::fixed_variant) {
+      gg::EngineOptions eo = policy.options.engine;
+      if (policy.wants_pull()) eo.csc = &g.csc();
+      gr = gg::run_sssp(dev, pin.dg, g.csr(), source,
+                        gg::fixed_variant(policy.variant), eo);
+    } else {
+      rt::AdaptiveOptions ao = policy.options;
+      if (policy.wants_pull()) ao.engine.csc = &g.csc();
+      gr = rt::adaptive_sssp(dev, pin.dg, g.csr(), source, ao);
+    }
+    r.dist = std::move(gr.dist);
+    r.metrics = std::move(gr.metrics);
+    return r;
+  });
+}
+
+CcResult Session::cc_on(simt::DeviceIndex d, const Graph& g,
+                        const Policy& policy) {
+  simt::Device& dev = fleet_.device(d);
+  Registration* reg = find_reg(g);
+  if (reg == nullptr) return adaptive::cc(dev, g, policy);
+  const graph::Csr& target = resolve_symmetric(g, policy);
+  return detail::run_guarded<CcResult>(dev, [&] {
+    gg::DeviceGraph* dg;
+    if (&target == &g.csr()) {
+      dg = &ensure_fresh(*reg, d, false).dg;
+    } else {
+      // First cc() on a registered directed graph: keep the symmetrized CSR
+      // resident too, so repeat queries skip the upload.
+      ensure_fresh(*reg, d, false);
+      dg = &ensure_sym(*reg, d, target);
+    }
+    CcResult r;
+    gg::GpuCcResult gr =
+        policy.mode == Policy::Mode::fixed_variant
+            ? gg::run_cc(dev, *dg, target, gg::fixed_variant(policy.variant),
+                         policy.options.engine)
+            : rt::adaptive_cc(dev, *dg, target, policy.options);
+    r.component = std::move(gr.component);
+    r.num_components = gr.num_components;
+    r.metrics = std::move(gr.metrics);
+    return r;
+  });
+}
+
+PageRankResult Session::pagerank_on(simt::DeviceIndex d, const Graph& g,
+                                    double damping, const Policy& policy) {
+  simt::Device& dev = fleet_.device(d);
+  Registration* reg = find_reg(g);
+  if (reg == nullptr) return adaptive::pagerank(dev, g, damping, policy);
+  return detail::run_guarded<PageRankResult>(dev, [&] {
+    Pin& pin = ensure_fresh(*reg, d, false);
+    PageRankResult r;
+    gg::PageRankOptions po;
+    po.damping = damping;
+    gg::GpuPageRankResult gr;
+    if (policy.mode == Policy::Mode::fixed_variant) {
+      po.engine = policy.options.engine;
+      gr = gg::run_pagerank(dev, pin.dg, g.csr(),
+                            gg::fixed_variant(policy.variant), po);
+    } else {
+      gr = rt::adaptive_pagerank(dev, pin.dg, g.csr(), po, policy.options);
+    }
+    r.rank.assign(gr.rank.begin(), gr.rank.end());
+    r.metrics = std::move(gr.metrics);
+    return r;
+  });
+}
+
 BfsResult Session::bfs(const Graph& g, NodeId source, const Policy& policy) {
-  if (policy.mode != Policy::Mode::cpu_serial) {
-    if (const svc::Payload* hit =
-            rcache_lookup(g, svc::Algo::bfs, source, 0.0, policy)) {
-      return std::get<BfsResult>(*hit);
-    }
-    if (!dev_.healthy()) {
-      BfsResult out = adaptive::bfs(dev_, g, source, Policy::cpu());
-      out.degraded = true;
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::bfs, source, 0.0, policy,
-                     svc::Payload(out));
-      }
-      return out;
-    }
-    if (is_registered(g)) {
-      AGG_CHECK(source < g.num_nodes());
-      BfsResult out = detail::run_guarded<BfsResult>(dev_, [&] {
-        Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
-        BfsResult r;
-        gg::GpuBfsResult gr;
-        if (policy.mode == Policy::Mode::fixed_variant) {
-          gg::EngineOptions eo = policy.options.engine;
-          // Pull iterations gather over the CSC; hand the engine the host
-          // copy cached on the Graph so the device upload (kept resident in
-          // this pin until release) reuses it instead of re-transposing.
-          if (policy.wants_pull()) eo.csc = &g.csc();
-          gr = gg::run_bfs(dev_, pin->dg, g.csr(), source,
-                           gg::fixed_variant(policy.variant), eo);
-        } else {
-          rt::AdaptiveOptions ao = policy.options;
-          if (policy.wants_pull()) ao.engine.csc = &g.csc();
-          gr = rt::adaptive_bfs(dev_, pin->dg, g.csr(), source, ao);
-        }
-        r.level = std::move(gr.level);
-        r.metrics = std::move(gr.metrics);
-        return r;
-      });
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::bfs, source, 0.0, policy,
-                     svc::Payload(out));
-      }
-      return out;
+  if (policy.mode == Policy::Mode::cpu_serial) {
+    return adaptive::bfs(fleet_.device(0), g, source, policy);
+  }
+  if (const svc::Payload* hit =
+          rcache_lookup(g, svc::Algo::bfs, source, 0.0, policy)) {
+    return std::get<BfsResult>(*hit);
+  }
+  simt::DeviceIndex d = route_device();
+  BfsResult out;
+  if (d != kNoDevice) {
+    out = bfs_on(d, g, source, policy);
+    // Failover: a permanent fault killed the routed device mid-query; the
+    // next healthy device re-runs it. Transient faults surface as before.
+    while (!out.ok() && out.code == ErrorCode::device_lost &&
+           (d = route_device()) != kNoDevice) {
+      out = bfs_on(d, g, source, policy);
     }
   }
-  return adaptive::bfs(dev_, g, source, policy);
+  if (d == kNoDevice || (!out.ok() && out.code == ErrorCode::device_lost)) {
+    // No healthy device remains: the serial CPU oracle answers, exactly.
+    out = adaptive::bfs(fleet_.device(0), g, source, Policy::cpu());
+    out.degraded = true;
+  }
+  if (out.ok()) {
+    rcache_store(g, svc::Algo::bfs, source, 0.0, policy, svc::Payload(out));
+  }
+  return out;
 }
 
 SsspResult Session::sssp(const Graph& g, NodeId source, const Policy& policy) {
-  if (policy.mode != Policy::Mode::cpu_serial) {
-    if (const svc::Payload* hit =
-            rcache_lookup(g, svc::Algo::sssp, source, 0.0, policy)) {
-      return std::get<SsspResult>(*hit);
-    }
-    if (!dev_.healthy()) {
-      SsspResult out = adaptive::sssp(dev_, g, source, Policy::cpu());
-      out.degraded = true;
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::sssp, source, 0.0, policy,
-                     svc::Payload(out));
-      }
-      return out;
-    }
-    if (is_registered(g)) {
-      AGG_CHECK(source < g.num_nodes());
-      AGG_CHECK_MSG(g.is_weighted(),
-                    "call set_uniform_weights() or load weights first");
-      SsspResult out = detail::run_guarded<SsspResult>(dev_, [&] {
-        Pin* pin = ensure_fresh(&g.csr(), g.csr(), true, g.version());
-        SsspResult r;
-        gg::GpuSsspResult gr;
-        if (policy.mode == Policy::Mode::fixed_variant) {
-          gg::EngineOptions eo = policy.options.engine;
-          if (policy.wants_pull()) eo.csc = &g.csc();
-          gr = gg::run_sssp(dev_, pin->dg, g.csr(), source,
-                            gg::fixed_variant(policy.variant), eo);
-        } else {
-          rt::AdaptiveOptions ao = policy.options;
-          if (policy.wants_pull()) ao.engine.csc = &g.csc();
-          gr = rt::adaptive_sssp(dev_, pin->dg, g.csr(), source, ao);
-        }
-        r.dist = std::move(gr.dist);
-        r.metrics = std::move(gr.metrics);
-        return r;
-      });
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::sssp, source, 0.0, policy,
-                     svc::Payload(out));
-      }
-      return out;
+  if (policy.mode == Policy::Mode::cpu_serial) {
+    return adaptive::sssp(fleet_.device(0), g, source, policy);
+  }
+  if (const svc::Payload* hit =
+          rcache_lookup(g, svc::Algo::sssp, source, 0.0, policy)) {
+    return std::get<SsspResult>(*hit);
+  }
+  simt::DeviceIndex d = route_device();
+  SsspResult out;
+  if (d != kNoDevice) {
+    out = sssp_on(d, g, source, policy);
+    while (!out.ok() && out.code == ErrorCode::device_lost &&
+           (d = route_device()) != kNoDevice) {
+      out = sssp_on(d, g, source, policy);
     }
   }
-  return adaptive::sssp(dev_, g, source, policy);
+  if (d == kNoDevice || (!out.ok() && out.code == ErrorCode::device_lost)) {
+    out = adaptive::sssp(fleet_.device(0), g, source, Policy::cpu());
+    out.degraded = true;
+  }
+  if (out.ok()) {
+    rcache_store(g, svc::Algo::sssp, source, 0.0, policy, svc::Payload(out));
+  }
+  return out;
 }
 
 CcResult Session::cc(const Graph& g, const Policy& policy) {
-  if (policy.mode != Policy::Mode::cpu_serial) {
-    if (const svc::Payload* hit =
-            rcache_lookup(g, svc::Algo::cc, 0, 0.0, policy)) {
-      return std::get<CcResult>(*hit);
-    }
-    if (!dev_.healthy()) {
-      CcResult out = adaptive::cc(dev_, g, Policy::cpu().with_symmetrize(
-                                               policy.symmetrize));
-      out.degraded = true;
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::cc, 0, 0.0, policy, svc::Payload(out));
-      }
-      return out;
-    }
-    if (is_registered(g)) {
-      const graph::Csr& target = resolve_symmetric(g, policy);
-      CcResult out = detail::run_guarded<CcResult>(dev_, [&] {
-        Pin* pin = ensure_fresh(&target, target, false, g.version());
-        if (!pin && &target != &g.csr()) {
-          // First cc() on a registered directed graph: keep the symmetrized
-          // CSR resident too, so repeat queries skip the upload.
-          Pin derived;
-          derived.dg = gg::DeviceGraph::upload(dev_, target, false);
-          derived.with_weights = false;
-          derived.version = g.version();
-          pin = &pins_.emplace(&target, std::move(derived)).first->second;
-          derived_[&g.csr()] = &target;
-        }
-        if (!pin) return adaptive::cc(dev_, g, policy);
-        CcResult r;
-        gg::GpuCcResult gr =
-            policy.mode == Policy::Mode::fixed_variant
-                ? gg::run_cc(dev_, pin->dg, target,
-                             gg::fixed_variant(policy.variant),
-                             policy.options.engine)
-                : rt::adaptive_cc(dev_, pin->dg, target, policy.options);
-        r.component = std::move(gr.component);
-        r.num_components = gr.num_components;
-        r.metrics = std::move(gr.metrics);
-        return r;
-      });
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::cc, 0, 0.0, policy, svc::Payload(out));
-      }
-      return out;
+  if (policy.mode == Policy::Mode::cpu_serial) {
+    return adaptive::cc(fleet_.device(0), g, policy);
+  }
+  if (const svc::Payload* hit =
+          rcache_lookup(g, svc::Algo::cc, 0, 0.0, policy)) {
+    return std::get<CcResult>(*hit);
+  }
+  simt::DeviceIndex d = route_device();
+  CcResult out;
+  if (d != kNoDevice) {
+    out = cc_on(d, g, policy);
+    while (!out.ok() && out.code == ErrorCode::device_lost &&
+           (d = route_device()) != kNoDevice) {
+      out = cc_on(d, g, policy);
     }
   }
-  return adaptive::cc(dev_, g, policy);
+  if (d == kNoDevice || (!out.ok() && out.code == ErrorCode::device_lost)) {
+    out = adaptive::cc(fleet_.device(0), g,
+                       Policy::cpu().with_symmetrize(policy.symmetrize));
+    out.degraded = true;
+  }
+  if (out.ok()) {
+    rcache_store(g, svc::Algo::cc, 0, 0.0, policy, svc::Payload(out));
+  }
+  return out;
 }
 
 MstResult Session::mst(const Graph& g, const Policy& policy) {
-  if (policy.mode != Policy::Mode::cpu_serial && !dev_.healthy()) {
-    MstResult out = adaptive::mst(dev_, g, Policy::cpu().with_symmetrize(
-                                               policy.symmetrize));
-    out.degraded = true;
-    return out;
+  if (policy.mode == Policy::Mode::cpu_serial) {
+    return adaptive::mst(fleet_.device(0), g, policy);
   }
-  return adaptive::mst(dev_, g, policy);
+  simt::DeviceIndex d = route_device();
+  MstResult out;
+  if (d != kNoDevice) {
+    out = adaptive::mst(fleet_.device(d), g, policy);
+    while (!out.ok() && out.code == ErrorCode::device_lost &&
+           (d = route_device()) != kNoDevice) {
+      out = adaptive::mst(fleet_.device(d), g, policy);
+    }
+  }
+  if (d == kNoDevice || (!out.ok() && out.code == ErrorCode::device_lost)) {
+    out = adaptive::mst(fleet_.device(0), g,
+                        Policy::cpu().with_symmetrize(policy.symmetrize));
+    out.degraded = true;
+  }
+  return out;
 }
 
 PageRankResult Session::pagerank(const Graph& g, double damping,
                                  const Policy& policy) {
-  if (policy.mode != Policy::Mode::cpu_serial) {
-    if (const svc::Payload* hit =
-            rcache_lookup(g, svc::Algo::pagerank, 0, damping, policy)) {
-      return std::get<PageRankResult>(*hit);
-    }
-    if (!dev_.healthy()) {
-      PageRankResult out = adaptive::pagerank(dev_, g, damping, Policy::cpu());
-      out.degraded = true;
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::pagerank, 0, damping, policy,
-                     svc::Payload(out));
-      }
-      return out;
-    }
-    if (is_registered(g)) {
-      PageRankResult out = detail::run_guarded<PageRankResult>(dev_, [&] {
-        Pin* pin = ensure_fresh(&g.csr(), g.csr(), false, g.version());
-        PageRankResult r;
-        gg::PageRankOptions po;
-        po.damping = damping;
-        gg::GpuPageRankResult gr;
-        if (policy.mode == Policy::Mode::fixed_variant) {
-          po.engine = policy.options.engine;
-          gr = gg::run_pagerank(dev_, pin->dg, g.csr(),
-                                gg::fixed_variant(policy.variant), po);
-        } else {
-          gr = rt::adaptive_pagerank(dev_, pin->dg, g.csr(), po,
-                                     policy.options);
-        }
-        r.rank.assign(gr.rank.begin(), gr.rank.end());
-        r.metrics = std::move(gr.metrics);
-        return r;
-      });
-      if (out.ok()) {
-        rcache_store(g, svc::Algo::pagerank, 0, damping, policy,
-                     svc::Payload(out));
-      }
-      return out;
+  if (policy.mode == Policy::Mode::cpu_serial) {
+    return adaptive::pagerank(fleet_.device(0), g, damping, policy);
+  }
+  if (const svc::Payload* hit =
+          rcache_lookup(g, svc::Algo::pagerank, 0, damping, policy)) {
+    return std::get<PageRankResult>(*hit);
+  }
+  simt::DeviceIndex d = route_device();
+  PageRankResult out;
+  if (d != kNoDevice) {
+    out = pagerank_on(d, g, damping, policy);
+    while (!out.ok() && out.code == ErrorCode::device_lost &&
+           (d = route_device()) != kNoDevice) {
+      out = pagerank_on(d, g, damping, policy);
     }
   }
-  return adaptive::pagerank(dev_, g, damping, policy);
+  if (d == kNoDevice || (!out.ok() && out.code == ErrorCode::device_lost)) {
+    out = adaptive::pagerank(fleet_.device(0), g, damping, Policy::cpu());
+    out.degraded = true;
+  }
+  if (out.ok()) {
+    rcache_store(g, svc::Algo::pagerank, 0, damping, policy,
+                 svc::Payload(out));
+  }
+  return out;
+}
+
+BfsResult Session::bfs(GraphId id, NodeId source, const Policy& policy) {
+  return bfs(graph_for(id), source, policy);
+}
+
+SsspResult Session::sssp(GraphId id, NodeId source, const Policy& policy) {
+  return sssp(graph_for(id), source, policy);
+}
+
+CcResult Session::cc(GraphId id, const Policy& policy) {
+  return cc(graph_for(id), policy);
+}
+
+PageRankResult Session::pagerank(GraphId id, double damping,
+                                 const Policy& policy) {
+  return pagerank(graph_for(id), damping, policy);
 }
 
 Session& Session::default_session() {

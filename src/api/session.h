@@ -1,19 +1,35 @@
-// adaptive::Session — the primary entry point of the public API: one
-// simulated device shared across calls, with graphs kept device-resident
-// between queries.
+// adaptive::Session — the primary entry point of the public API: a fleet of
+// simulated devices (one by default) shared across calls, with graphs kept
+// device-resident between queries.
 //
-//   adaptive::Session session;
+//   adaptive::Session session;  // one default device
 //   adaptive::Graph g = adaptive::Graph::from_edges(4, {{0,1},{1,2},{2,3}});
-//   session.register_graph(g);          // uploaded once
+//   adaptive::GraphId id = session.register_graph(g);  // uploaded once
 //   auto a = session.bfs(g, 0);         // no upload: graph is resident
 //   auto b = session.sssp(g, 0);        // same resident CSR
 //
-// Registration is keyed by the graph's CSR storage address, so the Graph
-// object must stay alive (and un-moved) while registered; mutating a
-// registered graph (set_uniform_weights) is detected via Graph::version()
-// and triggers a transparent re-upload on the next query. Queries on
-// unregistered graphs work too — they upload/release per call, exactly like
-// the free functions in api/algorithms.h.
+//   // Multi-device: a ClusterSpec describes the fleet; registered graphs are
+//   // replicated to every device and queries balance across them by
+//   // earliest-modeled-ready-time.
+//   adaptive::Session fleet(simt::ClusterSpec::homogeneous(
+//       4, simt::DeviceProps::fermi_c2070()));
+//
+// Registration is keyed by Graph::uid() — a process-unique object identity —
+// so re-creating a graph at a recycled address can never alias a stale
+// registration. register_graph returns an opaque GraphId accepted by the
+// id-taking query overloads; the Graph object must stay alive while
+// registered. Mutating a registered graph (set_uniform_weights) is detected
+// via Graph::version() and triggers a transparent re-upload on the next
+// query. Queries on unregistered graphs work too — they upload/release per
+// call, exactly like the free functions in api/algorithms.h.
+//
+// Fleet routing: each query runs on the healthy device whose default stream
+// is ready earliest (ties: lowest ordinal). When a device dies mid-query
+// (permanent fault), the query fails over to the next healthy device; the
+// serial CPU oracle answers — with Result::degraded set — only when no
+// healthy device remains. Cache hits and CPU work are charged to the modeled
+// host/device-0 timelines, so single-device sessions behave exactly as
+// before.
 //
 // Under memory pressure, evict() / evict_all() release the device copies
 // while keeping registrations — the next query re-uploads transparently.
@@ -30,32 +46,53 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "api/algorithms.h"
 #include "gpu_graph/device_graph.h"
 #include "service/result_cache.h"
+#include "simt/cluster.h"
 #include "simt/device.h"
 
 namespace adaptive {
 
+// Opaque registration handle returned by Session::register_graph; stable for
+// the lifetime of the registration, never reused within a session.
+using GraphId = std::uint64_t;
+
 class Session {
  public:
-  explicit Session(const simt::DeviceProps& props = simt::DeviceProps::fermi_c2070(),
+  // Primary constructor: the spec describes the whole fleet. An empty
+  // ClusterSpec means a single default device (the historical behavior).
+  explicit Session(const simt::ClusterSpec& spec = {});
+  // Deprecated shim for the old positional (DeviceProps, TimingModel)
+  // signature; forwards to ClusterSpec::single(props, tm).
+  [[deprecated("use Session(simt::ClusterSpec)")]]
+  explicit Session(const simt::DeviceProps& props,
                    simt::TimingModel tm = simt::TimingModel::fermi_default());
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  simt::Device& device() { return dev_; }
-  const simt::Device& device() const { return dev_; }
+  // Legacy accessors: device 0 of the fleet.
+  simt::Device& device() { return fleet_.device(0); }
+  const simt::Device& device() const { return fleet_.device(0); }
+  simt::Fleet& fleet() { return fleet_; }
+  std::uint32_t num_devices() const { return fleet_.size(); }
 
   // ---- residency ----
-  // Uploads the graph's CSR (with weights when present) and keeps it
-  // resident until unregister_graph() or destruction. Idempotent.
-  void register_graph(const Graph& g);
+  // Uploads the graph's CSR (with weights when present) to every fleet
+  // device and keeps the replicas resident until unregister_graph() or
+  // destruction. Idempotent: re-registering an already-registered graph
+  // refreshes it and returns its existing id.
+  GraphId register_graph(const Graph& g);
   void unregister_graph(const Graph& g);
+  void unregister_graph(GraphId id);
   bool is_registered(const Graph& g) const;
-  std::size_t num_registered() const { return pins_.size(); }
+  bool is_registered(GraphId id) const { return regs_.count(id) > 0; }
+  // The registration id of `g`, or 0 when unregistered.
+  GraphId graph_id(const Graph& g) const;
+  std::size_t num_registered() const { return regs_.size(); }
 
   // Releases the device copies of a registered graph (memory pressure) while
   // keeping the registration: the next query against it transparently
@@ -63,17 +100,19 @@ class Session {
   // — it is re-derived on demand. Cached results stay valid: eviction
   // changes residency, not answers.
   void evict(const Graph& g);
+  void evict(GraphId id);
   // evict() for every registered graph; frees all device graph memory.
   void evict_all();
-  // True when the graph is registered and its CSR is currently uploaded.
+  // True when the graph is registered and its CSR is currently uploaded on
+  // at least one device.
   bool is_resident(const Graph& g) const;
 
   // ---- result cache ----
   // Enables (capacity > 0) or disables (0) the session's query-result cache:
-  // repeat queries on *registered* graphs with the same (graph version,
+  // repeat queries on *registered* graphs with the same (graph id + version,
   // algo, source/params, policy) are answered from host memory at modeled
-  // copy cost (svc::CacheCostModel) without touching the device. Version
-  // bumps (Graph mutation) invalidate. Off by default.
+  // copy cost (svc::CacheCostModel) without touching any device. Off by
+  // default.
   void enable_result_cache(std::size_t capacity_bytes);
   const svc::ResultCache<svc::Payload>& result_cache() const {
     return rcache_;
@@ -82,6 +121,7 @@ class Session {
   // ---- queries ----
   // Same semantics as the free functions (api/algorithms.h); registered
   // graphs skip the per-query upload, so metrics cover the traversal only.
+  // On a fleet, the earliest-ready healthy device serves the query.
   BfsResult bfs(const Graph& g, NodeId source, const Policy& policy = {});
   SsspResult sssp(const Graph& g, NodeId source, const Policy& policy = {});
   // cc on a registered directed graph lazily uploads (and keeps) the
@@ -93,10 +133,19 @@ class Session {
   PageRankResult pagerank(const Graph& g, double damping = 0.85,
                           const Policy& policy = {});
 
+  // Id-taking overloads for callers that hold the opaque handle instead of
+  // the Graph. The registration's Graph object must still be alive.
+  BfsResult bfs(GraphId id, NodeId source, const Policy& policy = {});
+  SsspResult sssp(GraphId id, NodeId source, const Policy& policy = {});
+  CcResult cc(GraphId id, const Policy& policy = {});
+  PageRankResult pagerank(GraphId id, double damping = 0.85,
+                          const Policy& policy = {});
+
   // The calling thread's default session (constructed on first use).
   static Session& default_session();
 
  private:
+  // One device's resident replica of a registered graph.
   struct Pin {
     gg::DeviceGraph dg;
     bool with_weights = false;
@@ -104,20 +153,50 @@ class Session {
     // False after evict(): the registration survives but the device copy is
     // gone until the next query re-uploads.
     bool resident = true;
+    // Lazily uploaded symmetrized closure for cc() on directed graphs.
+    std::optional<gg::DeviceGraph> sym_dg;
+    std::uint64_t sym_version = 0;
   };
+  struct Registration {
+    const Graph* g = nullptr;
+    std::uint64_t uid = 0;
+    std::vector<Pin> pins;  // one per fleet device, ordinal-indexed
+  };
+  static constexpr simt::DeviceIndex kNoDevice = ~simt::DeviceIndex{0};
 
-  // Returns the pin for `key` (uploading or refreshing a stale or evicted
-  // one) when `key` belongs to a registered graph; nullptr when
-  // unregistered.
-  Pin* ensure_fresh(const graph::Csr* key, const graph::Csr& csr,
-                    bool with_weights, std::uint64_t version);
+  Registration* find_reg(const Graph& g);
+  const Registration* find_reg(const Graph& g) const;
+  const Graph& graph_for(GraphId id) const;
+  // Earliest-ready healthy device (default-stream ready time, ties lowest
+  // ordinal); kNoDevice when the whole fleet is dead.
+  simt::DeviceIndex route_device() const;
+  void release_pin(simt::DeviceIndex d, Pin& pin);
+  // Refreshes device d's pin of `reg` (re-upload on eviction, version bump,
+  // or missing weights); throws simt::DeviceFault on upload failure.
+  Pin& ensure_fresh(Registration& reg, simt::DeviceIndex d, bool with_weights);
+  // Device-resident symmetrized closure for cc(); `target` is the CSR the
+  // query runs on (g.csr() when already symmetric).
+  gg::DeviceGraph& ensure_sym(Registration& reg, simt::DeviceIndex d,
+                              const graph::Csr& target);
+
+  // One device attempt per algorithm; a device_lost error triggers failover
+  // in the public entry points.
+  BfsResult bfs_on(simt::DeviceIndex d, const Graph& g, NodeId source,
+                   const Policy& policy);
+  SsspResult sssp_on(simt::DeviceIndex d, const Graph& g, NodeId source,
+                     const Policy& policy);
+  CcResult cc_on(simt::DeviceIndex d, const Graph& g, const Policy& policy);
+  PageRankResult pagerank_on(simt::DeviceIndex d, const Graph& g,
+                             double damping, const Policy& policy);
 
   // ---- result cache plumbing ----
+  // GraphId for registered graphs, uid otherwise — never an address, so a
+  // recycled allocation cannot alias a cached answer.
   std::uint64_t rcache_graph_key(const Graph& g) const;
   // Invalidates stale entries when g's version moved since last seen.
   void rcache_refresh_version(const Graph& g);
-  // Cached payload for the key (charging the modeled copy cost to the
-  // device's current stream) or nullptr; only registered graphs are served.
+  // Cached payload for the key (charging the modeled copy cost to device
+  // 0's current stream) or nullptr; only registered graphs are served.
   const svc::Payload* rcache_lookup(const Graph& g, svc::Algo algo,
                                     NodeId source, double damping,
                                     const Policy& policy);
@@ -127,14 +206,14 @@ class Session {
                     double damping, const Policy& policy,
                     svc::Payload payload);
 
-  simt::Device dev_;
-  std::map<const graph::Csr*, Pin> pins_;
-  // base-graph key -> key of its lazily pinned symmetrized CSR (cc()).
-  std::map<const graph::Csr*, const graph::Csr*> derived_;
+  simt::Fleet fleet_;
+  std::map<GraphId, Registration> regs_;
+  std::map<std::uint64_t, GraphId> by_uid_;
+  GraphId next_graph_id_ = 1;
   svc::ResultCache<svc::Payload> rcache_{0};  // disabled until enabled
   svc::CacheCostModel rcache_cost_{};
-  // Last Graph::version() seen per registered CSR, for eager invalidation.
-  std::map<const graph::Csr*, std::uint64_t> rcache_versions_;
+  // Last Graph::version() seen per registered graph, for eager invalidation.
+  std::map<std::uint64_t, std::uint64_t> rcache_versions_;  // uid -> version
 };
 
 }  // namespace adaptive

@@ -30,31 +30,69 @@ void gauge_max(const char* name, double v) {
   if (reg.enabled()) reg.gauge(name).set_max(v);
 }
 
+void bump_route(simt::DeviceIndex device) {
+  bump("svc.route.dev" + std::to_string(device));
+}
+
 }  // namespace
 
-GraphService::GraphService(ServiceOptions opts, const simt::DeviceProps& props,
-                           simt::TimingModel tm)
-    : opts_(opts), dev_(props, tm), cache_(opts.cache_bytes) {
+GraphService::GraphService(ServiceOptions opts, const simt::ClusterSpec& cluster)
+    : opts_(opts), fleet_(cluster), cache_(opts.cache_bytes) {
   if (opts_.concurrency == 0) opts_.concurrency = 1;
   opts_.max_batch = std::clamp<std::uint32_t>(opts_.max_batch, 1,
                                               gg::kMaxBatchedSources);
-  streams_.reserve(opts_.concurrency);
-  for (std::uint32_t i = 0; i < opts_.concurrency; ++i) {
-    streams_.push_back(dev_.create_stream("svc" + std::to_string(i)));
+  streams_.resize(fleet_.size());
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    streams_[d].reserve(opts_.concurrency);
+    for (std::uint32_t i = 0; i < opts_.concurrency; ++i) {
+      streams_[d].push_back(
+          fleet_.device(d).create_stream("svc" + std::to_string(i)));
+    }
   }
 }
 
+GraphService::GraphService(ServiceOptions opts, const simt::DeviceProps& props,
+                           simt::TimingModel tm)
+    : GraphService(std::move(opts), simt::ClusterSpec::single(props, tm)) {}
+
 GraphService::~GraphService() {
-  for (auto& entry : graphs_) {
-    entry->dg.release(dev_);
-    if (entry->sym_dg) entry->sym_dg->release(dev_);
+  for (auto& entry : graphs_) release_graph(*entry);
+}
+
+void GraphService::place_graph(GraphEntry& entry) {
+  entry.plan = plan_placement(entry.g.csr(), entry.g.is_weighted(), fleet_,
+                              opts_.placement);
+  if (entry.plan.replicated()) {
+    entry.replicas.reserve(entry.plan.replicas.size());
+    for (const simt::DeviceIndex d : entry.plan.replicas) {
+      Replica rep;
+      rep.device = d;
+      rep.dg = gg::DeviceGraph::upload(fleet_.device(d), entry.g.csr(),
+                                       entry.g.is_weighted());
+      entry.replicas.push_back(std::move(rep));
+    }
+  } else {
+    entry.sharded = make_sharded(fleet_, entry.g.csr(), entry.g.is_weighted(),
+                                 entry.plan);
+    bump("svc.placement.sharded");
+  }
+}
+
+void GraphService::release_graph(GraphEntry& entry) {
+  for (Replica& rep : entry.replicas) {
+    rep.dg.release(fleet_.device(rep.device));
+    if (rep.sym_dg) rep.sym_dg->release(fleet_.device(rep.device));
+  }
+  entry.replicas.clear();
+  if (entry.sharded) {
+    release_sharded(fleet_, *entry.sharded);
+    entry.sharded.reset();
   }
 }
 
 GraphId GraphService::add_graph(adaptive::Graph g) {
   auto entry = std::make_unique<GraphEntry>(std::move(g));
-  entry->dg = gg::DeviceGraph::upload(dev_, entry->g.csr(),
-                                      entry->g.is_weighted());
+  place_graph(*entry);
   graphs_.push_back(std::move(entry));
   return static_cast<GraphId>(graphs_.size() - 1);
 }
@@ -62,15 +100,10 @@ GraphId GraphService::add_graph(adaptive::Graph g) {
 void GraphService::update_graph(GraphId id, adaptive::Graph g) {
   AGG_CHECK(id < graphs_.size());
   GraphEntry& entry = *graphs_[id];
-  entry.dg.release(dev_);
-  if (entry.sym_dg) {
-    entry.sym_dg->release(dev_);
-    entry.sym_dg.reset();
-  }
+  release_graph(entry);
   entry.g = std::move(g);
   entry.gen = next_gen_++;
-  entry.dg = gg::DeviceGraph::upload(dev_, entry.g.csr(),
-                                     entry.g.is_weighted());
+  place_graph(entry);
   // Every cached answer for this id is stale regardless of version: the
   // upload generation in the key already guarantees no hit, dropping them
   // eagerly returns their bytes to the budget.
@@ -84,7 +117,7 @@ void GraphService::update_graph(GraphId id, adaptive::Graph g) {
       ev.graph = id;
       ev.version = (entry.gen << 32) ^ entry.g.version();
       ev.bytes = dropped;  // entry count; their bytes are already released
-      ev.ts_us = dev_.now_us();
+      ev.ts_us = fleet_.device(0).now_us();
       trace::Tracer::instance().service(ev);
     }
   }
@@ -93,6 +126,11 @@ void GraphService::update_graph(GraphId id, adaptive::Graph g) {
 const adaptive::Graph& GraphService::graph(GraphId id) const {
   AGG_CHECK(id < graphs_.size());
   return graphs_[id]->g;
+}
+
+const PlacementPlan& GraphService::placement(GraphId id) const {
+  AGG_CHECK(id < graphs_.size());
+  return graphs_[id]->plan;
 }
 
 std::optional<QueryId> GraphService::submit(QueryRequest req) {
@@ -105,7 +143,7 @@ std::optional<QueryId> GraphService::submit(QueryRequest req) {
     out.status = adaptive::Status::rejected;
     out.error = "queue full";
     out.code = adaptive::ErrorCode::queue_full;
-    out.submit_us = dev_.makespan_us();
+    out.submit_us = fleet_.makespan_us();
     done_.push_back(std::move(out));
     bump("svc.rejected");
     return std::nullopt;
@@ -113,23 +151,65 @@ std::optional<QueryId> GraphService::submit(QueryRequest req) {
   PendingQuery q;
   q.id = next_id_++;
   q.req = std::move(req);
-  q.submit_us = dev_.makespan_us();
+  q.submit_us = fleet_.makespan_us();
   queue_.push_back(std::move(q));
   bump("svc.queued");
   return queue_.back().id;
 }
 
-simt::StreamId GraphService::pick_stream() const {
-  simt::StreamId best = streams_.front();
-  double best_ready = dev_.stream_ready_us(best);
-  for (std::size_t i = 1; i < streams_.size(); ++i) {
-    const double r = dev_.stream_ready_us(streams_[i]);
+simt::StreamId GraphService::pick_stream(simt::DeviceIndex device) const {
+  const simt::Device& dev = fleet_.device(device);
+  const std::vector<simt::StreamId>& pool = streams_[device];
+  simt::StreamId best = pool.front();
+  double best_ready = dev.stream_ready_us(best);
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    const double r = dev.stream_ready_us(pool[i]);
     if (r < best_ready) {
       best_ready = r;
-      best = streams_[i];
+      best = pool[i];
     }
   }
   return best;
+}
+
+GraphService::Replica* GraphService::replica_on(GraphEntry& entry,
+                                                simt::DeviceIndex device) {
+  for (Replica& rep : entry.replicas) {
+    if (rep.device == device) return &rep;
+  }
+  return nullptr;
+}
+
+std::uint32_t GraphService::healthy_replicas(const GraphEntry& entry) const {
+  std::uint32_t n = 0;
+  for (const Replica& rep : entry.replicas) {
+    if (fleet_.device(rep.device).healthy()) ++n;
+  }
+  return n;
+}
+
+GraphService::Route GraphService::route_query(const GraphEntry& entry) const {
+  // Earliest-modeled-ready-time over every healthy replica's stream pool.
+  // Replicas are stored in device-ordinal order and pick_stream breaks ties
+  // by lowest stream id, so the choice is deterministic.
+  Route route;
+  bool saw_dead = false;
+  for (const Replica& rep : entry.replicas) {
+    if (!fleet_.device(rep.device).healthy()) {
+      saw_dead = true;
+      continue;
+    }
+    const simt::StreamId s = pick_stream(rep.device);
+    const double ready = fleet_.device(rep.device).stream_ready_us(s);
+    if (!route.ok || ready < route.ready_us) {
+      route.ok = true;
+      route.device = rep.device;
+      route.stream = s;
+      route.ready_us = ready;
+    }
+  }
+  route.failover = route.ok && saw_dead;
+  return route;
 }
 
 bool GraphService::batchable(const PendingQuery& a, const PendingQuery& b) const {
@@ -223,13 +303,18 @@ void GraphService::store_result(const PendingQuery& q, const Payload& payload) {
     bump("svc.cache.insert");
     gauge_max("svc.cache.bytes", static_cast<double>(cache_.bytes_in_use()));
     publish_service_event("cache_insert", q.req, q.id, 0, bytes,
-                          dev_.now_us());
+                          fleet_.device(0).now_us());
   }
 }
 
 std::vector<QueryOutcome> GraphService::drain() {
   while (!queue_.empty()) {
-    if (opts_.batch_bfs && queue_.front().req.algo == Algo::bfs &&
+    // Sharded entries never batch: their BSP executor has no fused
+    // multi-source path (queries run whole-fleet supersteps instead).
+    const bool front_replicated =
+        graphs_[queue_.front().req.graph]->plan.replicated();
+    if (opts_.batch_bfs && front_replicated &&
+        queue_.front().req.algo == Algo::bfs &&
         queue_.front().req.policy.mode != adaptive::Policy::Mode::cpu_serial) {
       // Collect the longest batchable FIFO prefix (dispatch order preserved).
       std::vector<PendingQuery> batch;
@@ -297,16 +382,19 @@ void GraphService::execute_query(PendingQuery q) {
   }
 }
 
-void GraphService::finish_outcome(QueryOutcome& out, simt::StreamId stream,
-                                  double start) {
+void GraphService::finish_outcome(QueryOutcome& out, simt::DeviceIndex device,
+                                  simt::StreamId stream, double start) {
+  out.device = device;
   out.stream = stream;
   out.start_us = start;
-  out.finish_us = dev_.stream_ready_us(stream);
-  // Modeled concurrency at this point in the schedule: streams still busy
-  // past this query's start.
+  out.finish_us = fleet_.device(device).stream_ready_us(stream);
+  // Modeled concurrency at this point in the schedule: streams — across the
+  // whole fleet — still busy past this query's start.
   std::uint32_t inflight = 0;
-  for (const simt::StreamId s : streams_) {
-    if (dev_.stream_ready_us(s) > start) ++inflight;
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    for (const simt::StreamId s : streams_[d]) {
+      if (fleet_.device(d).stream_ready_us(s) > start) ++inflight;
+    }
   }
   gauge_max("svc.running", inflight);
 }
@@ -356,9 +444,16 @@ void GraphService::execute_single(PendingQuery q) {
     bump("svc.cache.miss");
   }
 
-  if (!dev_.healthy()) {
-    // Dead device: every attempt would fail permanently, so skip straight to
-    // degradation (or report the loss when degradation is off).
+  if (entry.sharded) {
+    execute_sharded(std::move(q), entry, std::move(out));
+    return;
+  }
+
+  Route route = route_query(entry);
+  if (!route.ok) {
+    // No healthy replica holds the graph: every attempt would fail
+    // permanently, so skip straight to degradation (or report the loss when
+    // degradation is off). This is the single-device dead-device behavior.
     if (opts_.resilience.degrade_to_cpu) {
       run_degraded(q, g, out);
       bump("svc.degraded");
@@ -367,16 +462,24 @@ void GraphService::execute_single(PendingQuery q) {
       store_result(q, out.payload);
     } else {
       out.status = adaptive::Status::error;
-      out.error = "device lost";
+      out.error = "no healthy replica for graph " +
+                  std::to_string(q.req.graph) + " (" +
+                  std::to_string(entry.replicas.size()) +
+                  " replicas, all devices lost)";
       out.code = adaptive::ErrorCode::device_lost;
       bump("svc.failed");
     }
     done_.push_back(std::move(out));
     return;
   }
+  if (route.failover) {
+    // A dead replica was routed around: the query is served by a surviving
+    // device instead of degrading to the CPU.
+    out.failover = true;
+    bump("svc.failover");
+  }
 
-  const simt::StreamId stream = pick_stream();
-  const double ready = dev_.stream_ready_us(stream);
+  double ready = route.ready_us;
   if (q.req.deadline_us > 0 && ready > q.submit_us + q.req.deadline_us) {
     // The earliest slot already misses the deadline. The CPU may still make
     // it: its timeline is independent of the congested streams.
@@ -399,43 +502,62 @@ void GraphService::execute_single(PendingQuery q) {
     // Time out without spending device time.
     out.status = adaptive::Status::timed_out;
     out.code = adaptive::ErrorCode::deadline_exceeded;
-    out.stream = stream;
+    out.device = route.device;
+    out.stream = route.stream;
     out.start_us = ready;
     done_.push_back(std::move(out));
     bump("svc.timeout");
     return;
   }
 
-  // Resilient execution: retry transient faults with modeled-time backoff,
+  // Resilient execution: retry transient faults with modeled-time backoff on
+  // the routed slot, fail over to a surviving replica when the device dies,
   // then degrade to the CPU oracle (or fail) per the resilience policy.
+  bump_route(route.device);
   int attempts = 0;
   for (;;) {
-    const std::uint64_t mark = dev_.mem_mark();
-    const bool had_sym = entry.sym_dg.has_value();
+    simt::Device& dev = fleet_.device(route.device);
+    Replica* rep = replica_on(entry, route.device);
+    AGG_CHECK(rep != nullptr);
+    const std::uint64_t mark = dev.mem_mark();
+    const bool had_sym = rep->sym_dg.has_value();
     try {
-      run_device_query(q, entry, stream, out);
+      run_device_query(q, entry, route, out);
       break;
     } catch (const simt::DeviceFault& f) {
-      dev_.mem_reclaim(mark);
-      if (!had_sym && entry.sym_dg) {
+      dev.mem_reclaim(mark);
+      if (!had_sym && rep->sym_dg) {
         // The symmetrized upload of this attempt died with the fault; its
         // accounting was just reclaimed, so drop the handle without release.
-        entry.sym_dg.reset();
+        rep->sym_dg.reset();
       }
       ++attempts;
       bump("svc.fault");
       bump(std::string("svc.fault.") + simt::fault_kind_name(f.kind()));
-      const FaultAction action = next_action(opts_.resilience, attempts,
-                                             f.permanent(), dev_.healthy());
+      const FaultAction action =
+          next_action(opts_.resilience, attempts, f.permanent(), dev.healthy(),
+                      healthy_replicas(entry) > 0);
       if (action == FaultAction::retry) {
         const double delay = backoff_us(opts_.resilience, attempts);
         {
-          simt::StreamGuard sguard(dev_, stream);
-          dev_.account_host_compute(delay);
+          simt::StreamGuard sguard(dev, route.stream);
+          dev.account_host_compute(delay);
         }
         ++out.retries;
         bump("svc.retry");
         bump("svc.retry.backoff_us", delay);
+        continue;
+      }
+      if (action == FaultAction::failover) {
+        // The routed device is dead but another replica survives: re-route
+        // and re-execute there. Failed-over attempts count as retries.
+        route = route_query(entry);
+        AGG_CHECK(route.ok);
+        ready = route.ready_us;
+        out.failover = true;
+        ++out.retries;
+        bump("svc.failover");
+        bump_route(route.device);
         continue;
       }
       if (action == FaultAction::degrade) {
@@ -450,7 +572,8 @@ void GraphService::execute_single(PendingQuery q) {
       out.status = adaptive::Status::error;
       out.error = f.what();
       out.code = adaptive::detail::fault_code(f);
-      out.stream = stream;
+      out.device = route.device;
+      out.stream = route.stream;
       out.start_us = ready;
       done_.push_back(std::move(out));
       bump("svc.failed");
@@ -458,7 +581,7 @@ void GraphService::execute_single(PendingQuery q) {
     }
   }
 
-  finish_outcome(out, stream, ready);
+  finish_outcome(out, route.device, route.stream, ready);
   // The payload is complete and exact, so it enters the cache even when the
   // deadline check right after drops it from this outcome.
   store_result(q, out.payload);
@@ -474,8 +597,129 @@ void GraphService::execute_single(PendingQuery q) {
   done_.push_back(std::move(out));
 }
 
+void GraphService::execute_sharded(PendingQuery q, GraphEntry& entry,
+                                   QueryOutcome out) {
+  const adaptive::Graph& g = entry.g;
+  ShardedGraph& sg = *entry.sharded;
+  bump("svc.sharded");
+
+  // A BSP superstep needs every shard's device; a single dead shard device
+  // makes the sharded copy unusable (there are no replicas to fail over to),
+  // so the query degrades to the CPU oracle — or reports the loss.
+  for (std::size_t si = 0; si < sg.shards.size(); ++si) {
+    const Shard& sh = sg.shards[si];
+    if (fleet_.device(sh.device).healthy()) continue;
+    if (opts_.resilience.degrade_to_cpu) {
+      run_degraded(q, g, out);
+      bump("svc.degraded");
+      bump("svc.degraded.dead");
+      bump("svc.completed");
+      store_result(q, out.payload);
+    } else {
+      out.status = adaptive::Status::error;
+      out.error = "shard " + std::to_string(si) + " of graph " +
+                  std::to_string(q.req.graph) + " on " +
+                  fleet_.device(sh.device).label() + " lost";
+      out.code = adaptive::ErrorCode::device_lost;
+      bump("svc.failed");
+    }
+    done_.push_back(std::move(out));
+    return;
+  }
+
+  // SSSP / PageRank have no sharded kernels: the exact CPU oracle answers
+  // (degraded outcome), never a wrong answer.
+  if (q.req.algo == Algo::sssp || q.req.algo == Algo::pagerank) {
+    run_degraded(q, g, out);
+    bump("svc.degraded");
+    bump("svc.degraded.sharded");
+    bump("svc.completed");
+    store_result(q, out.payload);
+    done_.push_back(std::move(out));
+    return;
+  }
+
+  // One stream per shard, earliest-ready on each owner device.
+  std::vector<simt::StreamId> shard_streams;
+  std::vector<std::uint64_t> marks;
+  std::vector<char> had_sym;
+  shard_streams.reserve(sg.shards.size());
+  for (const Shard& sh : sg.shards) {
+    shard_streams.push_back(pick_stream(sh.device));
+    marks.push_back(fleet_.device(sh.device).mem_mark());
+    had_sym.push_back(sh.sym_dg.has_value() ? 1 : 0);
+    bump_route(sh.device);
+  }
+
+  ShardedRun run;
+  try {
+    switch (q.req.algo) {
+      case Algo::bfs: {
+        adaptive::BfsResult r;
+        run = sharded_bfs(fleet_, sg, q.req.source, shard_streams, q.submit_us,
+                          r.level);
+        out.payload = std::move(r);
+        break;
+      }
+      case Algo::cc: {
+        adaptive::CcResult r;
+        run = sharded_cc(fleet_, sg, shard_streams, q.submit_us, r.component,
+                         r.num_components);
+        out.payload = std::move(r);
+        break;
+      }
+      default:
+        AGG_CHECK(false);
+    }
+  } catch (const simt::DeviceFault& f) {
+    // A shard attempt died mid-superstep. Partial BSP state spans several
+    // devices, so there is no cheap same-placement retry; reclaim every
+    // shard device's scratch and answer from the CPU oracle per policy.
+    for (std::size_t i = 0; i < sg.shards.size(); ++i) {
+      fleet_.device(sg.shards[i].device).mem_reclaim(marks[i]);
+      if (!had_sym[i] && sg.shards[i].sym_dg) sg.shards[i].sym_dg.reset();
+    }
+    bump("svc.fault");
+    bump(std::string("svc.fault.") + simt::fault_kind_name(f.kind()));
+    if (opts_.resilience.degrade_to_cpu) {
+      run_degraded(q, g, out);
+      bump("svc.degraded");
+      bump(f.permanent() ? "svc.degraded.dead" : "svc.degraded.fault");
+      bump("svc.completed");
+      store_result(q, out.payload);
+    } else {
+      out.status = adaptive::Status::error;
+      out.error = f.what();
+      out.code = adaptive::detail::fault_code(f);
+      bump("svc.failed");
+    }
+    done_.push_back(std::move(out));
+    return;
+  }
+
+  out.sharded = true;
+  out.device = sg.shards.front().device;
+  out.stream = shard_streams.front();
+  out.start_us = run.start_us;
+  out.finish_us = run.finish_us;
+  store_result(q, out.payload);
+  if (q.req.deadline_us > 0 &&
+      out.finish_us > q.submit_us + q.req.deadline_us) {
+    out.status = adaptive::Status::timed_out;
+    out.code = adaptive::ErrorCode::deadline_exceeded;
+    out.payload = std::monostate{};
+    bump("svc.timeout");
+  } else {
+    bump("svc.completed");
+  }
+  done_.push_back(std::move(out));
+}
+
 void GraphService::run_device_query(const PendingQuery& q, GraphEntry& entry,
-                                    simt::StreamId stream, QueryOutcome& out) {
+                                    const Route& route, QueryOutcome& out) {
+  simt::Device& dev = fleet_.device(route.device);
+  Replica& rep = *replica_on(entry, route.device);
+  const simt::StreamId stream = route.stream;
   const adaptive::Graph& g = entry.g;
   adaptive::Policy policy = q.req.policy;
   policy.options.engine.stream = stream;
@@ -485,10 +729,10 @@ void GraphService::run_device_query(const PendingQuery& q, GraphEntry& entry,
     case Algo::bfs: {
       adaptive::BfsResult r;
       gg::GpuBfsResult gr =
-          fixed ? gg::run_bfs(dev_, entry.dg, g.csr(), q.req.source,
+          fixed ? gg::run_bfs(dev, rep.dg, g.csr(), q.req.source,
                               gg::fixed_variant(policy.variant),
                               policy.options.engine)
-                : rt::adaptive_bfs(dev_, entry.dg, g.csr(), q.req.source,
+                : rt::adaptive_bfs(dev, rep.dg, g.csr(), q.req.source,
                                    policy.options);
       r.level = std::move(gr.level);
       r.metrics = std::move(gr.metrics);
@@ -498,10 +742,10 @@ void GraphService::run_device_query(const PendingQuery& q, GraphEntry& entry,
     case Algo::sssp: {
       adaptive::SsspResult r;
       gg::GpuSsspResult gr =
-          fixed ? gg::run_sssp(dev_, entry.dg, g.csr(), q.req.source,
+          fixed ? gg::run_sssp(dev, rep.dg, g.csr(), q.req.source,
                                gg::fixed_variant(policy.variant),
                                policy.options.engine)
-                : rt::adaptive_sssp(dev_, entry.dg, g.csr(), q.req.source,
+                : rt::adaptive_sssp(dev, rep.dg, g.csr(), q.req.source,
                                     policy.options);
       r.dist = std::move(gr.dist);
       r.metrics = std::move(gr.metrics);
@@ -509,27 +753,28 @@ void GraphService::run_device_query(const PendingQuery& q, GraphEntry& entry,
       break;
     }
     case Algo::cc: {
-      // cc needs both arcs; lazily upload the symmetrized closure once.
+      // cc needs both arcs; lazily upload the symmetrized closure once per
+      // replica device.
       const bool needs_sym =
           policy.symmetrize == adaptive::Symmetrize::always ||
           (policy.symmetrize == adaptive::Symmetrize::auto_detect &&
            !g.is_symmetric());
-      gg::DeviceGraph* dg = &entry.dg;
+      gg::DeviceGraph* dg = &rep.dg;
       const graph::Csr* csr = &g.csr();
       if (needs_sym) {
         csr = &g.symmetrized();
-        if (!entry.sym_dg) {
-          simt::StreamGuard sguard(dev_, stream);
-          entry.sym_dg = gg::DeviceGraph::upload(dev_, *csr,
-                                                 /*with_weights=*/false);
+        if (!rep.sym_dg) {
+          simt::StreamGuard sguard(dev, stream);
+          rep.sym_dg = gg::DeviceGraph::upload(dev, *csr,
+                                               /*with_weights=*/false);
         }
-        dg = &*entry.sym_dg;
+        dg = &*rep.sym_dg;
       }
       adaptive::CcResult r;
       gg::GpuCcResult gr =
-          fixed ? gg::run_cc(dev_, *dg, *csr, gg::fixed_variant(policy.variant),
+          fixed ? gg::run_cc(dev, *dg, *csr, gg::fixed_variant(policy.variant),
                              policy.options.engine)
-                : rt::adaptive_cc(dev_, *dg, *csr, policy.options);
+                : rt::adaptive_cc(dev, *dg, *csr, policy.options);
       r.component = std::move(gr.component);
       r.num_components = gr.num_components;
       r.metrics = std::move(gr.metrics);
@@ -542,9 +787,9 @@ void GraphService::run_device_query(const PendingQuery& q, GraphEntry& entry,
       po.engine = policy.options.engine;
       adaptive::PageRankResult r;
       gg::GpuPageRankResult gr =
-          fixed ? gg::run_pagerank(dev_, entry.dg, g.csr(),
+          fixed ? gg::run_pagerank(dev, rep.dg, g.csr(),
                                    gg::fixed_variant(policy.variant), po)
-                : rt::adaptive_pagerank(dev_, entry.dg, g.csr(), po,
+                : rt::adaptive_pagerank(dev, rep.dg, g.csr(), po,
                                         policy.options);
       r.rank.assign(gr.rank.begin(), gr.rank.end());
       r.metrics = std::move(gr.metrics);
@@ -691,8 +936,20 @@ void GraphService::execute_bfs_batch(std::vector<PendingQuery> batch) {
   }
 
   if (!live.empty()) {
-    const simt::StreamId stream = pick_stream();
-    const double ready = dev_.stream_ready_us(stream);
+    const Route route = route_query(entry);
+    if (!route.ok) {
+      // No healthy replica: record what's already resolved and route the
+      // live members through the single-query degradation path.
+      for (std::size_t i = 0; i < k; ++i) {
+        if (resolved[i]) done_.push_back(std::move(outs[i]));
+      }
+      for (const std::size_t i : live) execute_single(std::move(batch[i]));
+      return;
+    }
+    simt::Device& dev = fleet_.device(route.device);
+    Replica& rep = *replica_on(entry, route.device);
+    const simt::StreamId stream = route.stream;
+    const double ready = route.ready_us;
 
     // Pre-dispatch deadline check, as in the single-query path: members whose
     // earliest slot already misses their deadline drop out of the launch.
@@ -702,6 +959,7 @@ void GraphService::execute_bfs_batch(std::vector<PendingQuery> batch) {
         QueryOutcome& out = outs[*it];
         out.status = adaptive::Status::timed_out;
         out.code = adaptive::ErrorCode::deadline_exceeded;
+        out.device = route.device;
         out.stream = stream;
         out.start_us = ready;
         bump("svc.timeout");
@@ -715,6 +973,8 @@ void GraphService::execute_bfs_batch(std::vector<PendingQuery> batch) {
       for (QueryOutcome& out : outs) done_.push_back(std::move(out));
       return;
     }
+    bump_route(route.device);
+    if (route.failover) bump("svc.failover");
 
     // Dedup against the in-flight set: each distinct source is fused once;
     // duplicate members collapse onto the first occurrence (their slot
@@ -738,20 +998,20 @@ void GraphService::execute_bfs_batch(std::vector<PendingQuery> batch) {
     adaptive::Policy policy = batch[live.front()].req.policy;
     policy.options.engine.stream = stream;
     gg::GpuBfsMultiResult mr;
-    const std::uint64_t mark = dev_.mem_mark();
+    const std::uint64_t mark = dev.mem_mark();
     try {
       mr = policy.mode == adaptive::Policy::Mode::fixed_variant
-               ? gg::run_bfs_multi(dev_, entry.dg, g.csr(), sources,
+               ? gg::run_bfs_multi(dev, rep.dg, g.csr(), sources,
                                    gg::fixed_variant(policy.variant),
                                    policy.options.engine)
-               : rt::adaptive_bfs_multi(dev_, entry.dg, g.csr(), sources,
+               : rt::adaptive_bfs_multi(dev, rep.dg, g.csr(), sources,
                                         policy.options);
     } catch (const simt::DeviceFault& f) {
       // Fused launch died: unbatch. Record the members already answered
       // (invalid / timed out / cache hits), then route each live member
-      // through the single-query path, whose retry/degradation policy
-      // applies per query.
-      dev_.mem_reclaim(mark);
+      // through the single-query path, whose retry/failover/degradation
+      // policy applies per query.
+      dev.mem_reclaim(mark);
       bump("svc.fault");
       bump(std::string("svc.fault.") + simt::fault_kind_name(f.kind()));
       bump("svc.batch_aborted");
@@ -802,7 +1062,8 @@ void GraphService::execute_bfs_batch(std::vector<PendingQuery> batch) {
         out.payload = uniq[s];
       }
       out.batch_size = nk;
-      finish_outcome(out, stream, ready);
+      out.failover = route.failover;
+      finish_outcome(out, route.device, stream, ready);
       if (slot_leader[s] != q.id) {
         out.collapsed = true;
         out.collapsed_into = slot_leader[s];

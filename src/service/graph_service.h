@@ -1,60 +1,60 @@
-// GraphService — the concurrent multi-query serving layer.
+// GraphService — the concurrent multi-query serving layer over a fleet.
 //
-// The service owns one simulated device, keeps registered graphs resident
-// (uploaded once at add_graph), and executes submitted queries on a pool of
-// simt streams so their kernels and transfers interleave on the modeled
-// clock: compute backfills gaps in the single compute engine (kernel-
-// granularity round-robin across streams) and H<->D transfers overlap
-// compute on the copy engine (simt/stream.h).
+// The service owns a simt::Fleet of N simulated devices (one by default; a
+// ClusterSpec configures more, possibly heterogeneous), places registered
+// graphs on it (service/placement.h), and executes submitted queries on
+// per-device pools of simt streams so their kernels and transfers interleave
+// on each device's modeled clock.
 //
-// Scheduling: FIFO with a configurable concurrency limit (= stream count).
-// Each dispatch picks the stream that frees up earliest, so up to
-// `concurrency` queries are in flight on the modeled timeline at once.
+// Placement & routing: a graph that fits a device is uploaded to every
+// replica device (full replication — the hot-read-traffic placement); a
+// deterministic router then balances queries across replicas by
+// earliest-modeled-ready-time over every healthy replica's stream pool
+// (ties: lowest device ordinal, then lowest stream id). A graph exceeding
+// every device's memory budget is vertex-cut sharded: contiguous row ranges
+// balanced by edge count, one shard per device, queries running
+// level-synchronous BSP supersteps with host merges
+// (service/sharded_exec.h). BFS and CC run sharded on-device with
+// bit-identical payloads; SSSP/PageRank on sharded graphs are answered by
+// the exact CPU oracle (degraded outcome), never a wrong answer.
+//
+// Scheduling: FIFO with a configurable per-device concurrency limit
+// (= stream-pool size). Each dispatch picks the earliest-ready
+// (device, stream) pair among the graph's healthy replicas, so up to
+// N * concurrency queries are in flight on the modeled timelines at once.
 // Admission control rejects submissions when the pending queue is full;
-// per-query deadlines (modeled microseconds from submission) time out
-// queries either before dispatch (the chosen stream cannot start in time) or
-// after execution (the traversal finished past the deadline).
+// per-query deadlines time out queries before dispatch (the chosen slot
+// cannot start in time) or after execution.
 //
-// Batching: consecutive same-graph BFS queries with the same policy are
-// coalesced — up to 32 at a time — into one fused multi-source traversal
-// (gpu_graph/bfs_multi_engine.h), which answers the whole batch in a single
-// pass over the shared frontier structure. Only a *contiguous* FIFO prefix
-// is batched, so dispatch order remains FIFO.
+// Batching: consecutive same-graph BFS queries with the same policy on a
+// *replicated* graph are coalesced — up to 32 — into one fused multi-source
+// traversal on the routed device (gpu_graph/bfs_multi_engine.h). Only a
+// contiguous FIFO prefix is batched, so dispatch order remains FIFO.
 //
-// Result cache & request collapsing (service/result_cache.h): completed
-// exact payloads enter a byte-bounded LRU keyed by (graph id + upload
-// generation + graph version, algo, source/params, policy signature); a
-// repeat query is answered from host memory at modeled copy cost — no
-// kernel launch, no PCIe, no stream slot. Identical queries pending in the
-// same drain collapse onto one execution (singleflight): the leader runs,
-// followers receive copies of its payload; the MS-BFS batcher dedups batch
-// members against the cache and fuses each distinct source once. Re-upload
-// via update_graph() (or a Graph::version() bump) invalidates. Faulted
-// partial attempts never reach the cache — only completed exact payloads
-// (device or degraded CPU-oracle) are stored.
+// Result cache & request collapsing: unchanged from the single-device
+// service (service/result_cache.h) — completed exact payloads enter a
+// byte-bounded LRU keyed by (graph id + upload generation + graph version,
+// algo, source/params, policy signature); identical pending queries collapse
+// onto one execution. Cache hits and collapses are served on the modeled
+// host timeline.
 //
-// Determinism: execution is entirely host-driven on modeled time (queries
-// with Policy::Mode::cpu_serial are refused — they report wall-clock time),
-// so outcomes, svc.* counters and traces are byte-identical at any
-// --sim-threads value. Cache hits and collapses are served on the modeled
-// host timeline, which the makespan covers.
+// Resilience & failover: an installed FaultPlan arms one device (or all).
+// Transient faults retry on the same slot with modeled exponential backoff.
+// When a *permanent* fault kills a device, queries against replicated graphs
+// fail over to the earliest-ready healthy replica (svc.failover counter);
+// CPU degradation — the single-device behavior — remains only when no
+// healthy replica holds the graph (and for sharded graphs, which have no
+// replicas). Fault messages carry the device label ("dev2: device fault:
+// ..."), so fleet errors are attributable.
 //
-// Resilience: an installed FaultPlan (set_fault_plan) makes device ops fail
-// deterministically. A faulted query is retried with modeled-time
-// exponential backoff (ServiceOptions::resilience); when retries are
-// exhausted, the device is dead, or deadline pressure rules out a device
-// launch entirely, the query degrades to the serial CPU oracle on a modeled
-// single-core host timeline — exact payload, outcome marked degraded. Fault
-// decisions hash (seed, kind, op index) only, so outcomes, retry schedules
-// and traces still replay bit-identically at any --sim-threads value.
+// Determinism: execution is entirely host-driven on modeled time, placement
+// and routing depend only on modeled quantities, so outcomes, svc.* counters
+// and traces are byte-identical at any --sim-threads value.
 //
-// Observability: per-stream Chrome-trace lanes come from the stream tags the
-// device stamps on every event; the service additionally maintains the
-// svc.queued / svc.running / svc.completed / svc.rejected / svc.timeout /
-// svc.batched / svc.batches / svc.cache.hit / svc.cache.miss /
-// svc.cache.insert / svc.cache.evict / svc.cache.bytes / svc.collapse
-// counters in the trace::CounterRegistry, and publishes a
-// trace::ServiceEvent for every cache/collapse decision.
+// Observability: per-device Chrome-trace process groups (trace/chrome_trace.h)
+// from the device ordinals stamped on every event; per-stream lanes within
+// each group; svc.* counters as before plus svc.route.dev<K> (queries routed
+// to device K), svc.failover, svc.sharded.
 #pragma once
 
 #include <algorithm>
@@ -69,8 +69,11 @@
 #include "api/algorithms.h"
 #include "api/graph_api.h"
 #include "gpu_graph/device_graph.h"
+#include "service/placement.h"
 #include "service/resilience.h"
 #include "service/result_cache.h"
+#include "service/sharded_exec.h"
+#include "simt/cluster.h"
 #include "simt/device.h"
 #include "simt/fault.h"
 
@@ -105,6 +108,9 @@ struct QueryOutcome {
   bool cached = false;           // answered from the result cache
   bool collapsed = false;        // attached to an identical in-flight query
   QueryId collapsed_into = 0;    // the leader execution (when collapsed)
+  std::uint32_t device = 0;      // fleet ordinal it ran on (replicated path)
+  bool failover = false;         // rerouted around a dead replica device
+  bool sharded = false;          // answered by the sharded BSP executor
   simt::StreamId stream = 0;     // stream it ran on; 0 = never dispatched
   double submit_us = 0;          // modeled time of submission
   double start_us = 0;           // stream time when dispatched
@@ -125,10 +131,18 @@ struct QueryOutcome {
   const adaptive::PageRankResult& pagerank() const {
     return std::get<adaptive::PageRankResult>(payload);
   }
+  // "device_oom: dev2: device fault: ..." — see adaptive::Result.
+  std::string error_message() const {
+    if (status == adaptive::Status::ok) return "";
+    std::string msg = adaptive::error_code_name(code);
+    msg += ": ";
+    msg += error.empty() ? adaptive::error_code_message(code) : error;
+    return msg;
+  }
 };
 
 struct ServiceOptions {
-  std::uint32_t concurrency = 4;    // in-flight query slots (simt streams)
+  std::uint32_t concurrency = 4;    // in-flight slots per device (simt streams)
   std::size_t queue_capacity = 64;  // pending submissions before rejection
   bool batch_bfs = true;            // fuse same-graph BFS prefixes
   std::uint32_t max_batch = 32;     // <= gg::kMaxBatchedSources
@@ -141,57 +155,77 @@ struct ServiceOptions {
   // Retry / degradation behavior for injected or genuine device faults
   // (service/resilience.h).
   ResiliencePolicy resilience{};
+  // Replication count and shard thresholds (service/placement.h).
+  PlacementPolicy placement{};
 };
 
 class GraphService {
  public:
-  explicit GraphService(
-      ServiceOptions opts = {},
-      const simt::DeviceProps& props = simt::DeviceProps::fermi_c2070(),
-      simt::TimingModel tm = simt::TimingModel::fermi_default());
+  // Primary constructor: one spec describes the whole fleet. An empty
+  // ClusterSpec means a single default device (the historical behavior).
+  explicit GraphService(ServiceOptions opts = {},
+                        const simt::ClusterSpec& cluster = {});
+  // Deprecated shim for the old positional (DeviceProps, TimingModel)
+  // signature; forwards to ClusterSpec::single(props, tm).
+  [[deprecated("use GraphService(opts, simt::ClusterSpec)")]]
+  GraphService(ServiceOptions opts, const simt::DeviceProps& props,
+               simt::TimingModel tm = simt::TimingModel::fermi_default());
   ~GraphService();
   GraphService(const GraphService&) = delete;
   GraphService& operator=(const GraphService&) = delete;
 
-  // Takes ownership and uploads the CSR once; all queries against the
-  // returned id run on the resident copy (no per-query upload).
+  // Takes ownership and places the graph on the fleet: replicated uploads
+  // when it fits a device, vertex-cut shards otherwise. All queries against
+  // the returned id run on the resident copies (no per-query upload).
   GraphId add_graph(adaptive::Graph g);
-  // Replaces the resident graph under `id`: the device copy is re-uploaded
-  // and every cached result for the id is retired (the upload generation is
-  // part of the cache key, so even a same-version replacement cannot produce
-  // a stale hit).
+  // Replaces the resident graph under `id`: placement is re-planned, device
+  // copies are re-uploaded, and every cached result for the id is retired.
   void update_graph(GraphId id, adaptive::Graph g);
   const adaptive::Graph& graph(GraphId id) const;
   std::size_t num_graphs() const { return graphs_.size(); }
+  // The placement the service chose for `id` (tests, introspection).
+  const PlacementPlan& placement(GraphId id) const;
 
-  simt::Device& device() { return dev_; }
+  simt::Fleet& fleet() { return fleet_; }
+  std::uint32_t num_devices() const { return fleet_.size(); }
+  // Legacy accessor: device 0.
+  simt::Device& device() { return fleet_.device(0); }
   const ServiceOptions& options() const { return opts_; }
   const ResultCache<Payload>& result_cache() const { return cache_; }
 
-  // Arms deterministic fault injection on the service device. Install after
-  // add_graph() so the resident uploads are not subject to the plan; the
-  // plan then applies to every query until replaced by an empty plan.
-  void set_fault_plan(const simt::FaultPlan& plan) { dev_.set_fault_plan(plan); }
-  // False once a permanent fault killed the device; every later query is
-  // answered by CPU degradation (or failed, when degradation is off).
-  bool device_healthy() const { return dev_.healthy(); }
+  // Arms deterministic fault injection on one device (default: device 0,
+  // the single-device behavior). Install after add_graph() so the resident
+  // uploads are not subject to the plan.
+  void set_fault_plan(const simt::FaultPlan& plan,
+                      simt::DeviceIndex device = 0) {
+    fleet_.device(device).set_fault_plan(plan);
+  }
+  void set_fault_plan_all(const simt::FaultPlan& plan) {
+    for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d)
+      fleet_.device(d).set_fault_plan(plan);
+  }
+  // False once a permanent fault killed the device. With no argument this is
+  // device 0 (single-device compatibility).
+  bool device_healthy(simt::DeviceIndex device = 0) const {
+    return fleet_.device(device).healthy();
+  }
 
   // Admission: enqueues and returns the query id, or std::nullopt when the
   // pending queue is full (a rejected outcome is still recorded for drain()).
   std::optional<QueryId> submit(QueryRequest req);
 
   // Runs every pending query to completion (FIFO dispatch, batching, cache
-  // lookup, collapsing, stream placement) and returns all outcomes produced
-  // since the last drain — including immediate rejections — in
+  // lookup, collapsing, routing, stream placement) and returns all outcomes
+  // produced since the last drain — including immediate rejections — in
   // dispatch/record order.
   std::vector<QueryOutcome> drain();
 
   std::size_t pending() const { return queue_.size(); }
   // End of all issued work: the modeled makespan of the schedule so far —
-  // device engines plus the modeled host timeline (degraded queries, cache
-  // hits).
+  // every device's engines plus the modeled host timeline (degraded queries,
+  // cache hits, BSP merges).
   double makespan_us() const {
-    return std::max(dev_.makespan_us(), host_ready_us_);
+    return std::max(fleet_.makespan_us(), host_ready_us_);
   }
 
  private:
@@ -200,28 +234,55 @@ class GraphService {
     QueryRequest req;
     double submit_us = 0;
   };
-  struct GraphEntry {
-    adaptive::Graph g;
+  // One device-resident copy of a replicated graph.
+  struct Replica {
+    simt::DeviceIndex device = 0;
     gg::DeviceGraph dg;
     // Lazily uploaded symmetrized CSR for cc() on directed graphs.
     std::optional<gg::DeviceGraph> sym_dg;
+  };
+  struct GraphEntry {
+    adaptive::Graph g;
     // Upload generation: bumped by update_graph() and folded into the cache
     // key version so replaced graphs never serve stale hits.
     std::uint64_t gen = 0;
+    PlacementPlan plan;
+    std::vector<Replica> replicas;       // replicated placement
+    std::optional<ShardedGraph> sharded; // sharded placement
     GraphEntry(adaptive::Graph graph) : g(std::move(graph)) {}
   };
+  // A routed dispatch slot: the chosen replica device and stream.
+  struct Route {
+    bool ok = false;       // false: no healthy replica (degrade / fail)
+    bool failover = false; // at least one dead replica was routed around
+    simt::DeviceIndex device = 0;
+    simt::StreamId stream = 0;
+    double ready_us = 0;
+  };
 
-  simt::StreamId pick_stream() const;  // earliest-ready stream, lowest id wins
+  void place_graph(GraphEntry& entry);
+  void release_graph(GraphEntry& entry);
+  // Earliest-ready (device, stream) among the entry's healthy replicas;
+  // ties: lowest device ordinal, then lowest stream id.
+  Route route_query(const GraphEntry& entry) const;
+  // Earliest-ready stream of `device`'s pool, lowest id wins.
+  simt::StreamId pick_stream(simt::DeviceIndex device) const;
+  Replica* replica_on(GraphEntry& entry, simt::DeviceIndex device);
+  std::uint32_t healthy_replicas(const GraphEntry& entry) const;
+
   bool batchable(const PendingQuery& a, const PendingQuery& b) const;
   // Collapses identical pending queries onto q's execution, then runs q.
   void execute_query(PendingQuery q);
   void execute_single(PendingQuery q);
   void execute_bfs_batch(std::vector<PendingQuery> batch);
+  // Sharded BSP execution (BFS/CC on-device, SSSP/PageRank via the oracle).
+  void execute_sharded(PendingQuery q, GraphEntry& entry, QueryOutcome out);
   QueryOutcome make_outcome(const PendingQuery& q) const;
-  void finish_outcome(QueryOutcome& out, simt::StreamId stream, double start);
-  // One device attempt of q on `stream` (may throw simt::DeviceFault).
+  void finish_outcome(QueryOutcome& out, simt::DeviceIndex device,
+                      simt::StreamId stream, double start);
+  // One device attempt of q on `route`'s slot (may throw simt::DeviceFault).
   void run_device_query(const PendingQuery& q, GraphEntry& entry,
-                        simt::StreamId stream, QueryOutcome& out);
+                        const Route& route, QueryOutcome& out);
   // Serial-oracle execution on the modeled single-core host timeline.
   void run_degraded(const PendingQuery& q, const adaptive::Graph& g,
                     QueryOutcome& out);
@@ -248,8 +309,9 @@ class GraphService {
                              double ts_us) const;
 
   ServiceOptions opts_;
-  simt::Device dev_;
-  std::vector<simt::StreamId> streams_;
+  simt::Fleet fleet_;
+  // streams_[d] = device d's stream pool (`concurrency` entries).
+  std::vector<std::vector<simt::StreamId>> streams_;
   std::vector<std::unique_ptr<GraphEntry>> graphs_;
   std::deque<PendingQuery> queue_;
   std::vector<QueryOutcome> done_;

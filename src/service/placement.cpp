@@ -1,0 +1,154 @@
+#include "service/placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace svc {
+
+std::uint64_t device_graph_bytes(const graph::Csr& g, bool with_weights) {
+  const std::uint64_t n = g.num_nodes;
+  const std::uint64_t m = g.num_edges();
+  std::uint64_t bytes = (n + 1) * sizeof(std::uint32_t) + m * sizeof(std::uint32_t);
+  if (with_weights && g.has_weights()) bytes += m * sizeof(std::uint32_t);
+  return bytes;
+}
+
+namespace {
+
+std::uint64_t free_bytes(const simt::Device& dev) {
+  const std::uint64_t total = dev.props().global_mem_bytes;
+  const std::uint64_t used = dev.mem_in_use();
+  return used >= total ? 0 : total - used;
+}
+
+// Cuts [0, n) into `k` contiguous ranges with ~equal edge counts (prefix-sum
+// walk over row offsets). Ranges may be empty when n < k.
+std::vector<ShardRange> edge_balanced_cuts(const graph::Csr& g, std::uint32_t k) {
+  std::vector<ShardRange> out;
+  out.reserve(k);
+  const std::uint64_t m = g.num_edges();
+  graph::NodeId row = 0;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    const std::uint64_t target = (m * (s + 1)) / k;  // cumulative edge goal
+    ShardRange r;
+    r.device = s;
+    r.row_begin = row;
+    if (s + 1 == k) {
+      row = g.num_nodes;  // last shard takes the tail
+    } else {
+      while (row < g.num_nodes && g.row_offsets[row + 1] <= target) ++row;
+    }
+    r.row_end = row;
+    r.edges = g.row_offsets[r.row_end] - g.row_offsets[r.row_begin];
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PlacementPlan::describe() const {
+  if (kind == Kind::replicated) {
+    std::string s = "replicated x" + std::to_string(replicas.size()) + " (";
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      if (i) s += ' ';
+      s += "dev" + std::to_string(replicas[i]);
+    }
+    return s + ")";
+  }
+  std::string s = "sharded x" + std::to_string(shards.size()) + " (edges";
+  for (const ShardRange& r : shards) s += ' ' + std::to_string(r.edges);
+  return s + ")";
+}
+
+PlacementPlan plan_placement(const graph::Csr& g, bool with_weights,
+                             const simt::Fleet& fleet,
+                             const PlacementPolicy& policy) {
+  PlacementPlan plan;
+  plan.graph_bytes = device_graph_bytes(g, with_weights);
+  const double need = static_cast<double>(plan.graph_bytes) * policy.headroom;
+
+  // Devices that can host a full copy, in ordinal order (deterministic).
+  std::vector<simt::DeviceIndex> fits;
+  for (simt::DeviceIndex d = 0; d < fleet.size(); ++d) {
+    if (static_cast<double>(free_bytes(fleet.device(d))) >= need)
+      fits.push_back(d);
+  }
+
+  if (!fits.empty() || !policy.allow_shard || fleet.size() < 2) {
+    plan.kind = PlacementPlan::Kind::replicated;
+    std::vector<simt::DeviceIndex> targets = fits;
+    if (targets.empty()) {
+      // Nothing fits and sharding is unavailable: keep the legacy behavior
+      // (place everywhere requested; the upload OOMs like a single device).
+      for (simt::DeviceIndex d = 0; d < fleet.size(); ++d) targets.push_back(d);
+    }
+    std::uint32_t want = policy.replication == 0
+                             ? static_cast<std::uint32_t>(targets.size())
+                             : policy.replication;
+    want = std::min<std::uint32_t>(
+        want, static_cast<std::uint32_t>(targets.size()));
+    want = std::max<std::uint32_t>(want, 1);
+    plan.replicas.assign(targets.begin(), targets.begin() + want);
+    return plan;
+  }
+
+  // Vertex-cut: the smallest shard count whose every slice fits its device;
+  // fall back to one shard per device (the upload then surfaces OOM faults,
+  // which degrade per the resilience policy).
+  plan.kind = PlacementPlan::Kind::sharded;
+  for (std::uint32_t k = 2; k <= fleet.size(); ++k) {
+    std::vector<ShardRange> cuts = edge_balanced_cuts(g, k);
+    bool ok = true;
+    for (const ShardRange& r : cuts) {
+      graph::Csr slice = shard_slice(g, r.row_begin, r.row_end);
+      // Besides the slice itself (headroom-scaled: traversal state lives
+      // next to it), the device must hold the slice's lazy local symmetric
+      // closure — cc uploads it on first use. Worst case every slice arc
+      // gains its reverse: full-length row offsets plus twice the slice's
+      // column bytes. It is resident data, not working set, so no headroom
+      // multiplier.
+      const std::uint64_t sym_bytes =
+          (static_cast<std::uint64_t>(slice.num_nodes) + 1) *
+              sizeof(std::uint32_t) +
+          2 * r.edges * sizeof(std::uint32_t);
+      const double slice_need =
+          static_cast<double>(device_graph_bytes(slice, with_weights)) *
+              policy.headroom +
+          static_cast<double>(sym_bytes);
+      if (static_cast<double>(free_bytes(fleet.device(r.device))) < slice_need) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok || k == fleet.size()) {
+      plan.shards = std::move(cuts);
+      return plan;
+    }
+  }
+  plan.shards = edge_balanced_cuts(g, fleet.size());
+  return plan;
+}
+
+graph::Csr shard_slice(const graph::Csr& g, graph::NodeId row_begin,
+                       graph::NodeId row_end) {
+  AGG_CHECK(row_begin <= row_end && row_end <= g.num_nodes);
+  graph::Csr out;
+  out.num_nodes = g.num_nodes;
+  out.row_offsets.assign(g.num_nodes + 1, 0);
+  const std::uint32_t base = g.row_offsets[row_begin];
+  const std::uint32_t limit = g.row_offsets[row_end];
+  for (graph::NodeId v = row_begin; v < row_end; ++v)
+    out.row_offsets[v + 1] = g.row_offsets[v + 1] - base;
+  for (graph::NodeId v = row_end; v < g.num_nodes; ++v)
+    out.row_offsets[v + 1] = limit - base;
+  out.col_indices.assign(g.col_indices.begin() + base,
+                         g.col_indices.begin() + limit);
+  if (g.has_weights()) {
+    out.weights.assign(g.weights.begin() + base, g.weights.begin() + limit);
+  }
+  return out;
+}
+
+}  // namespace svc

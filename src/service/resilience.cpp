@@ -33,6 +33,20 @@ FaultAction next_action(const ResiliencePolicy& policy, int attempts_done,
   return policy.degrade_to_cpu ? FaultAction::degrade : FaultAction::fail;
 }
 
+FaultAction next_action(const ResiliencePolicy& policy, int attempts_done,
+                        bool permanent, bool device_healthy,
+                        bool replica_available) {
+  const FaultAction single =
+      next_action(policy, attempts_done, permanent, device_healthy);
+  if (single == FaultAction::retry) return single;
+  // The device is lost (or retries are exhausted on a dead device): prefer a
+  // healthy replica over the CPU oracle.
+  if ((permanent || !device_healthy) && replica_available) {
+    return FaultAction::failover;
+  }
+  return single;
+}
+
 const char* fault_action_name(FaultAction a) {
   switch (a) {
     case FaultAction::retry:
@@ -41,6 +55,8 @@ const char* fault_action_name(FaultAction a) {
       return "degrade";
     case FaultAction::fail:
       return "fail";
+    case FaultAction::failover:
+      return "failover";
   }
   return "?";
 }

@@ -1,0 +1,55 @@
+#include "simt/cluster.h"
+
+#include <algorithm>
+
+namespace simt {
+
+std::string ClusterSpec::summary() const {
+  if (devices_.empty()) return std::string("1x ") + DeviceProps::fermi_c2070().name;
+  // Collapse a homogeneous run into "Nx <name>".
+  bool uniform = true;
+  for (const DeviceSpec& d : devices_) {
+    if (d.props.name != devices_.front().props.name) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) {
+    return std::to_string(devices_.size()) + "x " + devices_.front().props.name;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (i) out += " + ";
+    out += devices_[i].props.name;
+  }
+  return out;
+}
+
+Fleet::Fleet(const ClusterSpec& spec) {
+  std::vector<DeviceSpec> members = spec.devices();
+  if (members.empty()) members.push_back(DeviceSpec{});
+  devices_.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    auto dev = std::make_unique<Device>(members[i].props, members[i].tm);
+    std::string label = members[i].name.empty()
+                            ? "dev" + std::to_string(i)
+                            : members[i].name;
+    dev->set_identity(static_cast<DeviceIndex>(i), std::move(label));
+    devices_.push_back(std::move(dev));
+  }
+}
+
+DeviceIndex Fleet::num_healthy() const {
+  DeviceIndex n = 0;
+  for (const auto& d : devices_)
+    if (d->healthy()) ++n;
+  return n;
+}
+
+double Fleet::makespan_us() const {
+  double m = 0;
+  for (const auto& d : devices_) m = std::max(m, d->makespan_us());
+  return m;
+}
+
+}  // namespace simt

@@ -1,0 +1,126 @@
+// Cluster-first device configuration (PR-8 API redesign).
+//
+// Every entry point that used to take a positional (DeviceProps, TimingModel)
+// pair — simt::Device, svc::GraphService, adaptive::Session — now takes one
+// ClusterSpec describing the whole fleet:
+//
+//   auto spec = simt::ClusterSpec::homogeneous(4);            // 4x C2070
+//   auto one  = simt::ClusterSpec::single(props, tm);         // old behavior
+//   simt::ClusterSpec mixed;
+//   mixed.add_device(simt::DeviceProps::fermi_c2070())
+//        .add_device(simt::DeviceProps::kepler_k20(),
+//                    simt::TimingModel::kepler_default(), "k20");
+//
+// A default-constructed (empty) spec means "one default device", so
+// `Session()` / `GraphService(opts)` keep their historical meaning.
+//
+// Fleet instantiates the spec: N Devices with independent modeled clocks,
+// SM counts and memory spaces. Each device is stamped with its ordinal and a
+// human label ("dev0", "dev1", ... unless the spec names it) so trace events
+// and fault messages are attributable to a device. The fleet makespan is the
+// max over member devices — host-side serving timelines are tracked by the
+// layers above (GraphService).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "simt/device.h"
+#include "simt/device_props.h"
+#include "simt/timing_model.h"
+
+namespace simt {
+
+using DeviceIndex = std::uint32_t;
+
+// One member of a cluster: a device model plus its timing model and an
+// optional human-readable name (defaults to "dev<ordinal>").
+struct DeviceSpec {
+  DeviceProps props = DeviceProps::fermi_c2070();
+  TimingModel tm = TimingModel::fermi_default();
+  std::string name;
+};
+
+class ClusterSpec {
+ public:
+  // Empty spec: entry points treat it as single() — one default C2070.
+  ClusterSpec() = default;
+
+  // One device. `single()` is the canonical replacement for the old
+  // fully-defaulted (DeviceProps, TimingModel) constructors.
+  static ClusterSpec single(const DeviceProps& props = DeviceProps::fermi_c2070(),
+                            TimingModel tm = TimingModel::fermi_default()) {
+    ClusterSpec spec;
+    spec.add_device(props, tm);
+    return spec;
+  }
+
+  // N identical devices.
+  static ClusterSpec homogeneous(std::size_t n,
+                                 const DeviceProps& props = DeviceProps::fermi_c2070(),
+                                 TimingModel tm = TimingModel::fermi_default()) {
+    AGG_CHECK_MSG(n >= 1, "ClusterSpec::homogeneous: need at least one device");
+    ClusterSpec spec;
+    for (std::size_t i = 0; i < n; ++i) spec.add_device(props, tm);
+    return spec;
+  }
+
+  // Builder: append one (possibly heterogeneous) device. Returns *this for
+  // chaining.
+  ClusterSpec& add_device(DeviceSpec spec) {
+    devices_.push_back(std::move(spec));
+    return *this;
+  }
+  ClusterSpec& add_device(const DeviceProps& props,
+                          TimingModel tm = TimingModel::fermi_default(),
+                          std::string name = "") {
+    return add_device(DeviceSpec{props, tm, std::move(name)});
+  }
+
+  bool empty() const { return devices_.empty(); }
+  // Number of devices the spec will instantiate (empty spec counts as 1).
+  std::size_t num_devices() const { return devices_.empty() ? 1 : devices_.size(); }
+  const std::vector<DeviceSpec>& devices() const { return devices_; }
+
+  // "4x Tesla C2070 (sim)" / "Tesla C2070 (sim) + Tesla K20 (sim)".
+  std::string summary() const;
+
+ private:
+  std::vector<DeviceSpec> devices_;
+};
+
+// The instantiated cluster: owns the Devices. Device addresses are stable for
+// the Fleet's lifetime (unique_ptr storage), which the serving layers rely on
+// for resident DeviceGraph handles.
+class Fleet {
+ public:
+  explicit Fleet(const ClusterSpec& spec = ClusterSpec());
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  DeviceIndex size() const { return static_cast<DeviceIndex>(devices_.size()); }
+  Device& device(DeviceIndex i) {
+    AGG_CHECK(i < devices_.size());
+    return *devices_[i];
+  }
+  const Device& device(DeviceIndex i) const {
+    AGG_CHECK(i < devices_.size());
+    return *devices_[i];
+  }
+
+  // Health roll-up over per-device fault plans.
+  bool healthy(DeviceIndex i) const { return device(i).healthy(); }
+  DeviceIndex num_healthy() const;
+  bool any_healthy() const { return num_healthy() > 0; }
+
+  // End of all issued device work across the fleet: max member makespan.
+  double makespan_us() const;
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace simt

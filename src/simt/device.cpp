@@ -48,6 +48,7 @@ void Device::trace_kernel(const KernelStats& ks, double start_us) {
     ev.atomics = ks.atomics;
     ev.simd_efficiency = ks.simd_efficiency();
     ev.stream = current_;
+    ev.device = ordinal_;
     tracer.kernel(ev);
   }
   auto& reg = trace::CounterRegistry::instance();
@@ -73,6 +74,7 @@ void Device::trace_transfer(std::uint64_t bytes, bool to_device, double dur_us,
     ev.bytes = bytes;
     ev.to_device = to_device;
     ev.stream = current_;
+    ev.device = ordinal_;
     tracer.transfer(ev);
   }
   auto& reg = trace::CounterRegistry::instance();
@@ -97,6 +99,7 @@ void Device::check_fault(FaultKind kind, const char* op) {
       ev.op_index = d.op_index;
       ev.permanent = d.permanent;
       ev.stream = current_;
+      ev.device = ordinal_;
       ev.ts_us = now_us();
       tracer.fault(ev);
     }
@@ -107,7 +110,7 @@ void Device::check_fault(FaultKind kind, const char* op) {
       if (d.permanent) reg.counter("simt.fault.permanent").add();
     }
   }
-  throw DeviceFault(kind, op, d.op_index, d.permanent);
+  throw DeviceFault(kind, op, d.op_index, d.permanent, label_);
 }
 
 void Device::throw_oom(const char* name) {
@@ -118,7 +121,7 @@ void Device::throw_oom(const char* name) {
     if (reg.enabled()) reg.counter("simt.oom").add();
   }
   throw DeviceFault(FaultKind::alloc, name, /*op_index=*/0,
-                    /*permanent=*/false);
+                    /*permanent=*/false, label_);
 }
 
 void Device::trace_host(double dur_us, double start_us) {
@@ -130,6 +133,7 @@ void Device::trace_host(double dur_us, double start_us) {
     ev.start_us = start_us;
     ev.dur_us = dur_us;
     ev.stream = current_;
+    ev.device = ordinal_;
     tracer.host(ev);
   }
   auto& reg = trace::CounterRegistry::instance();

@@ -51,6 +51,19 @@ class Device {
   const DeviceProps& props() const { return props_; }
   const TimingModel& timing() const { return tm_; }
 
+  // ---- fleet identity ----
+  // Stamped by simt::Fleet at construction: the device's ordinal within its
+  // cluster and a human label ("dev2" unless the ClusterSpec named it). Every
+  // trace event carries the ordinal (per-device Chrome lanes); fault messages
+  // carry the label so fleet errors are attributable. A standalone Device is
+  // ordinal 0 / "dev0".
+  void set_identity(std::uint32_t ordinal, std::string label) {
+    ordinal_ = ordinal;
+    label_ = std::move(label);
+  }
+  std::uint32_t ordinal() const { return ordinal_; }
+  const std::string& label() const { return label_; }
+
   // ---- fault injection & health ----
   // Installs a fault plan (simt/fault.h); subsequent allocations, transfers
   // and kernel launches consult it and throw DeviceFault when scheduled to
@@ -267,6 +280,8 @@ class Device {
 
   DeviceProps props_;
   TimingModel tm_;
+  std::uint32_t ordinal_ = 0;
+  std::string label_ = "dev0";
   AddressSpace space_;
   DeviceStats stats_;
   KernelObserver observer_;

@@ -39,10 +39,15 @@ const char* fault_kind_name(FaultKind kind) {
 }
 
 DeviceFault::DeviceFault(FaultKind kind, std::string op, std::uint64_t op_index,
-                         bool permanent)
-    : kind_(kind), op_(std::move(op)), op_index_(op_index), permanent_(permanent) {
-  message_ = std::string("device fault: ") + fault_kind_name(kind_) + " '" +
-             op_ + "' at op " + std::to_string(op_index_) +
+                         bool permanent, std::string device)
+    : kind_(kind),
+      op_(std::move(op)),
+      op_index_(op_index),
+      permanent_(permanent),
+      device_(std::move(device)) {
+  message_ = (device_.empty() ? std::string() : device_ + ": ") +
+             "device fault: " + fault_kind_name(kind_) + " '" + op_ +
+             "' at op " + std::to_string(op_index_) +
              (permanent_ ? " (device dead)" : "");
 }
 

@@ -33,8 +33,10 @@ const char* fault_kind_name(FaultKind kind);
 // retrying and fall back to a host execution path.
 class DeviceFault : public std::exception {
  public:
+  // `device` is the throwing device's fleet label ("dev2"); it prefixes the
+  // what() message so fleet faults are attributable without extra plumbing.
   DeviceFault(FaultKind kind, std::string op, std::uint64_t op_index,
-              bool permanent);
+              bool permanent, std::string device = "");
 
   const char* what() const noexcept override { return message_.c_str(); }
 
@@ -42,12 +44,14 @@ class DeviceFault : public std::exception {
   const std::string& op() const { return op_; }
   std::uint64_t op_index() const { return op_index_; }
   bool permanent() const { return permanent_; }
+  const std::string& device() const { return device_; }
 
  private:
   FaultKind kind_;
   std::string op_;
   std::uint64_t op_index_ = 0;
   bool permanent_ = false;
+  std::string device_;
   std::string message_;
 };
 

@@ -11,12 +11,12 @@ namespace {
 class EventBuilder {
  public:
   EventBuilder(std::string& out_events, std::string_view name, const char* ph,
-               int tid, double ts_us)
+               int pid, int tid, double ts_us)
       : out_(out_events) {
     w_.begin_object();
     w_.field("name", name);
     w_.field("ph", ph);
-    w_.field("pid", 0);
+    w_.field("pid", pid);
     w_.field("tid", tid);
     w_.field("ts", ts_us);
   }
@@ -39,6 +39,11 @@ class EventBuilder {
 ChromeTraceSink::ChromeTraceSink(std::string path, int kernel_lanes)
     : path_(std::move(path)), kernel_lanes_(kernel_lanes < 1 ? 1 : kernel_lanes) {}
 
+void ChromeTraceSink::note_lane(std::uint32_t device, std::uint32_t stream) {
+  if (device >= max_stream_by_dev_.size()) max_stream_by_dev_.resize(device + 1, 0);
+  if (stream > max_stream_by_dev_[device]) max_stream_by_dev_[device] = stream;
+}
+
 void ChromeTraceSink::kernel(const KernelEvent& ev) {
   // Default-stream launches keep the round-robin "SM-ish" lanes; stream
   // launches render on their stream's own lane.
@@ -46,8 +51,9 @@ void ChromeTraceSink::kernel(const KernelEvent& ev) {
       ev.stream == 0
           ? 1 + static_cast<int>(ev.seq % static_cast<std::uint64_t>(kernel_lanes_))
           : stream_tid(ev.stream);
-  if (ev.stream > max_stream_) max_stream_ = ev.stream;
-  EventBuilder e(events_, ev.name, "X", tid, ev.start_us);
+  note_lane(ev.device, ev.stream);
+  EventBuilder e(events_, ev.name, "X", static_cast<int>(ev.device), tid,
+                 ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
   w.key("args").begin_object();
@@ -64,9 +70,9 @@ void ChromeTraceSink::kernel(const KernelEvent& ev) {
 
 void ChromeTraceSink::transfer(const TransferEvent& ev) {
   const int tid = ev.stream == 0 ? transfer_tid() : stream_tid(ev.stream);
-  if (ev.stream > max_stream_) max_stream_ = ev.stream;
+  note_lane(ev.device, ev.stream);
   EventBuilder e(events_, ev.to_device ? "memcpy.h2d" : "memcpy.d2h", "X",
-                 tid, ev.start_us);
+                 static_cast<int>(ev.device), tid, ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
   w.key("args").begin_object();
@@ -78,8 +84,9 @@ void ChromeTraceSink::transfer(const TransferEvent& ev) {
 
 void ChromeTraceSink::host(const HostEvent& ev) {
   const int tid = ev.stream == 0 ? 0 : stream_tid(ev.stream);
-  if (ev.stream > max_stream_) max_stream_ = ev.stream;
-  EventBuilder e(events_, ev.name, "X", tid, ev.start_us);
+  note_lane(ev.device, ev.stream);
+  EventBuilder e(events_, ev.name, "X", static_cast<int>(ev.device), tid,
+                 ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
   w.key("args").begin_object();
@@ -90,7 +97,7 @@ void ChromeTraceSink::host(const HostEvent& ev) {
 
 void ChromeTraceSink::iteration(const IterationEvent& ev) {
   const std::string name = std::string(ev.algo) + ".iteration";
-  EventBuilder e(events_, name, "X", 0, ev.start_us);
+  EventBuilder e(events_, name, "X", 0, 0, ev.start_us);
   auto& w = e.writer();
   w.field("dur", ev.dur_us);
   w.key("args").begin_object();
@@ -104,7 +111,7 @@ void ChromeTraceSink::iteration(const IterationEvent& ev) {
 
 void ChromeTraceSink::decision(const DecisionEvent& ev) {
   const std::string name = std::string(ev.algo) + ".decision";
-  EventBuilder e(events_, name, "i", decision_tid(), ev.ts_us);
+  EventBuilder e(events_, name, "i", 0, decision_tid(), ev.ts_us);
   auto& w = e.writer();
   w.field("s", "t");  // thread-scoped instant
   w.key("args").begin_object();
@@ -130,7 +137,7 @@ void ChromeTraceSink::service(const ServiceEvent& ev) {
   // Instant event on the decision lane: why a query skipped the device
   // (cache hit / collapse) or how the result cache changed.
   const std::string name = std::string("svc.") + ev.action;
-  EventBuilder e(events_, name, "i", decision_tid(), ev.ts_us);
+  EventBuilder e(events_, name, "i", 0, decision_tid(), ev.ts_us);
   auto& w = e.writer();
   w.field("s", "t");
   w.key("args").begin_object();
@@ -149,9 +156,9 @@ void ChromeTraceSink::fault(const FaultEvent& ev) {
   // Instant event on the faulting stream's lane (default stream: host lane),
   // so failed queries are visually attributable to their slot.
   const int tid = ev.stream == 0 ? 0 : stream_tid(ev.stream);
-  if (ev.stream > max_stream_) max_stream_ = ev.stream;
+  note_lane(ev.device, ev.stream);
   const std::string name = std::string("fault.") + ev.kind;
-  EventBuilder e(events_, name, "i", tid, ev.ts_us);
+  EventBuilder e(events_, name, "i", static_cast<int>(ev.device), tid, ev.ts_us);
   auto& w = e.writer();
   w.field("s", "t");
   w.key("args").begin_object();
@@ -164,39 +171,38 @@ void ChromeTraceSink::fault(const FaultEvent& ev) {
 }
 
 std::string ChromeTraceSink::json() const {
-  // Metadata events name the tracks; rendered fresh so lane count is final.
+  // Metadata events name the tracks; rendered fresh so lane and device counts
+  // are final. One process group per device ordinal seen.
   std::string meta;
-  auto thread_name = [&meta](int tid, const std::string& name) {
+  auto emit_meta = [&meta](const char* kind, int pid, int tid,
+                           const std::string& name) {
     JsonWriter w;
     w.begin_object();
-    w.field("name", "thread_name");
+    w.field("name", kind);
     w.field("ph", "M");
-    w.field("pid", 0);
+    w.field("pid", pid);
     w.field("tid", tid);
     w.key("args").begin_object().field("name", name).end_object();
     w.end_object();
     if (!meta.empty()) meta += ",\n";
     meta += w.str();
   };
-  {
-    JsonWriter w;
-    w.begin_object();
-    w.field("name", "process_name");
-    w.field("ph", "M");
-    w.field("pid", 0);
-    w.field("tid", 0);
-    w.key("args").begin_object().field("name", "simulated device").end_object();
-    w.end_object();
-    meta = w.take();
-  }
-  thread_name(0, "host / iterations");
-  for (int lane = 0; lane < kernel_lanes_; ++lane) {
-    thread_name(1 + lane, "kernels (SM-ish lane " + std::to_string(lane) + ")");
-  }
-  thread_name(transfer_tid(), "pcie transfers");
-  thread_name(decision_tid(), "adaptive decisions");
-  for (std::uint32_t s = 1; s <= max_stream_; ++s) {
-    thread_name(stream_tid(s), "stream " + std::to_string(s));
+  const bool fleet = max_stream_by_dev_.size() > 1;
+  for (std::size_t d = 0; d < max_stream_by_dev_.size(); ++d) {
+    const int pid = static_cast<int>(d);
+    emit_meta("process_name", pid, 0,
+              fleet ? "dev" + std::to_string(d) + " (simulated)"
+                    : std::string("simulated device"));
+    emit_meta("thread_name", pid, 0, "host / iterations");
+    for (int lane = 0; lane < kernel_lanes_; ++lane) {
+      emit_meta("thread_name", pid, 1 + lane,
+                "kernels (SM-ish lane " + std::to_string(lane) + ")");
+    }
+    emit_meta("thread_name", pid, transfer_tid(), "pcie transfers");
+    if (pid == 0) emit_meta("thread_name", pid, decision_tid(), "adaptive decisions");
+    for (std::uint32_t s = 1; s <= max_stream_by_dev_[d]; ++s) {
+      emit_meta("thread_name", pid, stream_tid(s), "stream " + std::to_string(s));
+    }
   }
 
   std::string out = "{\"traceEvents\":[\n" + meta;

@@ -1,7 +1,8 @@
 // Chrome trace_event sink: renders the modeled execution as a timeline
 // loadable by chrome://tracing and Perfetto (ui.perfetto.dev).
 //
-// Track layout (all under pid 0, the simulated device):
+// Track layout (one pid per fleet device; single-device runs collapse to
+// pid 0 exactly as before):
 //   tid 0                 host phases + engine iterations (X events)
 //   tid 1..kernel_lanes   default-stream kernel launches, round-robin by
 //                         sequence number — "SM-ish" lanes: the modeled
@@ -16,6 +17,12 @@
 //                         kernels, transfers and host phases the stream
 //                         issued, so a multi-query service schedule renders
 //                         one lane per concurrent query slot
+//
+// Fleet runs: device-scoped events (kernels, transfers, host phases, faults)
+// carry the issuing device's ordinal and render under pid = ordinal with the
+// same tid layout, so a 4-device service shows four process groups, each with
+// its own stream lanes. Decisions and service events stay on pid 0 (they are
+// host/router-scoped).
 //
 // Timestamps are the simulator's modeled microseconds (Chrome's native ts
 // unit), so the timeline shows modeled time, not host wall time, and the
@@ -52,11 +59,15 @@ class ChromeTraceSink : public TraceSink {
   int stream_tid(std::uint32_t stream) const {
     return kernel_lanes_ + 3 + static_cast<int>(stream);
   }
+  // Records that `device` emitted on `stream` (lane metadata in json()).
+  void note_lane(std::uint32_t device, std::uint32_t stream);
 
   std::string path_;
   int kernel_lanes_;
-  std::uint32_t max_stream_ = 0;  // highest stream id seen (lane naming)
-  std::string events_;            // comma-joined event objects
+  // Highest stream id seen per device ordinal (pid); index = ordinal. Always
+  // holds at least pid 0 so empty traces still name the default tracks.
+  std::vector<std::uint32_t> max_stream_by_dev_{0};
+  std::string events_;  // comma-joined event objects
 };
 
 }  // namespace trace

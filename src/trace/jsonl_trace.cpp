@@ -50,6 +50,7 @@ void JsonlDecisionSink::fault(const FaultEvent& ev) {
   w.field("op_index", ev.op_index);
   w.field("permanent", ev.permanent);
   w.field("stream", ev.stream);
+  w.field("device", ev.device);
   w.field("ts_us", ev.ts_us);
   w.field("seq", ev.seq);
   w.end_object();

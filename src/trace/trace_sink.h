@@ -39,6 +39,7 @@ struct KernelEvent {
   double atomics = 0;
   double simd_efficiency = 1.0;
   std::uint32_t stream = 0;  // issuing simt stream; 0 = default stream
+  std::uint32_t device = 0;  // fleet ordinal of the issuing device
   std::uint64_t seq = 0;
 };
 
@@ -48,6 +49,7 @@ struct TransferEvent {
   std::uint64_t bytes = 0;
   bool to_device = false;
   std::uint32_t stream = 0;
+  std::uint32_t device = 0;  // fleet ordinal of the issuing device
   std::uint64_t seq = 0;
 };
 
@@ -56,6 +58,7 @@ struct HostEvent {
   double start_us = 0;
   double dur_us = 0;
   std::uint32_t stream = 0;
+  std::uint32_t device = 0;  // fleet ordinal of the issuing device
   std::uint64_t seq = 0;
 };
 
@@ -79,6 +82,7 @@ struct FaultEvent {
   std::uint64_t op_index = 0;
   bool permanent = false;
   std::uint32_t stream = 0;
+  std::uint32_t device = 0;  // fleet ordinal of the faulting device
   double ts_us = 0;
   std::uint64_t seq = 0;
 };

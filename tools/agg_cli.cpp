@@ -10,6 +10,7 @@
 //                kinds: road, amazon, citeseer, p2p, google, sns, rmat, er
 //   agg serve    <graph> [--queries=N] [--concurrency=C] [--mix=bfs|mixed]
 //                [--cache-mb=MB] [--no-cache] [--zipf=S] [--hot-fraction=F]
+//                [--devices=N] [--replicate=R] [--shard=auto|off] [--mem-mb=M]
 //   agg convert  <in> <out>                  between .gr / .txt / .agg
 //   agg tune     <graph> [--algo=bfs|sssp]   T3 + sampling-interval sweeps
 //
@@ -357,15 +358,49 @@ int cmd_serve(const agg::Cli& cli) {
   sopts.resilience.max_retries =
       static_cast<std::uint32_t>(cli.get_int("retries", 2));
   sopts.resilience.degrade_to_cpu = cli.get_bool("degrade", true);
-  svc::GraphService service(sopts);
+
+  // Fleet shape. --devices=N serves from N identical simulated devices;
+  // --replicate=R caps replicas per graph (0 = all devices); --shard=off
+  // disables the vertex-cut fallback for over-budget graphs; --mem-mb
+  // shrinks each device's modeled memory (to force sharding in smoke tests).
+  const auto n_devices =
+      static_cast<std::size_t>(cli.get_int("devices", 1));
+  sopts.placement.replication =
+      static_cast<std::uint32_t>(cli.get_int("replicate", 0));
+  const std::string shard_mode = cli.get("shard", "auto");
+  if (shard_mode != "auto" && shard_mode != "off") {
+    std::fprintf(stderr, "unknown --shard '%s' (expect auto|off)\n",
+                 shard_mode.c_str());
+    return 2;
+  }
+  sopts.placement.allow_shard = shard_mode == "auto";
+  simt::DeviceProps props = simt::DeviceProps::fermi_c2070();
+  if (cli.has("mem-mb")) {
+    props.global_mem_bytes =
+        static_cast<std::uint64_t>(cli.get_int("mem-mb", 6144)) << 20;
+  }
+  const auto cluster = simt::ClusterSpec::homogeneous(n_devices, props);
+  svc::GraphService service(sopts, cluster);
   const svc::GraphId gid = service.add_graph(std::move(g));
   const auto& graph = service.graph(gid);
+  std::printf("fleet: %s; placement: %s\n", cluster.summary().c_str(),
+              service.placement(gid).describe().c_str());
   // Installed after add_graph: the resident upload is not subject to faults.
+  // --fault-device=K installs the plan on device K only (default 0, the
+  // historical single-device behavior); --fault-device=all hits every device.
   const simt::FaultPlan fault_plan =
       simt::FaultPlan::parse(cli.get("fault-plan", ""));
   if (!fault_plan.empty()) {
-    service.set_fault_plan(fault_plan);
-    std::printf("fault plan: %s\n", fault_plan.summary().c_str());
+    const std::string fault_dev = cli.get("fault-device", "0");
+    if (fault_dev == "all") {
+      service.set_fault_plan_all(fault_plan);
+    } else {
+      service.set_fault_plan(
+          fault_plan,
+          static_cast<simt::DeviceIndex>(std::stoul(fault_dev)));
+    }
+    std::printf("fault plan: %s (device %s)\n", fault_plan.summary().c_str(),
+                fault_dev.c_str());
   }
 
   agg::Prng prng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
@@ -408,6 +443,8 @@ int cmd_serve(const agg::Cli& cli) {
 
   std::size_t ok = 0, timed_out = 0, rejected = 0, errors = 0, batched = 0;
   std::size_t degraded = 0, retried = 0, cached = 0, collapsed = 0;
+  std::size_t failovers = 0, sharded = 0;
+  std::vector<std::size_t> per_device(service.num_devices(), 0);
   double sum_latency = 0;
   std::uint64_t checksum = 0;  // order-independent: summed per-outcome digests
   for (const auto& out : outcomes) {
@@ -415,6 +452,12 @@ int cmd_serve(const agg::Cli& cli) {
     retried += out.retries > 0;
     cached += out.cached;
     collapsed += out.collapsed;
+    failovers += out.failover;
+    sharded += out.sharded;
+    if (out.status == adaptive::Status::ok && !out.degraded &&
+        out.device < per_device.size()) {
+      ++per_device[out.device];
+    }
     checksum += outcome_checksum(out);
     switch (out.status) {
       case adaptive::Status::ok:
@@ -443,6 +486,17 @@ int cmd_serve(const agg::Cli& cli) {
                 static_cast<unsigned long long>(cstats.hits),
                 static_cast<unsigned long long>(cstats.misses),
                 static_cast<unsigned long long>(cstats.evictions));
+  }
+  if (service.num_devices() > 1 || sharded > 0) {
+    std::printf("  routed:");
+    for (std::size_t d = 0; d < per_device.size(); ++d) {
+      std::printf(" dev%zu=%zu%s", d, per_device[d],
+                  service.device_healthy(
+                      static_cast<simt::DeviceIndex>(d))
+                      ? ""
+                      : "(dead)");
+    }
+    std::printf("; failovers %zu, sharded %zu\n", failovers, sharded);
   }
   if (!fault_plan.empty()) {
     std::printf("  retried on-device %zu, degraded to CPU %zu, device %s\n",
@@ -578,8 +632,14 @@ int main(int argc, char** argv) {
         "               [--no-batch] [--deadline-us=T] [--queue-cap=N] [--seed=S]\n"
         "               [--cache-mb=64] [--no-cache] [--zipf=S] [--hot-fraction=F]\n"
         "               [--fault-plan=SPEC] [--retries=2] [--degrade=true]\n"
+        "               [--devices=1] [--replicate=0] [--shard=auto|off]\n"
+        "               [--mem-mb=M] [--fault-device=0|K|all]\n"
         "               SPEC: seed=N,alloc.p=F,transfer.p=F,kernel.p=F,\n"
         "                     {alloc,transfer,kernel}.at=N,dead.after=N\n"
+        "               --devices=N serves from N simulated devices (graphs\n"
+        "               replicate across them; --shard=auto vertex-cuts a\n"
+        "               graph too big for one device's memory; --mem-mb=M\n"
+        "               overrides each device's modeled memory)\n"
         "               --zipf=S draws sources from a power law (exponent S);\n"
         "               --hot-fraction=F sends F of traffic to 8 hot sources;\n"
         "               --no-cache disables the result cache AND collapsing\n"
