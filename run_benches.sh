@@ -35,6 +35,10 @@ mkdir -p results
         # Archive the result-cache acceptance numbers (warm/cold speedup,
         # hit rates on Zipfian streams) as a diffable artifact.
         "$b" | tee results/BENCH_cache.txt
+      elif [ "$(basename "$b")" = ext_dynamic ]; then
+        # Archive the dynamic-graph acceptance numbers (incremental-patch
+        # vs replace-everything steady-state QPS) as a diffable artifact.
+        "$b" | tee results/BENCH_dynamic.txt
       elif [ "$(basename "$b")" = ext_fleet ]; then
         # Archive the fleet-serving acceptance numbers (replicated makespan
         # scaling, failover, sharded execution) as a diffable artifact.

@@ -21,6 +21,7 @@ Graph::Graph(const Graph& other)
       version_(other.version_),
       stats_(other.stats_),
       symmetric_(other.symmetric_),
+      weight_symmetric_(other.weight_symmetric_),
       symmetrized_(other.symmetrized_),
       csc_(other.csc_) {}
 
@@ -30,6 +31,7 @@ Graph& Graph::operator=(const Graph& other) {
   version_ = other.version_;
   stats_ = other.stats_;
   symmetric_ = other.symmetric_;
+  weight_symmetric_ = other.weight_symmetric_;
   symmetrized_ = other.symmetrized_;
   csc_ = other.csc_;
   // Assignment replaces this object's contents wholesale: it is a new
@@ -72,6 +74,14 @@ bool Graph::is_symmetric() const {
   return *symmetric_;
 }
 
+bool Graph::is_weight_symmetric() const {
+  if (!weight_symmetric_) {
+    weight_symmetric_ =
+        csr_.has_weights() ? graph::is_weight_symmetric(csr_) : is_symmetric();
+  }
+  return *weight_symmetric_;
+}
+
 const graph::Csr& Graph::symmetrized() const {
   if (is_symmetric()) return csr_;
   if (!symmetrized_) symmetrized_ = graph::symmetrize(csr_);
@@ -79,10 +89,12 @@ const graph::Csr& Graph::symmetrized() const {
 }
 
 const graph::Csr& Graph::csc() const {
-  // A structurally symmetric graph is its own transpose only when there are
-  // no weights: is_symmetric() ignores them, and per-arc weights need not
-  // agree between the two arcs of an edge.
-  if (is_symmetric() && !csr_.has_weights()) return csr_;
+  // A structurally symmetric graph is its own transpose only when the
+  // weights agree arc-for-arc too: is_symmetric() ignores weights, and
+  // transposing a weight-asymmetric graph permutes them. The explicit
+  // weighted predicate makes the aliasing decision exact instead of
+  // conservatively copying every weighted graph.
+  if (is_weight_symmetric()) return csr_;
   if (!csc_) csc_ = graph::build_csc(csr_);
   return *csc_;
 }
@@ -93,6 +105,17 @@ void Graph::set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
   ++version_;
   stats_.reset();
   symmetric_.reset();
+  weight_symmetric_.reset();
+  symmetrized_.reset();
+  csc_.reset();
+}
+
+void Graph::apply_delta(const graph::EdgeDelta& delta) {
+  csr_ = graph::apply_delta(csr_, delta);
+  ++version_;
+  stats_.reset();
+  symmetric_.reset();
+  weight_symmetric_.reset();
   symmetrized_.reset();
   csc_.reset();
 }

@@ -16,6 +16,7 @@
 
 #include "graph/builder.h"
 #include "graph/csr.h"
+#include "graph/delta.h"
 #include "graph/graph_stats.h"
 
 namespace adaptive {
@@ -43,8 +44,13 @@ class Graph {
   // Computed lazily on first use and cached.
   const graph::GraphStats& stats() const;
   // True iff every arc has its reverse arc stored (the precondition of
-  // cc()/mst()); computed lazily and cached alongside stats().
+  // cc()/mst()); computed lazily and cached alongside stats(). Structural
+  // only — weights are not consulted (see is_weight_symmetric).
   bool is_symmetric() const;
+  // True iff every arc has its reverse arc stored WITH the same weight;
+  // equals is_symmetric() on unweighted graphs. This is the predicate that
+  // decides whether csc() may alias csr() on weighted graphs.
+  bool is_weight_symmetric() const;
   // The symmetrized CSR (both arcs per edge), computed lazily on first use
   // and cached — repeated cc()/mst() calls pay the O(m) closure once. When
   // the graph is already symmetric this returns csr() itself (no copy).
@@ -77,6 +83,13 @@ class Graph {
   void set_uniform_weights(std::uint32_t lo, std::uint32_t hi,
                            std::uint64_t seed = 2013);
 
+  // Applies a batched edge mutation (graph/delta.h) atomically: the CSR is
+  // replaced by the canonical graph::apply_delta result, version() is
+  // bumped, and every cached derived structure (stats, symmetry flags,
+  // symmetrized closure, CSC) is invalidated. Aborts on an inapplicable
+  // delta — validate with graph::delta_error first for untrusted input.
+  void apply_delta(const graph::EdgeDelta& delta);
+
   void save_binary(const std::string& path) const;
 
  private:
@@ -87,6 +100,7 @@ class Graph {
   std::uint64_t uid_ = next_uid();
   mutable std::optional<graph::GraphStats> stats_;
   mutable std::optional<bool> symmetric_;
+  mutable std::optional<bool> weight_symmetric_;
   mutable std::optional<graph::Csr> symmetrized_;  // empty when symmetric
   mutable std::optional<graph::Csr> csc_;          // empty when symmetric
 };

@@ -169,6 +169,97 @@ GraphId Session::register_graph(const Graph& g) {
   return id;
 }
 
+GraphId Session::register_graph(Graph& g) {
+  const GraphId id = register_graph(static_cast<const Graph&>(g));
+  regs_.at(id).mutable_g = &g;
+  return id;
+}
+
+void Session::mutate_graph(Graph& g, const graph::EdgeDelta& delta) {
+  auto it = by_uid_.find(g.uid());
+  AGG_CHECK_MSG(it != by_uid_.end(), "mutate_graph: graph not registered");
+  mutate_graph(it->second, delta);
+}
+
+void Session::mutate_graph(GraphId id, const graph::EdgeDelta& delta) {
+  auto rit = regs_.find(id);
+  AGG_CHECK_MSG(rit != regs_.end(), "unknown GraphId");
+  Registration& reg = rit->second;
+  AGG_CHECK_MSG(reg.mutable_g != nullptr,
+                "mutate_graph: graph was registered const; use the mutable "
+                "register_graph overload");
+  Graph& g = *reg.mutable_g;
+  const std::string err = graph::delta_error(g.csr(), delta);
+  AGG_CHECK_MSG(err.empty(), err.c_str());
+  if (delta.empty()) return;
+
+  // Old-component view (pre-delta) drives the delta-aware invalidation.
+  if (!reg.inc_cc) reg.inc_cc = graph::IncrementalCc(g.csr());
+  const std::vector<std::uint32_t> affected =
+      svc::affected_components(reg.inc_cc->labels(), delta);
+  std::vector<std::uint32_t> old_labels;
+  if (rcache_.enabled()) old_labels = reg.inc_cc->labels();
+
+  g.apply_delta(delta);
+  reg.inc_cc->apply(g.csr(), delta);
+
+  bump("svc.mutate");
+  bump("svc.mutate.edges", static_cast<double>(delta.num_ops()));
+
+  // Incrementally patch every healthy resident replica; the version written
+  // into the pin stops ensure_fresh from re-uploading wholesale.
+  for (simt::DeviceIndex d = 0; d < fleet_.size(); ++d) {
+    Pin& pin = reg.pins[d];
+    if (!pin.resident || !fleet_.device(d).healthy()) continue;
+    simt::Device& dev = fleet_.device(d);
+    try {
+      const auto ps = pin.dg.patch(dev, g.csr(), pin.with_weights);
+      bump(ps.rebuilt ? "svc.mutate.rebuild" : "svc.mutate.patch");
+      bump("svc.mutate.bytes", static_cast<double>(ps.bytes_sent));
+      pin.version = g.version();
+      if (pin.sym_dg) {
+        // The symmetrized closure is stale; drop it per-structure (cc()
+        // re-derives on demand).
+        pin.sym_dg->release(dev);
+        pin.sym_dg.reset();
+      }
+    } catch (const simt::DeviceFault&) {
+      // A fault mid-patch leaves the replica inconsistent: drop residency;
+      // the next query against this device re-uploads from scratch.
+      release_pin(d, pin);
+    }
+  }
+
+  if (rcache_.enabled()) {
+    const auto res = rcache_.delta_invalidate(
+        id, g.version(), [&](const svc::CacheKey& k) {
+          return svc::entry_survives_delta(k, old_labels, affected);
+        });
+    rcache_versions_[reg.uid] = g.version();
+    if (res.kept > 0) bump("svc.cache.delta_keep", static_cast<double>(res.kept));
+    if (res.dropped > 0) {
+      bump("svc.cache.invalidate", static_cast<double>(res.dropped));
+    }
+    if (trace::active()) {
+      trace::ServiceEvent ev;
+      ev.action = "cache_delta";
+      ev.graph = id;
+      ev.version = g.version();
+      ev.bytes = res.kept;
+      ev.ts_us = fleet_.device(0).now_us();
+      trace::Tracer::instance().service(ev);
+    }
+  }
+}
+
+const graph::IncrementalCc& Session::incremental_cc(GraphId id) {
+  auto it = regs_.find(id);
+  AGG_CHECK_MSG(it != regs_.end(), "unknown GraphId");
+  Registration& reg = it->second;
+  if (!reg.inc_cc) reg.inc_cc = graph::IncrementalCc(reg.g->csr());
+  return *reg.inc_cc;
+}
+
 void Session::unregister_graph(const Graph& g) {
   auto it = by_uid_.find(g.uid());
   if (it == by_uid_.end()) return;

@@ -50,6 +50,7 @@
 
 #include "api/algorithms.h"
 #include "gpu_graph/device_graph.h"
+#include "graph/incremental_cc.h"
 #include "service/result_cache.h"
 #include "simt/cluster.h"
 #include "simt/device.h"
@@ -86,6 +87,10 @@ class Session {
   // destruction. Idempotent: re-registering an already-registered graph
   // refreshes it and returns its existing id.
   GraphId register_graph(const Graph& g);
+  // Mutable registration: identical residency semantics, but additionally
+  // entitles the session to mutate the graph in place via mutate_graph().
+  // Non-const Graph lvalues resolve here automatically.
+  GraphId register_graph(Graph& g);
   void unregister_graph(const Graph& g);
   void unregister_graph(GraphId id);
   bool is_registered(const Graph& g) const;
@@ -106,6 +111,23 @@ class Session {
   // True when the graph is registered and its CSR is currently uploaded on
   // at least one device.
   bool is_resident(const Graph& g) const;
+
+  // ---- mutation (ISSUE 9: dynamic graphs) ----
+  // Applies a batched edge delta to a graph registered via the mutable
+  // register_graph overload: bumps Graph::version(), incrementally patches
+  // every resident device replica (dirty-region transfers; compacting
+  // rebuild when the edge buffer capacity is exceeded) instead of the
+  // re-upload a version mismatch would otherwise trigger, drops the stale
+  // symmetrized closure per-structure, advances the incremental CC state,
+  // and delta-invalidates the result cache — entries whose source component
+  // is untouched by the delta survive under the new version. Aborts on an
+  // inapplicable delta or a const registration.
+  void mutate_graph(GraphId id, const graph::EdgeDelta& delta);
+  void mutate_graph(Graph& g, const graph::EdgeDelta& delta);
+  // The incremental CC labels of a registered graph (initialized lazily on
+  // first use; byte-identical to cpu::connected_components on the current
+  // CSR). Exposed for tests and delta-aware consumers.
+  const graph::IncrementalCc& incremental_cc(GraphId id);
 
   // ---- result cache ----
   // Enables (capacity > 0) or disables (0) the session's query-result cache:
@@ -159,8 +181,14 @@ class Session {
   };
   struct Registration {
     const Graph* g = nullptr;
+    // Non-null only for graphs registered via the mutable overload; gates
+    // mutate_graph.
+    Graph* mutable_g = nullptr;
     std::uint64_t uid = 0;
     std::vector<Pin> pins;  // one per fleet device, ordinal-indexed
+    // Weak-connectivity labels maintained across deltas; constructed on the
+    // first mutate_graph / incremental_cc call.
+    std::optional<graph::IncrementalCc> inc_cc;
   };
   static constexpr simt::DeviceIndex kNoDevice = ~simt::DeviceIndex{0};
 

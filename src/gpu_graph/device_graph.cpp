@@ -33,6 +33,91 @@ DeviceGraph DeviceGraph::upload(simt::Device& dev, const graph::Csr& g,
   return dg;
 }
 
+namespace {
+
+// Re-sends the dirty region of `host` into `buf`. The common prefix is
+// skipped; when logical sizes match the common suffix is skipped too (a
+// net-zero delta leaves the tail in place), otherwise everything from the
+// first mismatch to the new end shifted and must be re-sent. `old_n` is the
+// previous logical element count (buffer capacity may exceed both).
+std::uint64_t patch_array(simt::Device& dev,
+                          simt::DeviceBuffer<std::uint32_t>& buf,
+                          std::span<const std::uint32_t> host,
+                          std::size_t old_n) {
+  const auto view = buf.host_view();
+  const std::size_t common = std::min(old_n, host.size());
+  std::size_t first = 0;
+  while (first < common && view[first] == host[first]) ++first;
+  std::size_t last = host.size();  // one past the last dirty element
+  if (old_n == host.size()) {
+    while (last > first && view[last - 1] == host[last - 1]) --last;
+  }
+  if (first >= last) return 0;
+  dev.memcpy_h2d(buf, host.subspan(first, last - first), first);
+  return (last - first) * sizeof(std::uint32_t);
+}
+
+}  // namespace
+
+DeviceGraph::PatchStats DeviceGraph::patch(simt::Device& dev,
+                                           const graph::Csr& g,
+                                           bool with_weights) {
+  AGG_CHECK(row_offsets.valid() && col_indices.valid());
+  AGG_CHECK(g.num_nodes == num_nodes);
+  AGG_CHECK(with_weights == weights.valid());
+  AGG_CHECK(!with_weights || g.has_weights());
+
+  PatchStats ps;
+  const std::uint64_t m_old = num_edges;
+  const std::uint64_t m_new = g.num_edges();
+  if (m_new > col_indices.size()) {
+    // Compacting rebuild: the overlay outgrew the buffer. Re-allocate with
+    // slack so a steady trickle of inserts amortizes to O(1) reallocations.
+    ps.rebuilt = true;
+    const std::size_t cap =
+        static_cast<std::size_t>(m_new + m_new / 8 + 64);
+    dev.free(col_indices);
+    col_indices = dev.alloc<std::uint32_t>(cap, "csr.col_indices");
+    dev.memcpy_h2d(col_indices, std::span<const std::uint32_t>(g.col_indices));
+    if (with_weights) {
+      dev.free(weights);
+      weights = dev.alloc<std::uint32_t>(cap, "csr.weights");
+      dev.memcpy_h2d(weights, std::span<const std::uint32_t>(g.weights));
+    }
+    dev.memcpy_h2d(row_offsets, std::span<const std::uint32_t>(g.row_offsets));
+    ps.bytes_sent = (g.row_offsets.size() + m_new * (with_weights ? 2 : 1)) *
+                    sizeof(std::uint32_t);
+  } else {
+    ps.bytes_sent += patch_array(
+        dev, row_offsets, std::span<const std::uint32_t>(g.row_offsets),
+        g.row_offsets.size());
+    ps.bytes_sent += patch_array(
+        dev, col_indices, std::span<const std::uint32_t>(g.col_indices),
+        static_cast<std::size_t>(m_old));
+    if (with_weights) {
+      ps.bytes_sent += patch_array(
+          dev, weights, std::span<const std::uint32_t>(g.weights),
+          static_cast<std::size_t>(m_old));
+    }
+  }
+  num_edges = m_new;
+  avg_outdegree = num_nodes > 0 ? static_cast<double>(m_new) /
+                                      static_cast<double>(num_nodes)
+                                : 0.0;
+  double sq = 0.0;
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    const double d = static_cast<double>(g.degree(v)) - avg_outdegree;
+    sq += d * d;
+  }
+  outdeg_stddev =
+      num_nodes > 0 ? std::sqrt(sq / static_cast<double>(num_nodes)) : 0.0;
+  // The CSC view no longer matches; drop it (lazily rebuilt on demand).
+  if (in_row_offsets.valid()) dev.free(in_row_offsets);
+  if (in_col_indices.valid()) dev.free(in_col_indices);
+  if (in_weights.valid()) dev.free(in_weights);
+  return ps;
+}
+
 void DeviceGraph::upload_csc(simt::Device& dev, const graph::Csr& csc,
                              bool with_weights) {
   AGG_CHECK(csc.num_nodes == num_nodes && csc.num_edges() == num_edges);

@@ -28,6 +28,21 @@ struct DeviceGraph {
 
   static DeviceGraph upload(simt::Device& dev, const graph::Csr& g,
                             bool with_weights);
+
+  // Incremental patch toward `g` (the post-delta CSR of the same node set).
+  // Diffs the resident arrays against `g` and re-sends only the dirty
+  // regions; the edge/weight buffers keep capacity slack so small growth
+  // never reallocates (num_edges tracks the logical size). Falls back to a
+  // compacting rebuild — free + slack realloc + full re-upload — when the
+  // new edge count exceeds the buffer capacity. The CSC view is invalidated
+  // per-structure (freed; re-uploaded lazily on the next pull iteration).
+  // Degree statistics are recomputed. Requires a resident CSR with the same
+  // num_nodes and weight mode.
+  struct PatchStats {
+    bool rebuilt = false;
+    std::uint64_t bytes_sent = 0;  // h2d payload of this patch
+  };
+  PatchStats patch(simt::Device& dev, const graph::Csr& g, bool with_weights);
   // Uploads the CSC view (see graph::build_csc); `csc` must describe the
   // same graph as the resident CSR. Idempotent per residency: callers guard
   // with csc_resident().

@@ -1,0 +1,122 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace graph {
+
+std::string delta_error(const Csr& g, const EdgeDelta& d) {
+  if (!d.insert_weights.empty() &&
+      d.insert_weights.size() != d.inserts.size()) {
+    return "insert_weights not parallel to inserts";
+  }
+  if (g.has_weights() && !d.inserts.empty() && d.insert_weights.empty()) {
+    return "weighted graph requires insert_weights";
+  }
+  if (!g.has_weights() && !d.insert_weights.empty()) {
+    return "insert_weights on unweighted graph";
+  }
+  for (const Edge& e : d.inserts) {
+    if (e.src >= g.num_nodes || e.dst >= g.num_nodes) {
+      return "insert endpoint out of range";
+    }
+  }
+  for (const Edge& e : d.deletes) {
+    if (e.src >= g.num_nodes || e.dst >= g.num_nodes) {
+      return "delete endpoint out of range";
+    }
+  }
+  // Every delete must match a distinct arc: per (src,dst) pair the delete
+  // count may not exceed the arc multiplicity in g.
+  std::vector<std::pair<NodeId, NodeId>> want;
+  want.reserve(d.deletes.size());
+  for (const Edge& e : d.deletes) want.emplace_back(e.src, e.dst);
+  std::sort(want.begin(), want.end());
+  for (std::size_t i = 0; i < want.size();) {
+    std::size_t j = i;
+    while (j < want.size() && want[j] == want[i]) ++j;
+    std::uint64_t have = 0;
+    for (const NodeId t : g.neighbors(want[i].first)) {
+      have += (t == want[i].second) ? 1 : 0;
+    }
+    if (have < j - i) return "delete of missing arc";
+    i = j;
+  }
+  return "";
+}
+
+Csr apply_delta(const Csr& g, const EdgeDelta& d) {
+  const std::string err = delta_error(g, d);
+  AGG_CHECK_MSG(err.empty(), err.c_str());
+
+  const std::uint32_t n = g.num_nodes;
+  const bool weighted = g.has_weights();
+
+  // Mark deleted positions: each delete claims the first unclaimed arc of
+  // its row with a matching target.
+  std::vector<std::uint8_t> dead(g.col_indices.size(), 0);
+  for (const Edge& e : d.deletes) {
+    const std::uint32_t lo = g.row_offsets[e.src];
+    const std::uint32_t hi = g.row_offsets[e.src + 1];
+    for (std::uint32_t p = lo; p < hi; ++p) {
+      if (!dead[p] && g.col_indices[p] == e.dst) {
+        dead[p] = 1;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> ins_count(n, 0);
+  for (const Edge& e : d.inserts) ++ins_count[e.src];
+
+  Csr out;
+  out.num_nodes = n;
+  out.row_offsets.assign(n + 1, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t deg = ins_count[u];
+    for (std::uint32_t p = g.row_offsets[u]; p < g.row_offsets[u + 1]; ++p) {
+      deg += dead[p] ? 0 : 1;
+    }
+    out.row_offsets[u + 1] = out.row_offsets[u] + deg;
+  }
+  out.col_indices.resize(out.row_offsets[n]);
+  if (weighted) out.weights.resize(out.row_offsets[n]);
+
+  // Survivors first (original relative order), inserts appended per row in
+  // delta order.
+  std::vector<std::uint32_t> cursor(out.row_offsets.begin(),
+                                    out.row_offsets.end() - 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t p = g.row_offsets[u]; p < g.row_offsets[u + 1]; ++p) {
+      if (dead[p]) continue;
+      out.col_indices[cursor[u]] = g.col_indices[p];
+      if (weighted) out.weights[cursor[u]] = g.weights[p];
+      ++cursor[u];
+    }
+  }
+  for (std::size_t i = 0; i < d.inserts.size(); ++i) {
+    const Edge& e = d.inserts[i];
+    out.col_indices[cursor[e.src]] = e.dst;
+    if (weighted) out.weights[cursor[e.src]] = d.insert_weights[i];
+    ++cursor[e.src];
+  }
+  return out;
+}
+
+std::vector<NodeId> delta_touched_nodes(const EdgeDelta& d) {
+  std::vector<NodeId> touched;
+  touched.reserve(2 * (d.inserts.size() + d.deletes.size()));
+  for (const Edge& e : d.inserts) {
+    touched.push_back(e.src);
+    touched.push_back(e.dst);
+  }
+  for (const Edge& e : d.deletes) {
+    touched.push_back(e.src);
+    touched.push_back(e.dst);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+}  // namespace graph

@@ -1,0 +1,49 @@
+// Batched graph mutations (ROADMAP "Dynamic graphs").
+//
+// An EdgeDelta is an ordered batch of arc inserts and deletes applied
+// atomically to a Csr. apply_delta defines the canonical post-mutation
+// layout that every consumer (host rebuild, incremental device patch,
+// incremental CC) must reproduce byte-for-byte:
+//   - per source row: surviving old arcs keep their original relative
+//     order, then that row's inserts are appended in delta order;
+//   - each delete removes the first not-yet-deleted arc of its row with
+//     a matching target (multiplicity counted; weights are not consulted
+//     when matching, mirroring is_symmetric's structural semantics).
+//
+// Deltas never add or remove nodes: the node set is fixed at build time
+// (serving-layer placement and device buffers are sized by num_nodes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace graph {
+
+struct EdgeDelta {
+  std::vector<Edge> inserts;
+  // Empty (unweighted target) or parallel to `inserts`.
+  std::vector<std::uint32_t> insert_weights;
+  std::vector<Edge> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  std::uint64_t num_ops() const { return inserts.size() + deletes.size(); }
+};
+
+// Empty string when `d` can be applied to `g`: all endpoints in range,
+// insert weights parallel iff g is weighted, and every delete matches a
+// distinct arc of g. Non-aborting, for untrusted (service) input.
+std::string delta_error(const Csr& g, const EdgeDelta& d);
+
+// Applies `d` to `g` and returns the canonical post-mutation CSR.
+// Aborts if delta_error(g, d) is non-empty.
+Csr apply_delta(const Csr& g, const EdgeDelta& d);
+
+// The endpoints touched by `d` (sources and targets of both inserts and
+// deletes), deduplicated and sorted: the seed set for affected-region
+// recomputation and delta-aware cache invalidation.
+std::vector<NodeId> delta_touched_nodes(const EdgeDelta& d);
+
+}  // namespace graph

@@ -1,0 +1,94 @@
+#include "graph/incremental_cc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graph {
+
+IncrementalCc::IncrementalCc(const Csr& g)
+    : parent_(g.num_nodes), rank_(g.num_nodes, 0) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    for (const NodeId t : g.neighbors(v)) unite(v, t);
+  }
+  normalize();
+}
+
+std::uint32_t IncrementalCc::find(std::uint32_t v) {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+void IncrementalCc::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+}
+
+void IncrementalCc::apply(const Csr& g_new, const EdgeDelta& d) {
+  AGG_CHECK_MSG(g_new.num_nodes == parent_.size(),
+                "IncrementalCc: node count changed");
+  last_nodes_rescanned_ = 0;
+  last_edges_rescanned_ = 0;
+
+  if (!d.deletes.empty()) {
+    // Old components touched by a deleted arc. Both endpoints of a deleted
+    // arc carried the same old label (the arc existed), but take both for
+    // robustness.
+    std::vector<std::uint32_t> affected;
+    affected.reserve(2 * d.deletes.size());
+    for (const Edge& e : d.deletes) {
+      affected.push_back(labels_[e.src]);
+      affected.push_back(labels_[e.dst]);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+
+    const auto is_affected = [&](std::uint32_t v) {
+      return std::binary_search(affected.begin(), affected.end(), labels_[v]);
+    };
+    // Reset the affected region, then rebuild it from the post-delta rows
+    // of its members. Arcs into the region from outside are necessarily
+    // batch inserts (old arcs never cross the old-component boundary) and
+    // are unioned below with the rest of the inserts.
+    for (std::uint32_t v = 0; v < g_new.num_nodes; ++v) {
+      if (!is_affected(v)) continue;
+      parent_[v] = v;
+      rank_[v] = 0;
+    }
+    for (std::uint32_t v = 0; v < g_new.num_nodes; ++v) {
+      if (!is_affected(v)) continue;
+      ++last_nodes_rescanned_;
+      for (const NodeId t : g_new.neighbors(v)) {
+        unite(v, t);
+        ++last_edges_rescanned_;
+      }
+    }
+  }
+  for (const Edge& e : d.inserts) unite(e.src, e.dst);
+  last_edges_rescanned_ += d.inserts.size();
+  normalize();
+}
+
+void IncrementalCc::normalize() {
+  const std::uint32_t n = static_cast<std::uint32_t>(parent_.size());
+  labels_.assign(n, kInfinity);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t root = find(v);
+    labels_[root] = std::min(labels_[root], v);
+  }
+  num_components_ = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    labels_[v] = labels_[find(v)];
+    if (labels_[v] == v) ++num_components_;
+  }
+}
+
+}  // namespace graph

@@ -1,0 +1,68 @@
+// Incremental connected components over a mutating arc set, in the spirit
+// of the static+incremental connectivity design space of Hong et al.
+// (PAPERS.md): a persistent union-find absorbs edge inserts as plain
+// unions, while a batch containing deletes re-unions only the affected
+// region — the members of the old components touched by a deleted arc.
+//
+// Labels are weak-connectivity components normalized exactly like
+// cpu::connected_components (smallest member id per component), so the
+// incremental state is byte-identical to a from-scratch run at every
+// step: normalization is a pure function of the partition, and the
+// affected-region argument below shows the partition itself is exact.
+//
+// Why resetting only affected nodes is sound:
+//  - every pre-delta arc joins two nodes of the same old weak component,
+//    so "old component is affected" is closed under pre-delta arcs;
+//  - union-find parent chains never leave a component, so unaffected
+//    nodes' chains survive the reset untouched;
+//  - every post-delta arc with an affected endpoint is either an old arc
+//    out of an affected node (rescanned) or a batch insert (re-unioned),
+//    so no connectivity is missed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/delta.h"
+
+namespace graph {
+
+class IncrementalCc {
+ public:
+  IncrementalCc() = default;
+  // Builds the initial state from g (one full union-find pass).
+  explicit IncrementalCc(const Csr& g);
+
+  // Applies `d`, where `g_new` is the post-delta CSR (callers run
+  // apply_delta first). Insert-only batches are pure unions; batches with
+  // deletes reset and rescan the affected region only.
+  void apply(const Csr& g_new, const EdgeDelta& d);
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+  // Smallest-member-id label per node, byte-identical to
+  // cpu::connected_components(g).component on the current graph.
+  const std::vector<std::uint32_t>& labels() const { return labels_; }
+  std::uint32_t num_components() const { return num_components_; }
+
+  // Work done by the last apply(), for tests and benches: nodes whose
+  // union-find state was rebuilt and arcs rescanned while doing so.
+  std::uint64_t last_nodes_rescanned() const { return last_nodes_rescanned_; }
+  std::uint64_t last_edges_rescanned() const { return last_edges_rescanned_; }
+
+ private:
+  std::uint32_t find(std::uint32_t v);
+  void unite(std::uint32_t a, std::uint32_t b);
+  void normalize();
+
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::vector<std::uint32_t> labels_;
+  std::uint32_t num_components_ = 0;
+  std::uint64_t last_nodes_rescanned_ = 0;
+  std::uint64_t last_edges_rescanned_ = 0;
+};
+
+}  // namespace graph

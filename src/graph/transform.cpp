@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <tuple>
 
 namespace graph {
 
@@ -15,6 +16,28 @@ bool is_symmetric(const Csr& g) {
       if (v == t) continue;  // self loops are their own reverse
       const auto key = std::minmax(v, t);
       balance[{key.first, key.second}] += v < t ? 1 : -1;
+    }
+  }
+  for (const auto& [key, count] : balance) {
+    if (count != 0) return false;
+  }
+  return true;
+}
+
+bool is_weight_symmetric(const Csr& g) {
+  if (!g.has_weights()) return is_symmetric(g);
+  // Same balance trick, but the key carries the weight: (u,v,w) must be
+  // matched by (v,u,w), multiplicity counted. Self loops pair with
+  // themselves.
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>, std::int64_t> balance;
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId t = nbrs[i];
+      if (v == t) continue;
+      const std::uint32_t w = g.weights[g.row_offsets[v] + i];
+      const auto key = std::minmax(v, t);
+      balance[{key.first, key.second, w}] += v < t ? 1 : -1;
     }
   }
   for (const auto& [key, count] : balance) {

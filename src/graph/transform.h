@@ -10,8 +10,17 @@
 namespace graph {
 
 // True iff for every arc (u,v) the reverse arc (v,u) exists (multiplicity
-// counted): the precondition of connected components.
+// counted): the precondition of connected components. Weights are NOT
+// consulted — a structurally symmetric graph may still carry asymmetric
+// weights; use is_weight_symmetric when the weighted view matters.
 bool is_symmetric(const Csr& g);
+
+// True iff for every arc (u,v) with weight w the reverse arc (v,u) exists
+// with the SAME weight (multiplicity counted). Equals is_symmetric on
+// unweighted graphs. This is the predicate that decides whether a weighted
+// CSR may alias its CSC: transposing a weight-asymmetric graph permutes
+// weights even when the structure is symmetric (PR 6 follow-up).
+bool is_weight_symmetric(const Csr& g);
 
 struct RelabeledGraph {
   Csr csr;

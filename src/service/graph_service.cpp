@@ -157,6 +157,39 @@ std::optional<QueryId> GraphService::submit(QueryRequest req) {
   return queue_.back().id;
 }
 
+std::optional<QueryId> GraphService::submit_mutation(GraphId graph,
+                                                     graph::EdgeDelta delta) {
+  AGG_CHECK(graph < graphs_.size());
+  if (queue_.size() >= opts_.queue_capacity) {
+    QueryOutcome out;
+    out.id = next_id_++;
+    out.graph = graph;
+    out.mutation = true;
+    out.status = adaptive::Status::rejected;
+    out.error = "queue full";
+    out.code = adaptive::ErrorCode::queue_full;
+    out.submit_us = fleet_.makespan_us();
+    done_.push_back(std::move(out));
+    bump("svc.rejected");
+    return std::nullopt;
+  }
+  PendingQuery q;
+  q.id = next_id_++;
+  q.req.graph = graph;
+  q.mutation = std::move(delta);
+  q.submit_us = fleet_.makespan_us();
+  queue_.push_back(std::move(q));
+  bump("svc.queued");
+  return queue_.back().id;
+}
+
+const graph::IncrementalCc& GraphService::incremental_cc(GraphId id) {
+  AGG_CHECK(id < graphs_.size());
+  GraphEntry& entry = *graphs_[id];
+  if (!entry.inc_cc) entry.inc_cc = graph::IncrementalCc(entry.g.csr());
+  return *entry.inc_cc;
+}
+
 simt::StreamId GraphService::pick_stream(simt::DeviceIndex device) const {
   const simt::Device& dev = fleet_.device(device);
   const std::vector<simt::StreamId>& pool = streams_[device];
@@ -213,7 +246,8 @@ GraphService::Route GraphService::route_query(const GraphEntry& entry) const {
 }
 
 bool GraphService::batchable(const PendingQuery& a, const PendingQuery& b) const {
-  return a.req.algo == Algo::bfs && b.req.algo == Algo::bfs &&
+  return !a.mutation && !b.mutation &&
+         a.req.algo == Algo::bfs && b.req.algo == Algo::bfs &&
          a.req.graph == b.req.graph &&
          a.req.policy.mode == b.req.policy.mode &&
          a.req.policy.mode != adaptive::Policy::Mode::cpu_serial &&
@@ -309,6 +343,15 @@ void GraphService::store_result(const PendingQuery& q, const Payload& payload) {
 
 std::vector<QueryOutcome> GraphService::drain() {
   while (!queue_.empty()) {
+    // Mutations execute strictly in admission order: everything ahead of
+    // one in the FIFO has already run against the old version by the time
+    // it applies, everything behind it sees the new version.
+    if (queue_.front().mutation) {
+      PendingQuery q = std::move(queue_.front());
+      queue_.pop_front();
+      execute_mutation(std::move(q));
+      continue;
+    }
     // Sharded entries never batch: their BSP executor has no fused
     // multi-source path (queries run whole-fleet supersteps instead).
     const bool front_replicated =
@@ -347,6 +390,14 @@ void GraphService::execute_query(PendingQuery q) {
   if (opts_.collapse && cache_servable(q.req)) {
     const CacheKey key = key_for(q.req);
     for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->mutation) {
+        // A pending mutation of the same graph is a version barrier: keys
+        // are computed against the current version, so a query behind it
+        // must not collapse onto this pre-mutation execution.
+        if (it->req.graph == q.req.graph) break;
+        ++it;
+        continue;
+      }
       if (cache_servable(it->req) && key_for(it->req) == key) {
         followers.push_back(std::move(*it));
         it = queue_.erase(it);
@@ -595,6 +646,184 @@ void GraphService::execute_single(PendingQuery q) {
     bump("svc.completed");
   }
   done_.push_back(std::move(out));
+}
+
+void GraphService::execute_mutation(PendingQuery q) {
+  QueryOutcome out = make_outcome(q);
+  out.mutation = true;
+  GraphEntry& entry = *graphs_[q.req.graph];
+  const graph::EdgeDelta& delta = *q.mutation;
+
+  const std::string err = graph::delta_error(entry.g.csr(), delta);
+  if (!err.empty()) {
+    // The graph is untouched: an inapplicable delta is the caller's bug and
+    // must not leave host/device state out of sync.
+    out.status = adaptive::Status::error;
+    out.error = "inapplicable delta: " + err;
+    out.code = adaptive::ErrorCode::invalid_argument;
+    done_.push_back(std::move(out));
+    bump("svc.completed");
+    return;
+  }
+  const double start = std::max(host_ready_us_, q.submit_us);
+  if (delta.empty()) {
+    out.start_us = start;
+    out.finish_us = start;
+    done_.push_back(std::move(out));
+    bump("svc.completed");
+    return;
+  }
+
+  bump("svc.mutate");
+  bump("svc.mutate.edges", static_cast<double>(delta.num_ops()));
+
+  // Snapshot the pre-delta component labels: the cache keep-test below is
+  // defined entirely in terms of the OLD partition.
+  if (!entry.inc_cc) entry.inc_cc = graph::IncrementalCc(entry.g.csr());
+  std::vector<std::uint32_t> old_labels;
+  std::vector<std::uint32_t> affected;
+  if (cache_.enabled()) {
+    old_labels.assign(entry.inc_cc->labels().begin(),
+                      entry.inc_cc->labels().end());
+    affected = affected_components(old_labels, delta);
+  }
+
+  // Host-side apply + incremental CC update, charged to the modeled host
+  // timeline (the same single-core line degraded queries and cache hits
+  // use): proportional to the delta plus the CC rescan it forced.
+  entry.g.apply_delta(delta);
+  entry.inc_cc->apply(entry.g.csr(), delta);
+  const std::size_t host_bytes =
+      delta.num_ops() * 16 + entry.inc_cc->last_edges_rescanned() * 8;
+  host_ready_us_ = start + opts_.cache_cost.hit_us(host_bytes);
+  out.start_us = start;
+  double finish = host_ready_us_;
+
+  if (entry.plan.replicated()) {
+    // Patch every healthy replica in place. The patch transfer is ordered
+    // after everything already issued on the device (max over the stream
+    // pool): a dispatched pre-mutation query may still be reading the very
+    // buffers the patch overwrites. Post-mutation queries in turn start
+    // after the patch on every stream.
+    std::vector<std::size_t> dead;
+    for (std::size_t ri = 0; ri < entry.replicas.size(); ++ri) {
+      Replica& rep = entry.replicas[ri];
+      simt::Device& dev = fleet_.device(rep.device);
+      if (!dev.healthy()) continue;
+      double barrier = host_ready_us_;
+      for (const simt::StreamId s : streams_[rep.device]) {
+        barrier = std::max(barrier, dev.stream_ready_us(s));
+      }
+      const simt::StreamId s0 = streams_[rep.device].front();
+      {
+        simt::StreamGuard sguard(dev, s0);
+        const double r0 = dev.stream_ready_us(s0);
+        if (barrier > r0) dev.account_host_compute(barrier - r0);
+        try {
+          const gg::DeviceGraph::PatchStats ps =
+              rep.dg.patch(dev, entry.g.csr(), entry.g.is_weighted());
+          out.rebuilt = out.rebuilt || ps.rebuilt;
+          bump(ps.rebuilt ? "svc.mutate.rebuild" : "svc.mutate.patch");
+          bump("svc.mutate.bytes", static_cast<double>(ps.bytes_sent));
+          if (rep.sym_dg) {
+            // The symmetrized closure is a derived structure; drop it and
+            // let the next cc query re-derive it from the new CSR.
+            rep.sym_dg->release(dev);
+            rep.sym_dg.reset();
+          }
+        } catch (const simt::DeviceFault&) {
+          // The replica's device copy may be half-patched: release it and
+          // re-upload from scratch; if the device cannot even hold a fresh
+          // copy, drop the replica (routing skips it from now on).
+          bump("svc.fault");
+          rep.dg.release(dev);
+          if (rep.sym_dg) {
+            rep.sym_dg->release(dev);
+            rep.sym_dg.reset();
+          }
+          const std::uint64_t mark = dev.mem_mark();
+          try {
+            rep.dg = gg::DeviceGraph::upload(dev, entry.g.csr(),
+                                             entry.g.is_weighted());
+            out.rebuilt = true;
+            bump("svc.mutate.reupload");
+          } catch (const simt::DeviceFault&) {
+            dev.mem_reclaim(mark);
+            dead.push_back(ri);
+          }
+        }
+      }
+      // Make the patch a barrier for the rest of the pool: subsequent
+      // queries on any stream must observe the new CSR.
+      const double patched = dev.stream_ready_us(s0);
+      for (const simt::StreamId s : streams_[rep.device]) {
+        if (s == s0) continue;
+        const double r = dev.stream_ready_us(s);
+        if (patched > r) {
+          simt::StreamGuard sguard(dev, s);
+          dev.account_host_compute(patched - r);
+        }
+      }
+      finish = std::max(finish, patched);
+    }
+    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+      entry.replicas.erase(entry.replicas.begin() +
+                           static_cast<std::ptrdiff_t>(*it));
+    }
+  } else {
+    // Sharded placements have no incremental patch path (shard boundaries
+    // move with the edge distribution): compacting re-place. The upload
+    // generation stays — the version bump already retires stale keys, and
+    // placement does not change answers.
+    release_graph(entry);
+    place_graph(entry);
+    out.rebuilt = true;
+    bump("svc.mutate.reshard");
+    if (entry.sharded) {
+      for (const Shard& sh : entry.sharded->shards) {
+        finish = std::max(finish, fleet_.device(sh.device).now_us());
+      }
+    }
+  }
+
+  // Delta-aware cache invalidation: survivors are re-keyed to the new
+  // version so post-mutation repeats still hit.
+  if (cache_.enabled()) {
+    const std::uint64_t new_version = (entry.gen << 32) ^ entry.g.version();
+    const auto res = cache_.delta_invalidate(
+        q.req.graph, new_version, [&](const CacheKey& k) {
+          return entry_survives_delta(k, old_labels, affected);
+        });
+    if (res.kept > 0) bump("svc.cache.delta_keep", static_cast<double>(res.kept));
+    if (res.dropped > 0) {
+      bump("svc.cache.invalidate", static_cast<double>(res.dropped));
+    }
+    gauge_max("svc.cache.bytes", static_cast<double>(cache_.bytes_in_use()));
+    if (trace::active()) {
+      trace::ServiceEvent ev;
+      ev.action = "cache_delta";
+      ev.graph = q.req.graph;
+      ev.version = new_version;
+      ev.query = q.id;
+      ev.bytes = res.kept;  // survivors; dropped bytes already released
+      ev.ts_us = finish;
+      trace::Tracer::instance().service(ev);
+    }
+  }
+
+  if (trace::active()) {
+    trace::ServiceEvent ev;
+    ev.action = "mutate";
+    ev.graph = q.req.graph;
+    ev.version = (entry.gen << 32) ^ entry.g.version();
+    ev.query = q.id;
+    ev.bytes = delta.num_ops();
+    ev.ts_us = finish;
+    trace::Tracer::instance().service(ev);
+  }
+  out.finish_us = finish;
+  done_.push_back(std::move(out));
+  bump("svc.completed");
 }
 
 void GraphService::execute_sharded(PendingQuery q, GraphEntry& entry,

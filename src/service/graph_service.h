@@ -69,6 +69,7 @@
 #include "api/algorithms.h"
 #include "api/graph_api.h"
 #include "gpu_graph/device_graph.h"
+#include "graph/incremental_cc.h"
 #include "service/placement.h"
 #include "service/resilience.h"
 #include "service/result_cache.h"
@@ -105,6 +106,8 @@ struct QueryOutcome {
   adaptive::ErrorCode code = adaptive::ErrorCode::none;  // typed cause
   std::uint32_t retries = 0;     // on-device re-executions after faults
   bool degraded = false;         // answered by the serial CPU oracle
+  bool mutation = false;         // a submit_mutation item, not a query
+  bool rebuilt = false;          // mutation fell back to a compacting rebuild
   bool cached = false;           // answered from the result cache
   bool collapsed = false;        // attached to an identical in-flight query
   QueryId collapsed_into = 0;    // the leader execution (when collapsed)
@@ -214,6 +217,25 @@ class GraphService {
   // pending queue is full (a rejected outcome is still recorded for drain()).
   std::optional<QueryId> submit(QueryRequest req);
 
+  // Enqueues a batched graph mutation (ISSUE 9: dynamic graphs). Mutations
+  // share the FIFO queue with queries, so ordering on the modeled timeline
+  // is exact: queries admitted before the mutation answer against the old
+  // version, queries after it against the new one. Execution validates the
+  // delta (an inapplicable one yields an invalid_argument outcome, the
+  // graph untouched), applies it to the owned Graph, incrementally patches
+  // every healthy replica behind a per-device stream barrier (sharded
+  // placements re-place wholesale), advances the incremental CC labels, and
+  // delta-invalidates the cache — entries whose source component the delta
+  // does not touch survive re-keyed to the new version
+  // (svc.cache.delta_keep). Admission control applies as for submit().
+  std::optional<QueryId> submit_mutation(GraphId graph,
+                                         graph::EdgeDelta delta);
+
+  // The incremental CC labels of `id`'s current graph (built lazily;
+  // byte-identical to a from-scratch cpu::connected_components). Exposed
+  // for tests and delta-aware consumers.
+  const graph::IncrementalCc& incremental_cc(GraphId id);
+
   // Runs every pending query to completion (FIFO dispatch, batching, cache
   // lookup, collapsing, routing, stream placement) and returns all outcomes
   // produced since the last drain — including immediate rejections — in
@@ -233,6 +255,11 @@ class GraphService {
     QueryId id = 0;
     QueryRequest req;
     double submit_us = 0;
+    // Set for submit_mutation items: req.graph is the target, req.algo is
+    // meaningless. Mutations act as version barriers in the queue — they
+    // never batch or collapse, and queries behind one neither collapse onto
+    // nor batch with queries ahead of it for the same graph.
+    std::optional<graph::EdgeDelta> mutation;
   };
   // One device-resident copy of a replicated graph.
   struct Replica {
@@ -249,6 +276,8 @@ class GraphService {
     PlacementPlan plan;
     std::vector<Replica> replicas;       // replicated placement
     std::optional<ShardedGraph> sharded; // sharded placement
+    // Weak-connectivity labels maintained across deltas (lazily built).
+    std::optional<graph::IncrementalCc> inc_cc;
     GraphEntry(adaptive::Graph graph) : g(std::move(graph)) {}
   };
   // A routed dispatch slot: the chosen replica device and stream.
@@ -273,6 +302,10 @@ class GraphService {
   bool batchable(const PendingQuery& a, const PendingQuery& b) const;
   // Collapses identical pending queries onto q's execution, then runs q.
   void execute_query(PendingQuery q);
+  // Applies a queued mutation: host delta apply + incremental CC update on
+  // the modeled host timeline, per-replica device patch behind a stream
+  // barrier, delta-aware cache invalidation.
+  void execute_mutation(PendingQuery q);
   void execute_single(PendingQuery q);
   void execute_bfs_batch(std::vector<PendingQuery> batch);
   // Sharded BSP execution (BFS/CC on-device, SSSP/PageRank via the oracle).

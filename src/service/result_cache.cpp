@@ -1,5 +1,7 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
+
 #include "gpu_graph/metrics.h"
 #include "gpu_graph/variant.h"
 
@@ -130,6 +132,31 @@ CacheKey make_cache_key(std::uint64_t graph_key, std::uint64_t version,
   }
   key.policy_sig = policy_signature(policy);
   return key;
+}
+
+std::vector<std::uint32_t> affected_components(
+    std::span<const std::uint32_t> old_labels, const graph::EdgeDelta& delta) {
+  std::vector<std::uint32_t> affected;
+  affected.reserve(2 * delta.num_ops());
+  for (const graph::NodeId v : graph::delta_touched_nodes(delta)) {
+    if (v < old_labels.size()) affected.push_back(old_labels[v]);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
+bool entry_survives_delta(const CacheKey& key,
+                          std::span<const std::uint32_t> old_labels,
+                          std::span<const std::uint32_t> affected_sorted) {
+  if (affected_sorted.empty()) return true;  // empty delta changes nothing
+  const Algo algo = static_cast<Algo>(key.algo);
+  // cc and pagerank are whole-graph answers: any arc change can move them.
+  if (algo != Algo::bfs && algo != Algo::sssp) return false;
+  if (key.source >= old_labels.size()) return false;
+  return !std::binary_search(affected_sorted.begin(), affected_sorted.end(),
+                             old_labels[key.source]);
 }
 
 }  // namespace svc

@@ -35,12 +35,14 @@
 #include <cstdint>
 #include <cstring>
 #include <list>
+#include <span>
 #include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "api/algorithms.h"
 #include "graph/csr.h"
+#include "graph/delta.h"
 
 namespace svc {
 
@@ -82,6 +84,23 @@ CacheKey make_cache_key(std::uint64_t graph_key, std::uint64_t version,
                         Algo algo, graph::NodeId source, double damping,
                         const adaptive::Policy& policy);
 
+// ---- delta-aware invalidation predicate (ISSUE 9) ----
+// The old-component labels touched by a delta: labels of every insert and
+// delete endpoint, sorted and deduplicated. `old_labels` are the weak
+// connectivity labels of the graph BEFORE the delta (graph::IncrementalCc).
+std::vector<std::uint32_t> affected_components(
+    std::span<const std::uint32_t> old_labels, const graph::EdgeDelta& delta);
+
+// Conservative per-component survival test: a BFS/SSSP answer from source s
+// is provably unchanged when no delta endpoint lies in s's old weak
+// component — directed reachability from s is contained in that component,
+// and a kept entry also implies no insert attaches to it, so every path
+// from s runs over unchanged arcs. Global answers (cc, pagerank) never
+// survive a non-empty delta.
+bool entry_survives_delta(const CacheKey& key,
+                          std::span<const std::uint32_t> old_labels,
+                          std::span<const std::uint32_t> affected_sorted);
+
 // Modeled cost of serving a hit: one index probe plus copying the payload
 // out of the cache at host memcpy bandwidth.
 struct CacheCostModel {
@@ -101,6 +120,8 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t invalidations = 0;  // entries dropped by invalidate_graph()
   std::uint64_t rejected = 0;       // single value larger than capacity
+  std::uint64_t delta_kept = 0;     // entries carried across a delta_invalidate
+  std::uint64_t delta_dropped = 0;  // entries evicted by delta_invalidate
 };
 
 // Byte-capacity-bounded LRU, templated on the stored value so tests can
@@ -183,6 +204,47 @@ class ResultCache {
     }
     stats_.invalidations += dropped;
     return dropped;
+  }
+
+  // Delta-aware invalidation (ISSUE 9): after a batched mutation of
+  // `graph_key`, drops only the entries `keep` rejects and re-keys the
+  // survivors to `new_version` so post-mutation lookups (which use the new
+  // version) still hit them. `keep` receives each entry's key and must be
+  // conservative: keep only answers provably unchanged by the delta (the
+  // service passes a per-component reachability test built on incremental
+  // CC labels). LRU order and recency are preserved across the re-key.
+  // Returns {kept, dropped}.
+  struct DeltaInvalidateResult {
+    std::size_t kept = 0;
+    std::size_t dropped = 0;
+  };
+  template <typename KeepFn>
+  DeltaInvalidateResult delta_invalidate(std::uint64_t graph_key,
+                                         std::uint64_t new_version,
+                                         KeepFn&& keep) {
+    DeltaInvalidateResult r;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.graph_key != graph_key) {
+        ++it;
+        continue;
+      }
+      if (keep(static_cast<const CacheKey&>(it->key))) {
+        index_.erase(it->key);
+        it->key.version = new_version;
+        index_[it->key] = it;
+        ++r.kept;
+        ++it;
+      } else {
+        bytes_ -= it->bytes;
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++r.dropped;
+      }
+    }
+    stats_.delta_kept += r.kept;
+    stats_.delta_dropped += r.dropped;
+    stats_.invalidations += r.dropped;
+    return r;
   }
 
   void clear() {

@@ -110,6 +110,19 @@ class Device {
     account_transfer(src.size_bytes(), /*to_device=*/true);
   }
 
+  // Partial upload into [offset, offset + src.size()): the dirty-region
+  // transfer of the incremental graph patch path. Charged for src bytes
+  // only (one PCIe op), not the whole buffer.
+  template <typename T>
+  void memcpy_h2d(DeviceBuffer<T>& dst, std::span<const T> src,
+                  std::size_t offset) {
+    if (fault_armed_) check_fault(FaultKind::transfer, "memcpy.h2d");
+    AGG_CHECK(offset + src.size() <= dst.size());
+    std::copy(src.begin(), src.end(),
+              dst.host_view().begin() + static_cast<std::ptrdiff_t>(offset));
+    account_transfer(src.size_bytes(), /*to_device=*/true);
+  }
+
   template <typename T>
   void memcpy_d2h(std::span<T> dst, const DeviceBuffer<T>& src) {
     if (fault_armed_) check_fault(FaultKind::transfer, "memcpy.d2h");

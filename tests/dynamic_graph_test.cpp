@@ -1,0 +1,294 @@
+// Dynamic graphs (ISSUE 9): randomized metamorphic coverage of the batched
+// mutation path over the shared conformance corpus.
+//
+//   - graph::apply_delta vs. a naive per-row reference rebuild (canonical
+//     post-mutation layout, byte-for-byte);
+//   - graph::IncrementalCc vs. from-scratch cpu::connected_components after
+//     every delta of a randomized sequence (labels byte-identical);
+//   - Session::mutate_graph: post-mutation queries equal fresh-session
+//     oracles, device replicas are patched (dirty-region transfer bytes,
+//     not a full re-upload), and results are identical at --sim-threads
+//     1, 4 and the default pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "api/session.h"
+#include "common/prng.h"
+#include "conformance_corpus.h"
+#include "cpu/bfs_serial.h"
+#include "cpu/cc_serial.h"
+#include "graph/delta.h"
+#include "graph/incremental_cc.h"
+#include "simt/exec_pool.h"
+
+namespace {
+
+// Deterministic random delta against `g`: ~half deletes of existing arcs
+// (each arc position at most once, so multiplicity stays applicable), the
+// rest random-endpoint inserts; weighted iff `g` is.
+graph::EdgeDelta random_delta(agg::Prng& prng, const graph::Csr& g,
+                              std::size_t ops) {
+  graph::EdgeDelta d;
+  if (g.num_nodes == 0) return d;
+  std::vector<std::uint64_t> chosen;
+  for (std::size_t i = 0; i < ops; ++i) {
+    bool del = prng.bernoulli(0.5) && g.num_edges() > 0;
+    if (del) {
+      const std::uint64_t e = prng.bounded(g.num_edges());
+      if (std::find(chosen.begin(), chosen.end(), e) != chosen.end()) {
+        del = false;
+      } else {
+        chosen.push_back(e);
+        const auto row = static_cast<graph::NodeId>(
+            std::upper_bound(g.row_offsets.begin(), g.row_offsets.end(),
+                             static_cast<std::uint32_t>(e)) -
+            g.row_offsets.begin() - 1);
+        d.deletes.push_back({row, g.col_indices[e]});
+      }
+    }
+    if (!del) {
+      d.inserts.push_back(
+          {static_cast<graph::NodeId>(prng.bounded(g.num_nodes)),
+           static_cast<graph::NodeId>(prng.bounded(g.num_nodes))});
+      if (g.has_weights()) {
+        d.insert_weights.push_back(
+            static_cast<std::uint32_t>(prng.bounded(1000) + 1));
+      }
+    }
+  }
+  return d;
+}
+
+// Naive reference: expand every row into an arc list, mark each delete's
+// first surviving structural match dead, append that row's inserts in delta
+// order, rebuild.
+graph::Csr reference_apply(const graph::Csr& g, const graph::EdgeDelta& d) {
+  struct Arc {
+    graph::NodeId dst;
+    std::uint32_t w;
+    bool dead = false;
+  };
+  std::vector<std::vector<Arc>> rows(g.num_nodes);
+  for (graph::NodeId v = 0; v < g.num_nodes; ++v) {
+    for (std::uint32_t e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+      rows[v].push_back(
+          {g.col_indices[e], g.has_weights() ? g.weights[e] : 0u});
+    }
+  }
+  for (const graph::Edge& del : d.deletes) {
+    for (Arc& a : rows[del.src]) {
+      if (!a.dead && a.dst == del.dst) {
+        a.dead = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d.inserts.size(); ++i) {
+    rows[d.inserts[i].src].push_back(
+        {d.inserts[i].dst, g.has_weights() ? d.insert_weights[i] : 0u});
+  }
+  graph::Csr out;
+  out.num_nodes = g.num_nodes;
+  out.row_offsets.assign(1, 0);
+  for (const auto& row : rows) {
+    for (const Arc& a : row) {
+      if (a.dead) continue;
+      out.col_indices.push_back(a.dst);
+      if (g.has_weights()) out.weights.push_back(a.w);
+    }
+    out.row_offsets.push_back(
+        static_cast<std::uint32_t>(out.col_indices.size()));
+  }
+  return out;
+}
+
+TEST(DynamicGraph, ApplyDeltaMatchesNaiveReference) {
+  agg::Prng prng(2026);
+  for (const auto& gc : testutil::conformance_corpus()) {
+    graph::Csr cur = gc.csr;
+    for (int round = 0; round < 3; ++round) {
+      const graph::EdgeDelta d = random_delta(prng, cur, 12);
+      ASSERT_EQ(graph::delta_error(cur, d), "") << gc.name;
+      const graph::Csr got = graph::apply_delta(cur, d);
+      const graph::Csr want = reference_apply(cur, d);
+      ASSERT_EQ(got.row_offsets, want.row_offsets) << gc.name;
+      ASSERT_EQ(got.col_indices, want.col_indices) << gc.name;
+      ASSERT_EQ(got.weights, want.weights) << gc.name;
+      cur = got;
+    }
+  }
+}
+
+TEST(DynamicGraph, DeltaErrorRejectsBadDeltas) {
+  const graph::Csr g = graph::csr_from_edges(
+      3, std::vector<graph::Edge>{{0, 1}, {1, 2}});
+  graph::EdgeDelta d;
+  d.inserts.push_back({0, 3});  // endpoint out of range
+  EXPECT_NE(graph::delta_error(g, d), "");
+  d = {};
+  d.deletes.push_back({0, 2});  // no such arc
+  EXPECT_NE(graph::delta_error(g, d), "");
+  d = {};
+  d.deletes.push_back({0, 1});
+  d.deletes.push_back({0, 1});  // multiplicity 1, two deletes
+  EXPECT_NE(graph::delta_error(g, d), "");
+  d = {};
+  d.inserts.push_back({0, 2});
+  d.insert_weights.push_back(5);  // weights on an unweighted graph
+  EXPECT_NE(graph::delta_error(g, d), "");
+  d = {};
+  d.inserts.push_back({0, 2});
+  EXPECT_EQ(graph::delta_error(g, d), "");
+}
+
+TEST(DynamicGraph, IncrementalCcByteIdenticalToFromScratch) {
+  agg::Prng prng(77);
+  for (const auto& gc : testutil::conformance_corpus()) {
+    graph::Csr cur = gc.csr;
+    graph::IncrementalCc inc(cur);
+    {
+      const cpu::CcResult want = cpu::connected_components(cur);
+      ASSERT_EQ(inc.labels(), want.component) << gc.name << " (initial)";
+      ASSERT_EQ(inc.num_components(), want.num_components) << gc.name;
+    }
+    for (int round = 0; round < 4; ++round) {
+      const graph::EdgeDelta d = random_delta(prng, cur, 10);
+      cur = graph::apply_delta(cur, d);
+      inc.apply(cur, d);
+      const cpu::CcResult want = cpu::connected_components(cur);
+      ASSERT_EQ(inc.labels(), want.component)
+          << gc.name << " round " << round;
+      ASSERT_EQ(inc.num_components(), want.num_components)
+          << gc.name << " round " << round;
+    }
+  }
+}
+
+TEST(DynamicGraph, IncrementalCcRescansOnlyAffectedRegion) {
+  // Two far-apart cliques; a delta inside one must not rescan the other.
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u < 50; ++u) {
+    for (graph::NodeId v = 0; v < 50; ++v) {
+      if (u != v) {
+        edges.push_back({u, v});
+        edges.push_back({u + 50, v + 50});
+      }
+    }
+  }
+  graph::Csr g = graph::csr_from_edges(100, edges);
+  graph::IncrementalCc inc(g);
+  ASSERT_EQ(inc.num_components(), 2u);
+  graph::EdgeDelta d;
+  d.deletes.push_back({0, 1});
+  g = graph::apply_delta(g, d);
+  inc.apply(g, d);
+  EXPECT_EQ(inc.num_components(), 2u);  // clique stays connected
+  EXPECT_LE(inc.last_nodes_rescanned(), 50u);  // only the touched component
+  const cpu::CcResult want = cpu::connected_components(g);
+  EXPECT_EQ(inc.labels(), want.component);
+
+  // Insert-only deltas never rescan at all (pure union).
+  graph::EdgeDelta ins;
+  ins.inserts.push_back({0, 51});
+  g = graph::apply_delta(g, ins);
+  inc.apply(g, ins);
+  EXPECT_EQ(inc.num_components(), 1u);
+  EXPECT_EQ(inc.last_nodes_rescanned(), 0u);
+  EXPECT_EQ(inc.labels(), cpu::connected_components(g).component);
+}
+
+// Session::mutate_graph end to end, at several host worker counts: the
+// post-mutation answers equal a fresh session on the post-mutation graph,
+// and the device copy is patched, not re-uploaded.
+TEST(DynamicGraph, SessionMutateMatchesFreshSessionAcrossThreadCounts) {
+  for (const int threads : {1, 4, 0}) {
+    simt::ExecPool::set_threads(threads);
+    agg::Prng prng(11);
+    for (const auto& gc : testutil::conformance_corpus()) {
+      if (gc.csr.num_nodes == 0) continue;
+      adaptive::Graph g = adaptive::Graph::from_csr(gc.csr);
+      adaptive::Session session;
+      session.register_graph(g);
+      const graph::NodeId src = g.default_source();
+      (void)session.bfs(g, src);  // warm: resident upload
+      const graph::EdgeDelta d = random_delta(prng, g.csr(), 8);
+      session.mutate_graph(g, d);
+      const adaptive::BfsResult got = session.bfs(g, src);
+      const cpu::BfsResult want = cpu::bfs(g.csr(), src);
+      ASSERT_EQ(got.level, want.level)
+          << gc.name << " threads=" << threads;
+      ASSERT_EQ(session.incremental_cc(session.graph_id(g)).labels(),
+                cpu::connected_components(g.csr()).component)
+          << gc.name;
+    }
+  }
+  simt::ExecPool::set_threads(1);
+}
+
+TEST(DynamicGraph, SessionPatchTransfersDirtyRegionNotWholeGraph) {
+  // A big graph with a tiny localized delta: the patch must move far fewer
+  // bytes over the modeled PCIe link than the original upload did.
+  graph::Csr csr = graph::gen::erdos_renyi(20000, 120000, 5);
+  adaptive::Graph g = adaptive::Graph::from_csr(std::move(csr));
+  adaptive::Session session;
+  session.register_graph(g);
+  (void)session.bfs(g, 0);  // resident
+  const std::uint64_t upload_bytes = session.device().stats().bytes_h2d;
+  ASSERT_GT(upload_bytes, 0u);
+
+  graph::EdgeDelta d;
+  d.deletes.push_back({g.csr().col_indices.empty() ? 0u : 19999u,
+                       g.csr().col_indices.back()});
+  // Delete the last arc: only the tail of col_indices and the trailing
+  // row_offsets change, so the dirty regions are small.
+  d.deletes.back() = {static_cast<graph::NodeId>(
+                          std::upper_bound(g.csr().row_offsets.begin(),
+                                           g.csr().row_offsets.end(),
+                                           static_cast<std::uint32_t>(
+                                               g.csr().num_edges() - 1)) -
+                          g.csr().row_offsets.begin() - 1),
+                      g.csr().col_indices.back()};
+  session.mutate_graph(g, d);
+  const std::uint64_t patch_bytes =
+      session.device().stats().bytes_h2d - upload_bytes;
+  EXPECT_GT(patch_bytes, 0u);
+  EXPECT_LT(patch_bytes, upload_bytes / 10);
+
+  const cpu::BfsResult want = cpu::bfs(g.csr(), 0);
+  EXPECT_EQ(session.bfs(g, 0).level, want.level);
+}
+
+TEST(DynamicGraph, SessionRebuildsWhenCapacityExceeded) {
+  // Inserting far more arcs than the capacity slack forces the compacting
+  // rebuild; answers stay correct either way.
+  adaptive::Graph g = adaptive::Graph::from_csr(
+      graph::gen::erdos_renyi(300, 900, 9));
+  adaptive::Session session;
+  session.register_graph(g);
+  (void)session.bfs(g, 0);
+  agg::Prng prng(3);
+  graph::EdgeDelta d;
+  for (int i = 0; i < 500; ++i) {
+    d.inserts.push_back({static_cast<graph::NodeId>(prng.bounded(300)),
+                         static_cast<graph::NodeId>(prng.bounded(300))});
+  }
+  session.mutate_graph(g, d);
+  EXPECT_EQ(g.num_edges(), 1400u);
+  EXPECT_EQ(session.bfs(g, 0).level, cpu::bfs(g.csr(), 0).level);
+}
+
+TEST(DynamicGraph, MutateUnregisteredOrConstRegistrationAborts) {
+  adaptive::Graph g = adaptive::Graph::from_csr(
+      graph::csr_from_edges(2, std::vector<graph::Edge>{{0, 1}}));
+  adaptive::Session session;
+  const adaptive::Graph& cg = g;
+  const adaptive::GraphId id = session.register_graph(cg);  // const overload
+  graph::EdgeDelta d;
+  d.inserts.push_back({1, 0});
+  EXPECT_DEATH(session.mutate_graph(id, d), "");
+}
+
+}  // namespace

@@ -297,4 +297,90 @@ TEST(GraphService, DeterministicAcrossSimThreads) {
   }
 }
 
+// Mixed read/mutate stream (ISSUE 9): mutations are version barriers in the
+// FIFO — queries admitted before one answer against the old graph, queries
+// after it against the new one — and the whole schedule is identical at any
+// host worker count.
+TEST(GraphService, MutationsOrderAgainstInFlightQueries) {
+  auto run = [] {
+    svc::ServiceOptions opts;
+    opts.concurrency = 3;
+    svc::GraphService service(opts);
+    auto g = make_graph(1500, 4500, 23);
+    const graph::Csr before = g.csr();
+    const auto gid = service.add_graph(std::move(g));
+
+    graph::EdgeDelta d;
+    d.inserts.push_back({0, 1400});
+    if (before.row_offsets[1] > before.row_offsets[0]) {
+      d.deletes.push_back({0, before.col_indices[before.row_offsets[0]]});
+    }
+    const graph::Csr after = graph::apply_delta(before, d);
+
+    const graph::NodeId src = 0;
+    service.submit(bfs_req(gid, src));       // pre-mutation
+    service.submit_mutation(gid, d);
+    service.submit(bfs_req(gid, src));       // post-mutation, same source
+    const auto outcomes = service.drain();
+    return std::make_tuple(outcomes, before, after, service.makespan_us());
+  };
+
+  const auto [outs, before, after, makespan] = run();
+  ASSERT_EQ(outs.size(), 3u);
+  ASSERT_TRUE(outs[0].ok());
+  ASSERT_TRUE(outs[1].ok());
+  ASSERT_TRUE(outs[2].ok());
+  EXPECT_TRUE(outs[1].mutation);
+  // The pre-mutation query sees the old graph, the post-mutation one the
+  // new graph — same source, different answers when the delta matters.
+  EXPECT_EQ(outs[0].bfs().level, cpu::bfs(before, 0).level);
+  EXPECT_EQ(outs[2].bfs().level, cpu::bfs(after, 0).level);
+  // The mutation's device patch starts only after the in-flight query's
+  // stream work, and the post-mutation query starts after the patch.
+  EXPECT_GE(outs[1].finish_us, outs[0].finish_us);
+  EXPECT_GE(outs[2].start_us, outs[1].finish_us);
+
+  // Determinism across host worker counts, mutations included.
+  simt::ExecPool::set_threads(1);
+  const auto [a, ab, aa, ma] = run();
+  simt::ExecPool::set_threads(4);
+  const auto [b, bb, ba, mb] = run();
+  simt::ExecPool::set_threads(0);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(ma, mb);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].start_us, b[i].start_us);
+    EXPECT_DOUBLE_EQ(a[i].finish_us, b[i].finish_us);
+    EXPECT_EQ(a[i].payload.index(), b[i].payload.index());
+  }
+}
+
+// A queued mutation blocks request collapsing across it for the same graph:
+// the post-mutation duplicate runs on its own and returns the new answer.
+TEST(GraphService, CollapseStopsAtMutationBarrier) {
+  svc::ServiceOptions opts;
+  opts.cache_bytes = 1u << 20;
+  opts.batch_bfs = false;
+  svc::GraphService service(opts);
+  auto g = make_graph(800, 2400, 31);
+  const graph::Csr before = g.csr();
+  const auto gid = service.add_graph(std::move(g));
+
+  graph::EdgeDelta d;
+  d.inserts.push_back({0, 799});
+
+  service.submit(bfs_req(gid, 0));
+  service.submit(bfs_req(gid, 0));  // collapses onto the first
+  service.submit_mutation(gid, d);
+  service.submit(bfs_req(gid, 0));  // behind the barrier: must NOT collapse
+  const auto outs = service.drain();
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_FALSE(outs[0].collapsed);
+  EXPECT_TRUE(outs[1].collapsed);
+  EXPECT_TRUE(outs[2].mutation);
+  EXPECT_FALSE(outs[3].collapsed);
+  const graph::Csr after = graph::apply_delta(before, d);
+  EXPECT_EQ(outs[3].bfs().level, cpu::bfs(after, 0).level);
+}
+
 }  // namespace

@@ -35,6 +35,51 @@ TEST(IsSymmetric, GeneratorsProduceWhatTheyClaim) {
   EXPECT_FALSE(graph::is_symmetric(graph::gen::regular_copurchase(1000, 5)));
 }
 
+// is_symmetric is deliberately structural (weights not consulted);
+// is_weight_symmetric is the strong form a weighted CSR must pass before it
+// may alias its own CSC (the PR 6 follow-up).
+TEST(IsWeightSymmetric, StructuralSymmetryIsNotEnough) {
+  // 0<->1 both ways, but with different weights: structurally symmetric,
+  // weight-asymmetric.
+  const auto g = graph::csr_from_edges(
+      2, std::vector<graph::Edge>{{0, 1}, {1, 0}},
+      std::vector<std::uint32_t>{3, 7});
+  EXPECT_TRUE(graph::is_symmetric(g));
+  EXPECT_FALSE(graph::is_weight_symmetric(g));
+
+  const auto ok = graph::csr_from_edges(
+      2, std::vector<graph::Edge>{{0, 1}, {1, 0}},
+      std::vector<std::uint32_t>{3, 3});
+  EXPECT_TRUE(graph::is_weight_symmetric(ok));
+}
+
+TEST(IsWeightSymmetric, CountsWeightedMultiplicity) {
+  // (0,1,w=3) twice but only one (1,0,w=3) back: not weight-symmetric even
+  // though every arc has some reverse.
+  const auto g = graph::csr_from_edges(
+      2, std::vector<graph::Edge>{{0, 1}, {0, 1}, {1, 0}, {1, 0}},
+      std::vector<std::uint32_t>{3, 3, 3, 5});
+  EXPECT_FALSE(graph::is_weight_symmetric(g));
+  // Matching multiset of weights per direction: symmetric.
+  const auto ok = graph::csr_from_edges(
+      2, std::vector<graph::Edge>{{0, 1}, {0, 1}, {1, 0}, {1, 0}},
+      std::vector<std::uint32_t>{3, 5, 5, 3});
+  EXPECT_TRUE(graph::is_weight_symmetric(ok));
+}
+
+TEST(IsWeightSymmetric, UnweightedFallsBackToStructural) {
+  const auto sym = graph::symmetrize(
+      graph::csr_from_edges(3, std::vector<graph::Edge>{{0, 1}, {1, 2}}));
+  EXPECT_TRUE(graph::is_weight_symmetric(sym));
+  const auto dir =
+      graph::csr_from_edges(3, std::vector<graph::Edge>{{0, 1}, {1, 2}});
+  EXPECT_FALSE(graph::is_weight_symmetric(dir));
+  // Self loops are their own reverse in both forms.
+  const auto loop = graph::csr_from_edges(
+      1, std::vector<graph::Edge>{{0, 0}}, std::vector<std::uint32_t>{9});
+  EXPECT_TRUE(graph::is_weight_symmetric(loop));
+}
+
 TEST(RelabelByDegree, SortsDegreesDescending) {
   const auto g = graph::gen::erdos_renyi(500, 3000, 9);
   const auto r = graph::relabel_by_degree(g);

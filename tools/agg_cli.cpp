@@ -270,6 +270,27 @@ int cmd_generate(const agg::Cli& cli) {
     g = graph::gen::rmat(p);
   } else if (kind == "er") {
     g = graph::gen::erdos_renyi(nodes, 8ull * nodes, seed);
+  } else if (kind == "communities") {
+    // --communities=K disjoint blocks (ring + random chords each): the
+    // disconnected shape delta-aware cache invalidation is built for.
+    const auto k = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(cli.get_int("communities", 16)));
+    const std::uint32_t block = std::max<std::uint32_t>(2, nodes / k);
+    agg::Prng prng(seed);
+    std::vector<graph::Edge> edges;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const graph::NodeId base = c * block;
+      for (graph::NodeId v = 0; v < block; ++v) {
+        edges.push_back({base + v, base + (v + 1) % block});
+        edges.push_back({base + (v + 1) % block, base + v});
+      }
+      for (std::uint32_t i = 0; i < 4 * block; ++i) {
+        const auto u = static_cast<graph::NodeId>(prng.bounded(block));
+        const auto v = static_cast<graph::NodeId>(prng.bounded(block));
+        if (u != v) edges.push_back({base + u, base + v});
+      }
+    }
+    g = graph::csr_from_edges(k * block, edges);
   } else {
     for (const auto id : graph::gen::all_datasets()) {
       std::string name = graph::gen::dataset_name(id);
@@ -430,8 +451,60 @@ int cmd_serve(const agg::Cli& cli) {
     return static_cast<graph::NodeId>(prng.bounded(graph.num_nodes()));
   };
 
-  std::size_t accepted = 0;
+  // Dynamic traffic (ISSUE 9): --mutate-fraction=f turns that fraction of
+  // submissions into batched edge deltas of --delta-size ops (half inserts,
+  // half deletes of existing arcs). Deltas are generated against a host-side
+  // mirror CSR evolved in submission order, so a delete always references an
+  // arc that exists when the service applies it (mutations run FIFO).
+  const double mutate_fraction = cli.get_double("mutate-fraction", 0.0);
+  const auto delta_size =
+      static_cast<std::size_t>(cli.get_int("delta-size", 8));
+  graph::Csr mirror;
+  if (mutate_fraction > 0) mirror = service.graph(gid).csr();
+  auto make_delta = [&]() -> graph::EdgeDelta {
+    graph::EdgeDelta d;
+    std::vector<std::uint64_t> chosen;  // delete positions already taken
+    for (std::size_t op = 0; op < delta_size; ++op) {
+      bool del = prng.bernoulli(0.5) && mirror.num_edges() > 0;
+      if (del) {
+        const std::uint64_t e = prng.bounded(mirror.num_edges());
+        if (std::find(chosen.begin(), chosen.end(), e) != chosen.end()) {
+          del = false;  // same arc twice would over-delete; insert instead
+        } else {
+          chosen.push_back(e);
+          const auto row = static_cast<graph::NodeId>(
+              std::upper_bound(mirror.row_offsets.begin(),
+                               mirror.row_offsets.end(),
+                               static_cast<std::uint32_t>(e)) -
+              mirror.row_offsets.begin() - 1);
+          d.deletes.push_back({row, mirror.col_indices[e]});
+        }
+      }
+      if (!del) {
+        const auto src =
+            static_cast<graph::NodeId>(prng.bounded(mirror.num_nodes));
+        const auto dst =
+            static_cast<graph::NodeId>(prng.bounded(mirror.num_nodes));
+        d.inserts.push_back({src, dst});
+        if (mirror.has_weights()) {
+          d.insert_weights.push_back(
+              static_cast<std::uint32_t>(prng.bounded(1000) + 1));
+        }
+      }
+    }
+    mirror = graph::apply_delta(mirror, d);
+    return d;
+  };
+
+  std::size_t accepted = 0, mutations_sent = 0;
   for (std::size_t i = 0; i < n_queries; ++i) {
+    if (mutate_fraction > 0 && prng.bernoulli(mutate_fraction)) {
+      if (service.submit_mutation(gid, make_delta())) {
+        ++accepted;
+        ++mutations_sent;
+      }
+      continue;
+    }
     svc::QueryRequest req;
     req.graph = gid;
     req.algo = (mixed && i % 3 == 2) ? svc::Algo::sssp : svc::Algo::bfs;
@@ -443,7 +516,7 @@ int cmd_serve(const agg::Cli& cli) {
 
   std::size_t ok = 0, timed_out = 0, rejected = 0, errors = 0, batched = 0;
   std::size_t degraded = 0, retried = 0, cached = 0, collapsed = 0;
-  std::size_t failovers = 0, sharded = 0;
+  std::size_t failovers = 0, sharded = 0, mutations_done = 0, rebuilds = 0;
   std::vector<std::size_t> per_device(service.num_devices(), 0);
   double sum_latency = 0;
   std::uint64_t checksum = 0;  // order-independent: summed per-outcome digests
@@ -454,6 +527,8 @@ int cmd_serve(const agg::Cli& cli) {
     collapsed += out.collapsed;
     failovers += out.failover;
     sharded += out.sharded;
+    mutations_done += out.mutation && out.status == adaptive::Status::ok;
+    rebuilds += out.mutation && out.rebuilt;
     if (out.status == adaptive::Status::ok && !out.degraded &&
         out.device < per_device.size()) {
       ++per_device[out.device];
@@ -476,6 +551,14 @@ int cmd_serve(const agg::Cli& cli) {
   std::printf("  accepted %zu, rejected %zu, timed out %zu, errors %zu, "
               "answered via fused MS-BFS %zu\n",
               accepted, rejected, timed_out, errors, batched);
+  if (mutations_sent > 0) {
+    const auto& mg = service.graph(gid);
+    std::printf("  mutations %zu applied (%zu forced a rebuild/re-place); "
+                "graph now %u nodes, %llu edges, version %llu\n",
+                mutations_done, rebuilds, mg.num_nodes(),
+                static_cast<unsigned long long>(mg.num_edges()),
+                static_cast<unsigned long long>(mg.version()));
+  }
   const auto& cstats = service.result_cache().stats();
   if (sopts.cache_bytes > 0 || cached + collapsed > 0) {
     std::printf("  cache hits %zu, collapsed %zu (cache %s, %zu entries, "
@@ -486,6 +569,11 @@ int cmd_serve(const agg::Cli& cli) {
                 static_cast<unsigned long long>(cstats.hits),
                 static_cast<unsigned long long>(cstats.misses),
                 static_cast<unsigned long long>(cstats.evictions));
+    if (cstats.delta_kept + cstats.delta_dropped > 0) {
+      std::printf("  delta invalidation: %llu entries kept, %llu dropped\n",
+                  static_cast<unsigned long long>(cstats.delta_kept),
+                  static_cast<unsigned long long>(cstats.delta_dropped));
+    }
   }
   if (service.num_devices() > 1 || sharded > 0) {
     std::printf("  routed:");
@@ -628,6 +716,8 @@ int main(int argc, char** argv) {
         "  agg pagerank <graph> [--damping=0.85] [--policy=...] [--top=10]\n"
         "  agg mst      <graph> [--policy=...] [--no-symmetrize]\n"
         "  agg generate <kind> --out=FILE [--nodes=N] [--seed=S] [--weights]\n"
+        "               kind 'communities' adds [--communities=16] disjoint\n"
+        "               blocks (for delta-aware cache invalidation demos)\n"
         "  agg serve    <graph> [--queries=64] [--concurrency=4] [--mix=bfs|mixed]\n"
         "               [--no-batch] [--deadline-us=T] [--queue-cap=N] [--seed=S]\n"
         "               [--cache-mb=64] [--no-cache] [--zipf=S] [--hot-fraction=F]\n"
@@ -643,6 +733,9 @@ int main(int argc, char** argv) {
         "               --zipf=S draws sources from a power law (exponent S);\n"
         "               --hot-fraction=F sends F of traffic to 8 hot sources;\n"
         "               --no-cache disables the result cache AND collapsing\n"
+        "               --mutate-fraction=F turns F of submissions into\n"
+        "               batched edge deltas of --delta-size=8 ops (half\n"
+        "               inserts, half deletes), applied in admission order\n"
         "  agg convert  <in> <out>\n"
         "  agg tune     <graph> [--algo=bfs|sssp]\n\n"
         "global flags:\n"
